@@ -1,0 +1,159 @@
+// Ablation benchmarks for the modeling conventions DESIGN.md §3 calls
+// out. Each benchmark evaluates the case study under the adopted
+// convention and its documented alternative, printing the headline metric
+// both ways (once per run) so the sensitivity of the reproduction to each
+// choice is visible in the bench log.
+package stordep_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"stordep/internal/casestudy"
+	"stordep/internal/core"
+	"stordep/internal/failure"
+	"stordep/internal/protect"
+	"stordep/internal/units"
+)
+
+// BenchmarkAblationRAIDOverhead compares the array's RAID-1 capacity
+// doubling (adopted; reproduces Table 5's 87.4%) against flat capacity.
+func BenchmarkAblationRAIDOverhead(b *testing.B) {
+	variants := map[string]float64{"raid1-2x": 2, "flat-1x": 1}
+	caps := map[string]float64{}
+	for name, overhead := range variants {
+		d := casestudy.Baseline()
+		d.Devices[0].Spec.CapOverhead = overhead
+		for i := 0; i < b.N; i++ {
+			sys, err := core.Build(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			caps[name] = sys.Utilization().Cap
+		}
+	}
+	b.StopTimer()
+	printOnce(b, func() string {
+		return fmt.Sprintf("array capUtil: raid1 %.1f%% (paper 87.4%%) vs flat %.1f%%",
+			caps["raid1-2x"]*100, caps["flat-1x"]*100)
+	})
+}
+
+// BenchmarkAblationSnapshotVsMirror compares the two PiT techniques'
+// outlays and object-recovery metrics (the Table 7 "snapshot" move).
+func BenchmarkAblationSnapshotVsMirror(b *testing.B) {
+	mirror := casestudy.Baseline()
+	snapshot := casestudy.Baseline()
+	snapshot.Levels[0] = &protect.Snapshot{
+		Array: "disk-array",
+		Pol:   casestudy.SplitMirrorPolicy(),
+	}
+	out := map[string]units.Money{}
+	for i := 0; i < b.N; i++ {
+		for name, d := range map[string]*core.Design{"split-mirror": mirror, "snapshot": snapshot} {
+			sys, err := core.Build(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out[name] = sys.Outlays().Total()
+		}
+	}
+	b.StopTimer()
+	printOnce(b, func() string {
+		return fmt.Sprintf("outlays: split-mirror %v vs snapshot %v (delta %v/yr)",
+			out["split-mirror"], out["snapshot"], out["split-mirror"]-out["snapshot"])
+	})
+}
+
+// BenchmarkAblationMirrorRetention sweeps the split-mirror retention
+// count, showing the capacity/loss-coverage trade the retCnt knob buys.
+func BenchmarkAblationMirrorRetention(b *testing.B) {
+	type point struct {
+		cap      float64
+		coverage time.Duration
+	}
+	pts := map[int]point{}
+	counts := []int{1, 2, 4}
+	for i := 0; i < b.N; i++ {
+		for _, ret := range counts {
+			d := casestudy.Baseline()
+			pol := casestudy.SplitMirrorPolicy()
+			pol.RetCnt = ret
+			pol.RetW = time.Duration(ret) * pol.Primary.AccW
+			d.Levels[0] = &protect.SplitMirror{Array: "disk-array", Pol: pol}
+			sys, err := core.Build(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := sys.Chain().GuaranteedRange(1)
+			pts[ret] = point{cap: sys.Utilization().Cap, coverage: r.Oldest - r.Newest}
+		}
+	}
+	b.StopTimer()
+	printOnce(b, func() string {
+		s := "mirror retention sweep:"
+		for _, ret := range counts {
+			s += fmt.Sprintf(" retCnt=%d: cap %.1f%%, rollback span %s;",
+				ret, pts[ret].cap*100, units.FormatDuration(pts[ret].coverage))
+		}
+		return s
+	})
+}
+
+// BenchmarkAblationVaultCadence sweeps the vault accumulation window
+// (the Table 7 "weekly vault" move) against site-disaster loss.
+func BenchmarkAblationVaultCadence(b *testing.B) {
+	cadences := []time.Duration{4 * units.Week, 2 * units.Week, units.Week}
+	losses := map[time.Duration]time.Duration{}
+	site := failure.Scenario{Scope: failure.ScopeSite}
+	for i := 0; i < b.N; i++ {
+		for _, accW := range cadences {
+			d := casestudy.Baseline()
+			pol := casestudy.VaultPolicy()
+			pol.Primary.AccW = accW
+			pol.Primary.HoldW = 12 * time.Hour
+			pol.RetCnt = int(3 * units.Year / accW)
+			d.Levels[2] = &protect.Vaulting{
+				BackupDevice: "tape-library", Vault: "tape-vault", Transport: "air-shipment",
+				Pol: pol, BackupRetW: casestudy.BackupPolicy().RetW,
+			}
+			sys, err := core.Build(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := sys.Assess(site)
+			if err != nil {
+				b.Fatal(err)
+			}
+			losses[accW] = a.DataLoss
+		}
+	}
+	b.StopTimer()
+	printOnce(b, func() string {
+		s := "vault cadence vs site loss:"
+		for _, accW := range cadences {
+			s += fmt.Sprintf(" %s -> %.0fh;", units.FormatDuration(accW), losses[accW].Hours())
+		}
+		return s
+	})
+}
+
+// BenchmarkOptimizerTune measures the automated-design loop end to end
+// (the Table 7 knob space: 2 x 3 x 2 options, coordinate descent).
+func BenchmarkOptimizerTune(b *testing.B) {
+	scenarios := []failure.Scenario{
+		{Scope: failure.ScopeArray},
+		{Scope: failure.ScopeSite},
+	}
+	knobs := optimizerKnobs()
+	for i := 0; i < b.N; i++ {
+		sol, err := tuneBaseline(knobs, scenarios)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Choices[1].Option != "daily full" {
+			b.Fatalf("optimizer diverged: %v", sol.Choices)
+		}
+	}
+}

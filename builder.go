@@ -1,0 +1,94 @@
+package stordep
+
+import (
+	"time"
+
+	"stordep/internal/core"
+	"stordep/internal/cost"
+	"stordep/internal/protect"
+)
+
+// DesignBuilder assembles a Design fluently. Errors surface at Build, so
+// chains stay clean:
+//
+//	sys, err := stordep.NewDesign("web-tier").
+//		Workload(stordep.Cello()).
+//		Penalties(50_000, 50_000).
+//		Device(stordep.MidrangeArray(), stordep.Placement{Array: "a1", Site: "hq"}).
+//		PrimaryOn(stordep.NameDiskArray).
+//		Build()
+type DesignBuilder struct {
+	d *core.Design
+}
+
+// NewDesign starts a builder for a named design.
+func NewDesign(name string) *DesignBuilder {
+	return &DesignBuilder{d: &core.Design{Name: name}}
+}
+
+// wrap adopts an existing design (case-study builders).
+func wrap(d *core.Design) *DesignBuilder { return &DesignBuilder{d: d} }
+
+// Workload sets the foreground workload.
+func (b *DesignBuilder) Workload(w *Workload) *DesignBuilder {
+	b.d.Workload = w
+	return b
+}
+
+// Penalties sets the business requirements in dollars per hour of outage
+// and per hour of lost updates.
+func (b *DesignBuilder) Penalties(unavailPerHour, lossPerHour float64) *DesignBuilder {
+	b.d.Requirements = cost.Requirements{
+		UnavailPenaltyRate: PerHour(unavailPerHour),
+		LossPenaltyRate:    PerHour(lossPerHour),
+	}
+	return b
+}
+
+// Device adds a device at a placement. The spare, if the spec has one, is
+// assumed co-located at the device's site in separate hardware.
+func (b *DesignBuilder) Device(spec DeviceSpec, at Placement) *DesignBuilder {
+	b.d.Devices = append(b.d.Devices, core.PlacedDevice{Spec: spec, Placement: at})
+	return b
+}
+
+// DeviceWithSpare adds a device whose spare lives at an explicit placement
+// (e.g. a hot standby array in another building).
+func (b *DesignBuilder) DeviceWithSpare(spec DeviceSpec, at, spareAt Placement) *DesignBuilder {
+	b.d.Devices = append(b.d.Devices, core.PlacedDevice{
+		Spec:           spec,
+		Placement:      at,
+		SparePlacement: spareAt,
+	})
+	return b
+}
+
+// PrimaryOn declares which array holds the primary copy (level 0).
+func (b *DesignBuilder) PrimaryOn(arrayName string) *DesignBuilder {
+	b.d.Primary = &protect.Primary{Array: arrayName}
+	return b
+}
+
+// Protect appends a data protection technique as the next hierarchy level.
+func (b *DesignBuilder) Protect(t Technique) *DesignBuilder {
+	b.d.Levels = append(b.d.Levels, t)
+	return b
+}
+
+// RecoveryFacility configures the shared recovery facility used when a
+// device and its spare both fall inside a failure's scope.
+func (b *DesignBuilder) RecoveryFacility(at Placement, provision time.Duration, costFactor float64) *DesignBuilder {
+	b.d.Facility = &core.Facility{
+		Placement:     at,
+		ProvisionTime: provision,
+		CostFactor:    costFactor,
+	}
+	return b
+}
+
+// Design returns the assembled design without building it (for JSON
+// export or further mutation).
+func (b *DesignBuilder) Design() *Design { return b.d }
+
+// Build validates the design and returns an assessable System.
+func (b *DesignBuilder) Build() (*System, error) { return core.Build(b.d) }

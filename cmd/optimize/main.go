@@ -1,0 +1,157 @@
+// Command optimize runs the automated-design loop on the paper's case
+// study: coordinate descent over the Table 7 design moves (vaulting
+// cadence, backup policy, PiT technique) and, for mirrored designs, the
+// WAN link count.
+//
+// Usage:
+//
+//	optimize                      # tune the tape-based baseline
+//	optimize -objective expected  # minimize frequency-weighted expected cost
+//	optimize -links               # tune the asyncB mirror's link count
+//	optimize -rto 12h -rpo 1h     # cheapest design meeting objectives
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"stordep/internal/casestudy"
+	"stordep/internal/core"
+	"stordep/internal/failure"
+	"stordep/internal/hierarchy"
+	"stordep/internal/opt"
+	"stordep/internal/units"
+	"stordep/internal/whatif"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("optimize: ")
+
+	var (
+		objective = flag.String("objective", "worst", "worst | expected")
+		links     = flag.Bool("links", false, "tune the asyncB mirror link count instead of the tape design")
+		rto       = flag.String("rto", "", "constrain to designs meeting this recovery time objective")
+		rpo       = flag.String("rpo", "", "constrain to designs meeting this recovery point objective")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *objective, *links, *rto, *rpo); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, objectiveName string, links bool, rto, rpo string) error {
+	scenarios := []failure.Scenario{
+		{Scope: failure.ScopeArray},
+		{Scope: failure.ScopeSite},
+	}
+
+	objective, objLabel, err := buildObjective(objectiveName, rto, rpo)
+	if err != nil {
+		return err
+	}
+
+	base := casestudy.Baseline()
+	knobs := tapeKnobs()
+	if links {
+		base = casestudy.AsyncBMirror(1)
+		knobs = []opt.Knob{opt.LinkCountKnob("wan-links", []int{1, 2, 3, 4, 6, 8, 12, 16})}
+	}
+
+	fmt.Fprintf(w, "Tuning %q over %d knobs, objective: %s\n\n", base.Name, len(knobs), objLabel)
+	sol, err := opt.Tune(base, knobs, scenarios, objective)
+	if err != nil {
+		return err
+	}
+	for _, c := range sol.Choices {
+		fmt.Fprintf(w, "  %-28s -> %s\n", c.Knob, c.Option)
+	}
+	fmt.Fprintf(w, "\nScore: %v (%d evaluations, %d passes)\n",
+		sol.Score, sol.Evaluations, sol.Passes)
+
+	results, err := whatif.Evaluate([]*core.Design{sol.Design}, scenarios)
+	if err != nil {
+		return err
+	}
+	for _, o := range results[0].Outcomes {
+		fmt.Fprintf(w, "  %-6s RT %-10v DL %-10v total %v\n",
+			o.Scenario.DisplayName(), o.RecoveryTime.Round(time.Minute),
+			o.DataLoss.Round(time.Minute), o.Total)
+	}
+	return nil
+}
+
+func buildObjective(name, rto, rpo string) (opt.Objective, string, error) {
+	if rto != "" || rpo != "" {
+		obj := whatif.Objectives{RTO: units.Forever, RPO: units.Forever}
+		if rto != "" {
+			d, err := units.ParseDuration(rto)
+			if err != nil {
+				return nil, "", fmt.Errorf("bad -rto: %w", err)
+			}
+			obj.RTO = d
+		}
+		if rpo != "" {
+			d, err := units.ParseDuration(rpo)
+			if err != nil {
+				return nil, "", fmt.Errorf("bad -rpo: %w", err)
+			}
+			obj.RPO = d
+		}
+		return opt.ConstrainedOutlayObjective(obj),
+			fmt.Sprintf("cheapest outlays meeting RTO %s / RPO %s", orAny(rto), orAny(rpo)), nil
+	}
+	switch name {
+	case "worst":
+		return opt.WorstTotalObjective(), "minimize worst-scenario total cost", nil
+	case "expected":
+		return opt.ExpectedObjective(whatif.TypicalFrequencies()),
+			"minimize expected annual cost (typical failure frequencies)", nil
+	default:
+		return nil, "", fmt.Errorf("unknown objective %q", name)
+	}
+}
+
+func orAny(s string) string {
+	if s == "" {
+		return "any"
+	}
+	return s
+}
+
+// tapeKnobs exposes the Table 7 moves.
+func tapeKnobs() []opt.Knob {
+	weeklyVault := casestudy.VaultPolicy()
+	weeklyVault.Primary.AccW = units.Week
+	weeklyVault.Primary.HoldW = 12 * time.Hour
+	weeklyVault.RetCnt = 156
+
+	fi := casestudy.BackupPolicy()
+	fi.Primary.AccW = 48 * time.Hour
+	fi.Primary.PropW = 48 * time.Hour
+	fi.Secondary = &hierarchy.WindowSet{
+		AccW: 24 * time.Hour, PropW: 12 * time.Hour, HoldW: time.Hour,
+		Rep: hierarchy.RepPartial,
+	}
+	fi.CycleCnt = 5
+
+	dailyF := casestudy.BackupPolicy()
+	dailyF.Primary.AccW = 24 * time.Hour
+	dailyF.Primary.PropW = 12 * time.Hour
+	dailyF.RetCnt = 28
+
+	return []opt.Knob{
+		opt.PolicyKnob("vaulting",
+			[]string{"4-weekly", "weekly"},
+			[]hierarchy.Policy{casestudy.VaultPolicy(), weeklyVault}),
+		opt.PolicyKnob("backup",
+			[]string{"weekly full", "F+I", "daily full"},
+			[]hierarchy.Policy{casestudy.BackupPolicy(), fi, dailyF}),
+		opt.PiTKnob("split-mirror"),
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunWorstObjective(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, "worst", false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"minimize worst-scenario total cost",
+		"vaulting policy              -> weekly",
+		"backup policy                -> daily full",
+		"virtual-snapshot",
+		"$12.89M",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExpectedObjective(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, "expected", false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "expected annual cost") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunLinkTuning(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, "worst", true, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wan-links count") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunConstrained(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, "worst", true, "12h", "1h"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "8 links") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, "alien", false, "", ""); err == nil {
+		t.Error("unknown objective accepted")
+	}
+	if err := run(&buf, "worst", false, "zzz", ""); err == nil {
+		t.Error("bad rto accepted")
+	}
+	if err := run(&buf, "worst", false, "", "zzz"); err == nil {
+		t.Error("bad rpo accepted")
+	}
+	// Infeasible constraints surface opt.ErrNoFeasible.
+	if err := run(&buf, "worst", true, "1m", "1m"); err == nil {
+		t.Error("infeasible constraints accepted")
+	}
+}

@@ -1,0 +1,127 @@
+// Command paper regenerates every table and figure of the case study in
+// "A Framework for Evaluating Storage System Dependability" (Keeton &
+// Merchant, DSN 2004) from this repository's models.
+//
+// Usage:
+//
+//	paper                # print everything
+//	paper -table 5       # one table (2..7)
+//	paper -figure 5      # one figure (2..5)
+//	paper -csv -table 7  # emit CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"stordep/internal/casestudy"
+	"stordep/internal/core"
+	"stordep/internal/failure"
+	"stordep/internal/report"
+	"stordep/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paper: ")
+
+	table := flag.Int("table", 0, "print only this table (2..7)")
+	figure := flag.Int("figure", 0, "print only this figure (2..5)")
+	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	flag.Parse()
+
+	if err := run(os.Stdout, *table, *figure, *csv); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, table, figure int, csv bool) error {
+	baseline := casestudy.Baseline()
+	sys, err := core.Build(baseline)
+	if err != nil {
+		return fmt.Errorf("building baseline: %w", err)
+	}
+	assessments, err := sys.AssessAll(failure.CaseStudyScenarios())
+	if err != nil {
+		return fmt.Errorf("assessing baseline: %w", err)
+	}
+
+	all := table == 0 && figure == 0
+	emit := func(s string) { fmt.Fprintln(w, s) }
+	emitTable := func(t *report.Table) {
+		if csv {
+			fmt.Fprint(w, t.CSV())
+			return
+		}
+		emit(t.String())
+	}
+
+	if all || table == 2 {
+		emitTable(report.Table2Data(workload.Cello()))
+	}
+	if all || table == 3 {
+		emitTable(report.Table3Data(baseline))
+	}
+	if all || table == 4 {
+		emitTable(report.Table4Data(baseline))
+	}
+	if all || table == 5 {
+		emitTable(report.Table5Data(sys.Utilization()))
+	}
+	if all || table == 6 {
+		emitTable(report.Table6Data(assessments))
+	}
+	if all || figure == 5 {
+		emit(report.Figure5(assessments))
+	}
+	if all || table == 7 {
+		rows, err := whatIfRows()
+		if err != nil {
+			return err
+		}
+		emitTable(report.Table7Data(rows))
+	}
+	if all || figure == 2 {
+		emit(report.Figure2(baseline))
+	}
+	if all || figure == 3 {
+		emit(report.Figure3(sys.Chain()))
+	}
+	if all || figure == 4 {
+		for _, a := range assessments {
+			emit(report.Figure4(a))
+		}
+	}
+	if warns := sys.Warnings(); (all || table == 3) && len(warns) > 0 {
+		fmt.Fprintln(w, "Design warnings:")
+		for _, warn := range warns {
+			fmt.Fprintf(w, "  - %s\n", warn)
+		}
+	}
+	return nil
+}
+
+func whatIfRows() ([]report.WhatIfRow, error) {
+	arrSc := failure.Scenario{Scope: failure.ScopeArray}
+	siteSc := failure.Scenario{Scope: failure.ScopeSite}
+	var rows []report.WhatIfRow
+	for _, d := range casestudy.WhatIfDesigns() {
+		sys, err := core.Build(d)
+		if err != nil {
+			return nil, fmt.Errorf("building %s: %w", d.Name, err)
+		}
+		arr, err := sys.Assess(arrSc)
+		if err != nil {
+			return nil, fmt.Errorf("assessing %s: %w", d.Name, err)
+		}
+		site, err := sys.Assess(siteSc)
+		if err != nil {
+			return nil, fmt.Errorf("assessing %s: %w", d.Name, err)
+		}
+		rows = append(rows, report.WhatIfRow{Design: d.Name, Array: arr, Site: site})
+	}
+	return rows, nil
+}

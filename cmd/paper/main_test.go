@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAll(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table 2", "Table 3", "Table 4", "Table 5", "Table 6", "Table 7",
+		"Figure 2", "Figure 3", "Figure 4", "Figure 5",
+		"217 hr", "1429 hr", "split-mirror", "AsyncB mirror, 10 link(s)",
+		"Design warnings:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("full output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleTable(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 6, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table 6") {
+		t.Error("missing Table 6")
+	}
+	if strings.Contains(out, "Table 5") || strings.Contains(out, "Figure 5") {
+		t.Error("single-table mode printed extra artifacts")
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 0, 5, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 5") {
+		t.Error("missing Figure 5")
+	}
+	if strings.Contains(out, "Table 7") {
+		t.Error("figure mode printed tables")
+	}
+}
+
+func TestWhatIfRows(t *testing.T) {
+	rows, err := whatIfRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Array == nil || r.Site == nil {
+			t.Errorf("%s missing assessments", r.Design)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 6, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Failure scope,Recovery source,Recovery time,Recent data loss") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "array,backup,") {
+		t.Errorf("CSV row missing:\n%s", out)
+	}
+}

@@ -1,0 +1,144 @@
+// Command stordep evaluates the dependability of a storage system design.
+//
+// Usage:
+//
+//	stordep -export Baseline > baseline.json     # write a case-study design
+//	stordep -list                                # list exportable designs
+//	stordep -design baseline.json                # evaluate all three case-study scenarios
+//	stordep -design baseline.json -scope site    # evaluate one failure scope
+//	stordep -design baseline.json -scope object -target 24h -size 1MB
+//
+// The report includes normal-mode utilization (Table 5 layout), the
+// worst-case recovery time and recent data loss per scenario (Table 6),
+// and the overall cost breakdown (Figure 5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"stordep/internal/casestudy"
+	"stordep/internal/config"
+	"stordep/internal/core"
+	"stordep/internal/failure"
+	"stordep/internal/report"
+	"stordep/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stordep: ")
+
+	var (
+		designPath = flag.String("design", "", "design JSON file to evaluate")
+		export     = flag.String("export", "", "write a named case-study design as JSON to stdout")
+		list       = flag.Bool("list", false, "list exportable case-study designs")
+		scope      = flag.String("scope", "", "evaluate one failure scope (object|array|building|site|region)")
+		target     = flag.String("target", "0h", "recovery target age (e.g. 24h)")
+		size       = flag.String("size", "", "recover size override (e.g. 1MB); empty = whole object")
+		explain    = flag.Bool("explain", false, "derive each level's worst-case timing term by term")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *designPath, *export, *list, *scope, *target, *size, *explain); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, designPath, export string, list bool, scope, target, size string, explain bool) error {
+	switch {
+	case list:
+		for _, d := range casestudy.WhatIfDesigns() {
+			fmt.Fprintln(w, d.Name)
+		}
+		return nil
+	case export != "":
+		return exportDesign(w, export)
+	case designPath != "":
+		return evaluate(w, designPath, scope, target, size, explain)
+	default:
+		return fmt.Errorf("one of -design, -export or -list is required")
+	}
+}
+
+func exportDesign(w io.Writer, name string) error {
+	for _, d := range casestudy.WhatIfDesigns() {
+		if d.Name == name {
+			data, err := config.Marshal(d)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s\n", data)
+			return err
+		}
+	}
+	return fmt.Errorf("unknown design %q (try -list)", name)
+}
+
+func evaluate(w io.Writer, path, scope, target, size string, explain bool) error {
+	design, err := config.Load(path)
+	if err != nil {
+		return err
+	}
+	sys, err := core.Build(design)
+	if err != nil {
+		return fmt.Errorf("building %s: %w", design.Name, err)
+	}
+
+	scenarios, err := buildScenarios(scope, target, size)
+	if err != nil {
+		return err
+	}
+	assessments, err := sys.AssessAll(scenarios)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "Design: %s\n\n", design.Name)
+	if explain {
+		fmt.Fprintln(w, sys.Chain().ExplainAll())
+	}
+	fmt.Fprintln(w, report.Table5(sys.Utilization()))
+	fmt.Fprintln(w, report.Table6(assessments))
+	fmt.Fprintln(w, report.Figure5(assessments))
+	for _, a := range assessments {
+		fmt.Fprintln(w, report.Figure4(a))
+	}
+	if warns := sys.Warnings(); len(warns) > 0 {
+		fmt.Fprintln(w, "Warnings:")
+		for _, warn := range warns {
+			fmt.Fprintf(w, "  - %s\n", warn)
+		}
+	}
+	return nil
+}
+
+func buildScenarios(scope, target, size string) ([]failure.Scenario, error) {
+	if scope == "" {
+		return failure.CaseStudyScenarios(), nil
+	}
+	sc := failure.Scenario{Name: scope}
+	parsed, err := failure.ParseScope(scope)
+	if err != nil {
+		return nil, err
+	}
+	sc.Scope = parsed
+	if target != "" {
+		age, err := units.ParseDuration(target)
+		if err != nil {
+			return nil, fmt.Errorf("bad -target: %w", err)
+		}
+		sc.TargetAge = age
+	}
+	if size != "" {
+		b, err := units.ParseByteSize(size)
+		if err != nil {
+			return nil, fmt.Errorf("bad -size: %w", err)
+		}
+		sc.RecoverSize = b
+	}
+	return []failure.Scenario{sc}, nil
+}

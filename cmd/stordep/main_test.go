@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stordep/internal/failure"
+)
+
+func TestRunList(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, "", "", true, "", "", "", false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Baseline", "Weekly vault, F+I", "AsyncB mirror, 10 link(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunExportAndEvaluate(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, "", "Baseline", false, "", "", "", false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"name": "Baseline"`) {
+		t.Fatalf("export output:\n%s", buf.String())
+	}
+	path := filepath.Join(t.TempDir(), "d.json")
+	if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var eval strings.Builder
+	if err := run(&eval, path, "", false, "", "0h", "", false); err != nil {
+		t.Fatal(err)
+	}
+	out := eval.String()
+	for _, want := range []string{"Table 5", "Table 6", "Figure 5", "217 hr", "Warnings:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("evaluation missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleScope(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.json")
+	var buf strings.Builder
+	if err := run(&buf, "", "Baseline", false, "", "", "", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var eval strings.Builder
+	if err := run(&eval, path, "", false, "object", "24h", "1MB", false); err != nil {
+		t.Fatal(err)
+	}
+	out := eval.String()
+	if !strings.Contains(out, "split-mirror") || !strings.Contains(out, "12 hr") {
+		t.Errorf("object scope evaluation:\n%s", out)
+	}
+	if strings.Contains(out, "site") && strings.Contains(out, "1429") {
+		t.Error("single-scope mode evaluated extra scenarios")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, "", "", false, "", "", "", false); err == nil {
+		t.Error("no mode selected should fail")
+	}
+	if err := run(&buf, "", "Nope", false, "", "", "", false); err == nil {
+		t.Error("unknown export should fail")
+	}
+	if err := run(&buf, filepath.Join(t.TempDir(), "missing.json"), "", false, "", "", "", false); err == nil {
+		t.Error("missing design should fail")
+	}
+}
+
+func TestBuildScenarios(t *testing.T) {
+	scs, err := buildScenarios("", "", "")
+	if err != nil || len(scs) != 3 {
+		t.Fatalf("default scenarios = %v, %v", scs, err)
+	}
+	for _, name := range []string{"object", "array", "building", "site", "region"} {
+		scs, err := buildScenarios(name, "1h", "2GB")
+		if err != nil || len(scs) != 1 {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !scs[0].Scope.Valid() {
+			t.Errorf("%s produced invalid scope", name)
+		}
+	}
+	if _, err := buildScenarios("alien", "", ""); err == nil {
+		t.Error("unknown scope accepted")
+	}
+	if _, err := buildScenarios("site", "xx", ""); err == nil {
+		t.Error("bad target accepted")
+	}
+	if _, err := buildScenarios("site", "1h", "xx"); err == nil {
+		t.Error("bad size accepted")
+	}
+	sc, err := buildScenarios("array", "0h", "")
+	if err != nil || sc[0].Scope != failure.ScopeArray {
+		t.Errorf("array scope = %+v, %v", sc, err)
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, "", "Baseline", false, "", "", "", false); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "d.json")
+	if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var eval strings.Builder
+	if err := run(&eval, path, "", false, "array", "0h", "", true); err != nil {
+		t.Fatal(err)
+	}
+	out := eval.String()
+	for _, want := range []string{"worst loss    = transfer lag + accW", "Level 3 (vaulting):"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}

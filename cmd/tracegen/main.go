@@ -1,0 +1,146 @@
+// Command tracegen exercises the workload-measurement path of the
+// framework: it generates a synthetic block-level update trace (the
+// stand-in for the paper's measured cello trace), analyzes it at the
+// paper's windows, and prints the resulting Table 2-style workload
+// parameters.
+//
+// Usage:
+//
+//	tracegen                       # cello-like trace at 1/50 scale
+//	tracegen -seed 7 -scale 20     # different seed and scale
+//	tracegen -hours 8 -rate 512KB/s -blocks 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"stordep/internal/report"
+	"stordep/internal/trace"
+	"stordep/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	var (
+		seed   = flag.Int64("seed", 1, "generation seed")
+		scale  = flag.Float64("scale", 50, "cello scale-down factor (rate and object size)")
+		hours  = flag.Float64("hours", 0, "override trace duration in hours")
+		rate   = flag.String("rate", "", "override average update rate (e.g. 512KB/s)")
+		blocks = flag.Int64("blocks", 0, "override object size in 64KB blocks")
+		out    = flag.String("o", "", "also write the generated trace as CSV to this file")
+		in     = flag.String("i", "", "analyze an existing trace CSV instead of generating")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *seed, *scale, *hours, *rate, *blocks, *out, *in); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, seed int64, scale, hours float64, rate string, blocks int64, out, in string) error {
+	if in != "" {
+		return analyzeFile(w, in)
+	}
+	cfg := trace.CelloLike(seed, scale)
+	if hours > 0 {
+		cfg.Duration = time.Duration(hours * float64(time.Hour))
+		cfg.BurstPeriod = cfg.Duration / 8
+	}
+	if rate != "" {
+		r, err := units.ParseRate(rate)
+		if err != nil {
+			return fmt.Errorf("bad -rate: %w", err)
+		}
+		cfg.AvgUpdateRate = r
+	}
+	if blocks > 0 {
+		cfg.Blocks = blocks
+	}
+
+	fmt.Fprintf(w, "Generating %s of writes at %v over %d blocks of %v (seed %d)...\n",
+		units.FormatDuration(cfg.Duration), cfg.AvgUpdateRate, cfg.Blocks, cfg.BlockSize, seed)
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Generated %d writes (%v of updates).\n\n",
+		len(tr.Records), units.ByteSize(len(tr.Records))*cfg.BlockSize)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Wrote trace CSV to %s.\n\n", out)
+	}
+
+	windows := []time.Duration{time.Minute, time.Hour, 12 * time.Hour}
+	if cfg.Duration >= 2*units.Day {
+		windows = append(windows, 24*time.Hour, 48*time.Hour)
+	}
+	var valid []time.Duration
+	for _, win := range windows {
+		if win <= cfg.Duration {
+			valid = append(valid, win)
+		}
+	}
+	analysis, err := trace.Analyze(tr, time.Minute, valid)
+	if err != nil {
+		return err
+	}
+	workload, err := analysis.Workload(fmt.Sprintf("synthetic-cello/%g", scale), analysis.AvgUpdateRate)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, report.Table2(workload))
+	fmt.Fprintf(w, "measured peak %v over 1-minute windows (burst %.1fx)\n",
+		analysis.PeakUpdateRate, analysis.BurstMult)
+	return nil
+}
+
+// analyzeFile runs the analyzer over an existing trace CSV (converted
+// from a real block trace or written earlier with -o).
+func analyzeFile(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Read %d writes spanning %s over %d blocks of %v.\n\n",
+		len(tr.Records), units.FormatDuration(tr.Cfg.Duration), tr.Cfg.Blocks, tr.Cfg.BlockSize)
+	var windows []time.Duration
+	for _, win := range []time.Duration{time.Minute, time.Hour, 12 * time.Hour, 24 * time.Hour} {
+		if win <= tr.Cfg.Duration {
+			windows = append(windows, win)
+		}
+	}
+	analysis, err := trace.Analyze(tr, time.Minute, windows)
+	if err != nil {
+		return err
+	}
+	workload, err := analysis.Workload(path, analysis.AvgUpdateRate)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, report.Table2(workload))
+	fmt.Fprintf(w, "measured peak %v over 1-minute windows (burst %.1fx)\n",
+		analysis.PeakUpdateRate, analysis.BurstMult)
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 1, 400, 2, "", 0, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Generating", "Generated", "Table 2", "measured peak", "batchUpdR(win)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 7, 100, 1, "128KB/s", 5000, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "128.0KB/s") && !strings.Contains(out, "5000 blocks") {
+		t.Errorf("overrides not reflected:\n%s", out)
+	}
+}
+
+func TestRunBadRate(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 1, 100, 1, "bogus", 0, "", ""); err == nil {
+		t.Error("bad rate accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := run(&a, 42, 400, 1, "", 0, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, 42, 400, 1, "", 0, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different output")
+	}
+}
+
+func TestRunWriteAndAnalyzeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	var buf strings.Builder
+	if err := run(&buf, 3, 300, 1, "", 0, path, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Wrote trace CSV") {
+		t.Errorf("write confirmation missing:\n%s", buf.String())
+	}
+	var again strings.Builder
+	if err := run(&again, 0, 0, 0, "", 0, "", path); err != nil {
+		t.Fatal(err)
+	}
+	out := again.String()
+	for _, want := range []string{"Read", "Table 2", "measured peak"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analysis missing %q:\n%s", want, out)
+		}
+	}
+	if err := run(&again, 0, 0, 0, "", 0, "", filepath.Join(t.TempDir(), "nope.csv")); err == nil {
+		t.Error("missing input accepted")
+	}
+}

@@ -1,0 +1,163 @@
+// Command whatif explores storage system design alternatives: it
+// evaluates the paper's Table 7 design family (plus an optional WAN-link
+// sweep), ranks the candidates by worst-scenario total cost, prints the
+// Pareto frontier, and answers RTO/RPO feasibility queries.
+//
+// Usage:
+//
+//	whatif                          # rank the Table 7 designs
+//	whatif -links 16                # add a 1..16 link mirror sweep
+//	whatif -rto 12h -rpo 1h         # cheapest design meeting objectives
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"stordep/internal/casestudy"
+	"stordep/internal/failure"
+	"stordep/internal/report"
+	"stordep/internal/units"
+	"stordep/internal/whatif"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("whatif: ")
+
+	var (
+		links    = flag.Int("links", 0, "also sweep asyncB mirroring over 1..N links")
+		rto      = flag.String("rto", "", "recovery time objective (e.g. 12h)")
+		rpo      = flag.String("rpo", "", "recovery point objective (e.g. 1h)")
+		degraded = flag.String("degraded", "", "also show a degraded-mode study for this outage (e.g. 1wk)")
+		expected = flag.Bool("expected", false, "also rank by frequency-weighted expected annual cost")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *links, *rto, *rpo, *degraded, *expected); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, links int, rto, rpo, degraded string, expected bool) error {
+	designs := casestudy.WhatIfDesigns()
+	if links > 0 {
+		var counts []int
+		for n := 2; n <= links; n++ {
+			if n != 10 { // 1 and 10 are already in the Table 7 family
+				counts = append(counts, n)
+			}
+		}
+		designs = append(designs, whatif.Sweep(counts, casestudy.AsyncBMirror)...)
+	}
+	scenarios := []failure.Scenario{
+		{Scope: failure.ScopeArray},
+		{Scope: failure.ScopeSite},
+	}
+	results, err := whatif.Evaluate(designs, scenarios)
+	if err != nil {
+		return err
+	}
+
+	ranked := whatif.Rank(results)
+	tbl := report.NewTable("Designs ranked by worst-scenario total cost",
+		"Rank", "Design", "Outlays", "Worst total", "Array RT/DL", "Site RT/DL")
+	for i, r := range ranked {
+		if r.Err != nil {
+			tbl.AddRow(fmt.Sprintf("%d", i+1), r.Design, "-", "infeasible: "+r.Err.Error())
+			continue
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%d", i+1),
+			r.Design,
+			r.Outlays.String(),
+			r.WorstTotal().String(),
+			outcomeCell(r.Outcomes[0]),
+			outcomeCell(r.Outcomes[1]),
+		)
+	}
+	fmt.Fprintln(w, tbl.String())
+
+	frontier := whatif.Pareto(results, 1)
+	ptbl := report.NewTable("Pareto frontier (site disaster): recovery time vs data loss vs outlays",
+		"Design", "RT", "DL", "Outlays")
+	for _, p := range frontier {
+		ptbl.AddRow(p.Design,
+			units.FormatDuration(p.RecoveryTime.Round(units.Day/24/60)),
+			units.FormatDuration(p.DataLoss),
+			p.Outlays.String())
+	}
+	fmt.Fprintln(w, ptbl.String())
+
+	if expected {
+		fmt.Fprintln(w, report.ExpectedTable(ranked,
+			whatif.RankExpected(results, whatif.TypicalFrequencies())))
+	}
+
+	if degraded != "" {
+		outage, err := units.ParseDuration(degraded)
+		if err != nil {
+			return fmt.Errorf("bad -degraded: %w", err)
+		}
+		rows, err := whatif.DegradedStudy(casestudy.Baseline(),
+			failure.Scenario{Scope: failure.ScopeArray}, []time.Duration{outage})
+		if err != nil {
+			return err
+		}
+		dtbl := report.NewTable(
+			fmt.Sprintf("Degraded mode (baseline, array failure, technique down %s)", degraded),
+			"Degraded level", "Healthy loss", "Degraded loss", "Extra penalty")
+		for _, r := range rows {
+			dtbl.AddRow(r.Level,
+				fmt.Sprintf("%.0f hr", r.Healthy.Hours()),
+				fmt.Sprintf("%.0f hr", r.Degraded.Hours()),
+				r.ExtraPenalty.String())
+		}
+		fmt.Fprintln(w, dtbl.String())
+	}
+
+	if rto != "" || rpo != "" {
+		obj := whatif.Objectives{RTO: units.Forever, RPO: units.Forever}
+		if rto != "" {
+			d, err := units.ParseDuration(rto)
+			if err != nil {
+				return fmt.Errorf("bad -rto: %w", err)
+			}
+			obj.RTO = d
+		}
+		if rpo != "" {
+			d, err := units.ParseDuration(rpo)
+			if err != nil {
+				return fmt.Errorf("bad -rpo: %w", err)
+			}
+			obj.RPO = d
+		}
+		best, err := whatif.Cheapest(results, obj)
+		if err != nil {
+			fmt.Fprintf(w, "No design meets RTO %s / RPO %s under both scenarios.\n",
+				orAny(rto), orAny(rpo))
+			return nil
+		}
+		fmt.Fprintf(w, "Cheapest design meeting RTO %s / RPO %s: %s (outlays %v)\n",
+			orAny(rto), orAny(rpo), best.Design, best.Outlays)
+	}
+	return nil
+}
+
+func outcomeCell(o whatif.Outcome) string {
+	if o.Lost {
+		return "object lost"
+	}
+	return fmt.Sprintf("%.3g hr / %.3g hr", o.RecoveryTime.Hours(), o.DataLoss.Hours())
+}
+
+func orAny(s string) string {
+	if s == "" {
+		return "any"
+	}
+	return s
+}

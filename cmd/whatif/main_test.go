@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 0, "", "", "", false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"ranked by worst-scenario total cost",
+		"AsyncB mirror, 1 link(s)",
+		"Pareto frontier",
+		"Weekly vault, daily F, snapshot",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The 1-link mirror ranks first (the paper's conclusion).
+	if !strings.Contains(out, "1     AsyncB mirror, 1 link(s)") {
+		t.Errorf("rank 1 is not the 1-link mirror:\n%s", out)
+	}
+}
+
+func TestRunWithObjectivesAndSweep(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 12, "12h", "1h", "", false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Cheapest design meeting RTO 12h / RPO 1h:") {
+		t.Errorf("objectives answer missing:\n%s", out)
+	}
+	if !strings.Contains(out, "AsyncB mirror, 12 link(s)") {
+		t.Error("sweep designs missing")
+	}
+}
+
+func TestRunInfeasibleObjectives(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 0, "1m", "1m", "", false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "No design meets RTO 1m / RPO 1m") {
+		t.Errorf("infeasible answer missing:\n%s", buf.String())
+	}
+}
+
+func TestRunDegraded(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 0, "", "", "1wk", false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Degraded mode", "385 hr", "$8.40M"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("degraded study missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 0, "zzz", "", "", false); err == nil {
+		t.Error("bad rto accepted")
+	}
+	if err := run(&buf, 0, "", "zzz", "", false); err == nil {
+		t.Error("bad rpo accepted")
+	}
+	if err := run(&buf, 0, "", "", "zzz", false); err == nil {
+		t.Error("bad degraded accepted")
+	}
+}
+
+func TestRunExpectedRanking(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 0, "", "", "", true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Expected annual") {
+		t.Errorf("expected ranking missing:\n%s", out)
+	}
+}

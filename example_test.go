@@ -1,0 +1,99 @@
+package stordep_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"stordep"
+)
+
+// Example evaluates the paper's baseline under a site disaster.
+func Example() {
+	sys, err := stordep.Baseline().Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := sys.Assess(stordep.Scenario{Scope: stordep.ScopeSite})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recover from %s: loss %.0f hr\n", a.Plan.SourceName, a.DataLoss.Hours())
+	// Output: recover from vaulting: loss 1429 hr
+}
+
+// ExampleNewDesign assembles a custom mirrored design with the builder.
+func ExampleNewDesign() {
+	sys, err := stordep.NewDesign("mirrored-db").
+		Workload(stordep.Cello()).
+		Penalties(50_000, 50_000).
+		Device(stordep.MidrangeArray(), stordep.Placement{Array: "a1", Site: "hq", Region: "west"}).
+		Device(stordep.RemoteMirrorArray(), stordep.Placement{Array: "a2", Site: "dr", Region: "east"}).
+		Device(stordep.WANLinks(4), stordep.Placement{}).
+		PrimaryOn(stordep.NameDiskArray).
+		Protect(&stordep.Mirror{
+			Mode:      stordep.MirrorAsyncBatch,
+			DestArray: stordep.NameMirrorArray,
+			Links:     stordep.NameWANLinks,
+			Pol:       stordep.AsyncBatchMirrorPolicy(),
+		}).
+		RecoveryFacility(stordep.Placement{Site: "rec", Region: "central"}, 9*time.Hour, 0.2).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := sys.Assess(stordep.Scenario{Scope: stordep.ScopeArray})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loss %v\n", a.DataLoss)
+	// Output: loss 2m0s
+}
+
+// ExampleSystem_AssessDegraded shows degraded-mode evaluation: the
+// exposure after the backup system has been broken for a week.
+func ExampleSystem_AssessDegraded() {
+	sys, err := stordep.Baseline().Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	healthy, err := sys.Assess(stordep.Scenario{Scope: stordep.ScopeArray})
+	if err != nil {
+		log.Fatal(err)
+	}
+	degraded, err := sys.AssessDegraded(stordep.Scenario{Scope: stordep.ScopeArray},
+		"backup", 7*24*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("healthy %.0f hr, degraded %.0f hr\n",
+		healthy.DataLoss.Hours(), degraded.DataLoss.Hours())
+	// Output: healthy 217 hr, degraded 385 hr
+}
+
+// ExampleTune runs the automated-design loop over the WAN link count.
+func ExampleTune() {
+	designs := stordep.WhatIfDesigns()
+	base := designs[5] // AsyncB mirror, 1 link
+	sol, err := stordep.Tune(base,
+		[]stordep.Knob{stordep.LinkCountKnob(stordep.NameWANLinks, []int{1, 2, 4, 8})},
+		[]stordep.Scenario{{Scope: stordep.ScopeArray}, {Scope: stordep.ScopeSite}},
+		stordep.WorstTotalObjective())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sol.Choices[0].Option)
+	// Output: 2 links
+}
+
+// ExampleEvaluateDesigns ranks the paper's Table 7 family.
+func ExampleEvaluateDesigns() {
+	results, err := stordep.EvaluateDesigns(stordep.WhatIfDesigns(),
+		[]stordep.Scenario{{Scope: stordep.ScopeArray}, {Scope: stordep.ScopeSite}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranked := stordep.RankDesigns(results)
+	fmt.Println(ranked[0].Design)
+	// Output: AsyncB mirror, 1 link(s)
+}

@@ -1,0 +1,132 @@
+// Archival scenario: a media company keeps a 20 TB asset archive. The
+// update stream is batch loads (bursty, append-mostly) and the business
+// tolerates a day of recovery but wants regional-disaster durability for
+// decades of footage.
+//
+// The example compares two protection philosophies across the framework's
+// failure scopes, including a regional disaster the paper's tape designs
+// never face:
+//
+//  1. Classic: daily backups to a virtual tape library + weekly vaulting.
+//  2. Extension: a 5-of-3 wide-area erasure code over economy arrays in
+//     five regions (1.67x storage instead of full copies), disseminated
+//     over GigE links — loss drops from days to the dissemination window
+//     at every failure scope.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"stordep"
+	"stordep/internal/workload"
+)
+
+func archive() *stordep.Workload { return workload.Warehouse(20 * stordep.TB) }
+
+var hq = stordep.Placement{Array: "hq-arr", Building: "dc", Site: "hq", Region: "west"}
+
+// primaryArray is a 256 TB economy array holding the archive, with a
+// dedicated hot spare (the catalog default has none).
+func primaryArray() stordep.DeviceSpec {
+	spec := stordep.EconomyArray()
+	spec.Name = "hq-archive"
+	spec.Spare = stordep.Spare{Kind: 2 /* dedicated */, ProvisionTime: 5 * time.Minute, Discount: 1}
+	return spec
+}
+
+func requirements() *stordep.DesignBuilder {
+	return stordep.NewDesign("").
+		Workload(archive()).
+		Penalties(20_000, 20_000).
+		RecoveryFacility(stordep.Placement{Site: "rec", Region: "rec-region"}, 9*time.Hour, 0.2)
+}
+
+// classic: nightly backup to a VTL, weekly vault shipments.
+func classic() *stordep.Design {
+	d := requirements().
+		Device(primaryArray(), hq).
+		Device(stordep.VirtualTapeLibrary(), stordep.Placement{Array: "vtl", Building: "dc", Site: "hq", Region: "west"}).
+		Device(stordep.TapeVault(), stordep.Placement{Array: "vault", Site: "vault-city", Region: "east"}).
+		Device(stordep.AirShipment(), stordep.Placement{}).
+		PrimaryOn("hq-archive").
+		Protect(&stordep.Backup{
+			SourceArray: "hq-archive",
+			Target:      "virtual-tape-library",
+			Pol:         stordep.SimplePolicy(24*time.Hour, 20*time.Hour, time.Hour, 3, 3*stordep.Day),
+		}).
+		Protect(&stordep.Vaulting{
+			BackupDevice: "virtual-tape-library",
+			Vault:        stordep.NameTapeVault,
+			Transport:    stordep.NameAirShipment,
+			Pol:          stordep.SimplePolicy(stordep.Week, 24*time.Hour, 3*stordep.Day, 52, stordep.Year),
+			BackupRetW:   3 * stordep.Day,
+		}).
+		Design()
+	d.Name = "daily VTL backup + weekly vault"
+	return d
+}
+
+// erasure: 5-of-3 fragments on economy arrays in five regions.
+func erasure() *stordep.Design {
+	b := requirements().
+		Device(primaryArray(), hq).
+		Device(stordep.GigELinks(2), stordep.Placement{})
+	regions := []string{"central", "east", "north", "south", "overseas"}
+	sites := make([]string, len(regions))
+	for i, region := range regions {
+		spec := stordep.EconomyArray()
+		spec.Name = fmt.Sprintf("fragment-%s", region)
+		sites[i] = spec.Name
+		b.Device(spec, stordep.Placement{
+			Array: spec.Name, Building: "colo", Site: "colo-" + region, Region: region,
+		})
+	}
+	d := b.PrimaryOn("hq-archive").
+		Protect(&stordep.ErasureCode{
+			Fragments: 5,
+			Threshold: 3,
+			Sites:     sites,
+			Links:     "gige-links",
+			Pol:       stordep.SimplePolicy(time.Hour, time.Hour, 0, 2, 2*time.Hour),
+		}).
+		Design()
+	d.Name = "5-of-3 erasure code, five regions"
+	return d
+}
+
+func main() {
+	log.SetFlags(0)
+
+	scenarios := []stordep.Scenario{
+		{Name: "array", Scope: stordep.ScopeArray},
+		{Name: "site", Scope: stordep.ScopeSite},
+		{Name: "region", Scope: stordep.ScopeRegion},
+	}
+	for _, d := range []*stordep.Design{classic(), erasure()} {
+		sys, err := stordep.Build(d)
+		if err != nil {
+			log.Fatalf("%s: %v", d.Name, err)
+		}
+		fmt.Printf("%s (outlays %v/yr)\n", d.Name, sys.Outlays().Total())
+		for _, sc := range scenarios {
+			a, err := sys.Assess(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if a.WholeObjectLost {
+				fmt.Printf("  %-7s ARCHIVE LOST\n", sc.DisplayName()+":")
+				continue
+			}
+			fmt.Printf("  %-7s recover from %-22s RT %-10v loss %v\n",
+				sc.DisplayName()+":", a.Plan.SourceName,
+				a.RecoveryTime.Round(time.Minute), a.DataLoss.Round(time.Minute))
+		}
+		fmt.Println()
+	}
+	fmt.Println("Both survive a regional disaster (the vault is cross-region), but the")
+	fmt.Println("tape design loses up to 12 days of loads where the hourly erasure-coded")
+	fmt.Println("dissemination loses two hours — at a 1.67x storage stretch instead of")
+	fmt.Println("the 50+ full copies the vault accumulates.")
+}

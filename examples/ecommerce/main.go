@@ -1,0 +1,171 @@
+// E-commerce scenario: an online retailer runs a 4 TB order database with
+// strict business requirements — every hour of downtime costs $250,000
+// (the paper's §1 motivation: a quarter of surveyed businesses put outage
+// costs above $250k/hr) and every hour of lost orders costs $400,000.
+//
+// The operator wants the cheapest design whose worst case meets:
+//
+//	RTO <= 4 hours, RPO <= 15 minutes for an array failure, and
+//	RTO <= 12 hours, RPO <= 15 minutes for a site disaster.
+//
+// Tape-era designs cannot hit a 15-minute RPO; the example explores the
+// candidate family — baseline tape protection, snapshots + daily fulls,
+// and inter-array mirroring at several link counts — and reports what
+// each achieves, then picks the cheapest conforming design.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"stordep"
+)
+
+// orderDB describes the retailer's workload: a 4 TB database with a heavy
+// update stream that coalesces strongly (orders update hot rows).
+func orderDB() *stordep.Workload {
+	return &stordep.Workload{
+		Name:          "order-db",
+		DataCap:       4 * stordep.TB,
+		AvgAccessRate: 12 * stordep.MBPerSec,
+		AvgUpdateRate: 4 * stordep.MBPerSec,
+		BurstMult:     6,
+		BatchCurve: []stordep.BatchPoint{
+			{Window: time.Minute, Rate: 3.5 * stordep.MBPerSec},
+			{Window: time.Hour, Rate: 2 * stordep.MBPerSec},
+			{Window: 24 * time.Hour, Rate: 1 * stordep.MBPerSec},
+			{Window: stordep.Week, Rate: 0.8 * stordep.MBPerSec},
+		},
+	}
+}
+
+// Placements for the retailer's two data centers and a vault service.
+var (
+	hqArray  = stordep.Placement{Array: "hq-array", Building: "dc1", Site: "hq", Region: "east"}
+	hqTapes  = stordep.Placement{Array: "hq-tapes", Building: "dc1", Site: "hq", Region: "east"}
+	drArray  = stordep.Placement{Array: "dr-array", Building: "dc2", Site: "dr-site", Region: "central"}
+	vaultLoc = stordep.Placement{Array: "vault", Building: "v1", Site: "vault-city", Region: "west"}
+	drSite   = stordep.Placement{Site: "dr-site", Region: "central"}
+)
+
+// base starts every candidate with the workload, penalties and recovery
+// facility shared across designs.
+func base(name string) *stordep.DesignBuilder {
+	return stordep.NewDesign(name).
+		Workload(orderDB()).
+		Penalties(250_000, 400_000).
+		RecoveryFacility(drSite, 9*time.Hour, 0.2)
+}
+
+// tapeDesign is classic nightly protection: snapshots for fast object
+// rollback, daily full backups, weekly vaulting.
+func tapeDesign() *stordep.Design {
+	return base("snapshots + daily fulls + vault").
+		Device(stordep.MidrangeArray(), hqArray).
+		Device(stordep.TapeLibrary(), hqTapes).
+		Device(stordep.TapeVault(), vaultLoc).
+		Device(stordep.AirShipment(), stordep.Placement{}).
+		PrimaryOn(stordep.NameDiskArray).
+		Protect(&stordep.Snapshot{
+			Array: stordep.NameDiskArray,
+			Pol:   stordep.SimplePolicy(6*time.Hour, 0, 0, 4, stordep.Day),
+		}).
+		Protect(&stordep.Backup{
+			SourceArray: stordep.NameDiskArray,
+			Target:      stordep.NameTapeLibrary,
+			Pol:         stordep.SimplePolicy(24*time.Hour, 8*time.Hour, time.Hour, 14, 2*stordep.Week),
+		}).
+		Protect(&stordep.Vaulting{
+			BackupDevice: stordep.NameTapeLibrary,
+			Vault:        stordep.NameTapeVault,
+			Transport:    stordep.NameAirShipment,
+			Pol:          stordep.SimplePolicy(stordep.Week, 24*time.Hour, 12*time.Hour, 52, stordep.Year),
+			BackupRetW:   2 * stordep.Week,
+		}).
+		Design()
+}
+
+// mirrorDesign replicates to the DR site with one-minute batches over n
+// OC-3 links, keeping snapshots for object rollback.
+func mirrorDesign(links int) *stordep.Design {
+	return base(fmt.Sprintf("snapshots + asyncB mirror, %d links", links)).
+		Device(stordep.MidrangeArray(), hqArray).
+		Device(stordep.RemoteMirrorArray(), drArray).
+		Device(stordep.WANLinks(links), stordep.Placement{}).
+		PrimaryOn(stordep.NameDiskArray).
+		Protect(&stordep.Snapshot{
+			Array: stordep.NameDiskArray,
+			Pol:   stordep.SimplePolicy(6*time.Hour, 0, 0, 4, stordep.Day),
+		}).
+		Protect(&stordep.Mirror{
+			Mode:      stordep.MirrorAsyncBatch,
+			DestArray: stordep.NameMirrorArray,
+			Links:     stordep.NameWANLinks,
+			Pol:       stordep.AsyncBatchMirrorPolicy(),
+		}).
+		Design()
+}
+
+func main() {
+	log.SetFlags(0)
+
+	candidates := []*stordep.Design{tapeDesign()}
+	for _, links := range []int{1, 2, 4, 8, 16} {
+		candidates = append(candidates, mirrorDesign(links))
+	}
+
+	scenarios := []stordep.Scenario{
+		{Name: "array failure", Scope: stordep.ScopeArray},
+		{Name: "site disaster", Scope: stordep.ScopeSite},
+	}
+	objectives := map[string]struct{ rto, rpo time.Duration }{
+		"array failure": {4 * time.Hour, 15 * time.Minute},
+		"site disaster": {12 * time.Hour, 15 * time.Minute},
+	}
+
+	type verdict struct {
+		design  *stordep.Design
+		outlays stordep.Money
+		ok      bool
+	}
+	var best *verdict
+
+	for _, d := range candidates {
+		sys, err := stordep.Build(d)
+		if err != nil {
+			log.Fatalf("%s: %v", d.Name, err)
+		}
+		fmt.Printf("%s (outlays %v/yr)\n", d.Name, sys.Outlays().Total())
+		meets := true
+		for _, sc := range scenarios {
+			a, err := sys.Assess(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			obj := objectives[sc.DisplayName()]
+			ok := !a.WholeObjectLost && a.RecoveryTime <= obj.rto && a.DataLoss <= obj.rpo
+			meets = meets && ok
+			status := "meets"
+			if !ok {
+				status = "MISSES"
+			}
+			fmt.Printf("  %-13s RT %-9v DL %-9v -> %s RTO %v / RPO %v\n",
+				sc.DisplayName()+":", a.RecoveryTime.Round(time.Minute),
+				a.DataLoss.Round(time.Second), status, obj.rto, obj.rpo)
+		}
+		fmt.Println()
+		if meets {
+			v := verdict{design: d, outlays: sys.Outlays().Total(), ok: true}
+			if best == nil || v.outlays < best.outlays {
+				best = &v
+			}
+		}
+	}
+
+	if best == nil {
+		fmt.Println("No candidate meets the objectives; relax the RPO or add links.")
+		return
+	}
+	fmt.Printf("Cheapest conforming design: %s at %v/yr\n", best.design.Name, best.outlays)
+}

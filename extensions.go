@@ -1,0 +1,115 @@
+package stordep
+
+import (
+	"time"
+
+	"stordep/internal/core"
+	"stordep/internal/failure"
+	"stordep/internal/whatif"
+)
+
+// This file re-exports the framework's extensions beyond the paper's core
+// models: multi-object designs (§3.1.1's sketched extension),
+// degraded-mode evaluation and failure-frequency weighting (both §5
+// future work).
+
+// Multi-object designs.
+type (
+	// MultiDesign evaluates several data objects sharing one device fleet.
+	MultiDesign = core.MultiDesign
+	// ObjectSpec is one object: workload, protection, and the objects its
+	// recovery depends on.
+	ObjectSpec = core.ObjectSpec
+	// MultiSystem is a built multi-object design.
+	MultiSystem = core.MultiSystem
+	// ServiceAssessment is the business-service view of a failure: the
+	// critical-path recovery time over the object dependency DAG and the
+	// worst per-object loss.
+	ServiceAssessment = core.ServiceAssessment
+	// ObjectAssessment pairs one object's assessment with its effective
+	// (dependency-gated) recovery time.
+	ObjectAssessment = core.ObjectAssessment
+)
+
+// BuildMulti validates and builds a multi-object design.
+func BuildMulti(md *MultiDesign) (*MultiSystem, error) { return core.BuildMulti(md) }
+
+// What-if exploration.
+type (
+	// WhatIfResult is one candidate design's evaluation across scenarios.
+	WhatIfResult = whatif.Result
+	// Objectives bound worst-case recovery time (RTO) and loss (RPO).
+	Objectives = whatif.Objectives
+	// Frequencies gives failure scopes' expected occurrences per year.
+	Frequencies = whatif.Frequencies
+	// DegradedOutcome records how loss moves when a technique is down.
+	DegradedOutcome = whatif.DegradedOutcome
+)
+
+// EvaluateDesigns assesses every candidate under every scenario.
+func EvaluateDesigns(designs []*Design, scenarios []Scenario) ([]WhatIfResult, error) {
+	return whatif.Evaluate(designs, scenarios)
+}
+
+// RankDesigns orders results by ascending worst-scenario total cost.
+func RankDesigns(results []WhatIfResult) []WhatIfResult { return whatif.Rank(results) }
+
+// CheapestMeeting returns the lowest-outlay design meeting the RTO/RPO
+// objectives under every scenario.
+func CheapestMeeting(results []WhatIfResult, obj Objectives) (WhatIfResult, error) {
+	return whatif.Cheapest(results, obj)
+}
+
+// ExpectedAnnualCost returns outlays plus frequency-weighted expected
+// penalties for one result.
+func ExpectedAnnualCost(r WhatIfResult, freqs Frequencies) Money {
+	return whatif.ExpectedAnnualCost(r, freqs)
+}
+
+// TypicalFrequencies returns a plausible enterprise failure-frequency
+// prior (object corruption monthly ... regional disaster per 200 years).
+func TypicalFrequencies() Frequencies { return whatif.TypicalFrequencies() }
+
+// DegradedStudy evaluates a scenario with each protection level out of
+// service for each outage duration: the marginal exposure of running with
+// a broken technique.
+func DegradedStudy(d *Design, sc Scenario, outages []time.Duration) ([]DegradedOutcome, error) {
+	return whatif.DegradedStudy(d, sc, outages)
+}
+
+// Crossover binary-searches the hourly penalty rate at which design B's
+// total cost under the scenario first drops below design A's — the
+// sensitivity analysis behind Table 7's "ironic" thin-pipe conclusion.
+func Crossover(a, b *Design, sc Scenario, maxPerHour, tolPerHour float64) (float64, error) {
+	return whatif.Crossover(a, b, sc, maxPerHour, tolPerHour)
+}
+
+// ParetoFrontier returns the non-dominated designs for the scenario at
+// the given index, sorted by ascending outlays.
+func ParetoFrontier(results []WhatIfResult, scenarioIndex int) []whatif.Point {
+	return whatif.Pareto(results, scenarioIndex)
+}
+
+// RankByExpectedCost orders designs by frequency-weighted expected annual
+// cost.
+func RankByExpectedCost(results []WhatIfResult, freqs Frequencies) []whatif.ExpectedRanking {
+	return whatif.RankExpected(results, freqs)
+}
+
+// Compile-time checks that the façade's aliases stay assignable to the
+// internal types they re-export.
+var (
+	_ = failure.Scenario(Scenario{})
+	_ = core.Design(Design{})
+)
+
+// SensitivityRow is one input's tornado bar: scenario total cost with the
+// input scaled down and up.
+type SensitivityRow = whatif.SensitivityRow
+
+// SensitivityStudy scales each model input (capacity, rates, burstiness,
+// penalty rates) down and up by swing and reports the scenario total cost
+// movement, widest bar first — which estimate the answer hinges on.
+func SensitivityStudy(d *Design, sc Scenario, swing float64) ([]SensitivityRow, error) {
+	return whatif.Sensitivity(d, sc, swing)
+}

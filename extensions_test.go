@@ -1,0 +1,143 @@
+package stordep_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"stordep"
+)
+
+func TestFacadeWhatIfPipeline(t *testing.T) {
+	scenarios := []stordep.Scenario{
+		{Scope: stordep.ScopeArray},
+		{Scope: stordep.ScopeSite},
+	}
+	results, err := stordep.EvaluateDesigns(stordep.WhatIfDesigns(), scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := stordep.CheapestMeeting(results, stordep.Objectives{
+		RTO: 48 * time.Hour, RPO: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Design != "AsyncB mirror, 1 link(s)" {
+		t.Errorf("cheapest = %s", best.Design)
+	}
+	exp := stordep.ExpectedAnnualCost(results[0], stordep.TypicalFrequencies())
+	if exp <= results[0].Outlays {
+		t.Errorf("expected cost %v should exceed outlays %v", exp, results[0].Outlays)
+	}
+	ranked := stordep.RankByExpectedCost(results, stordep.TypicalFrequencies())
+	if len(ranked) != len(results) {
+		t.Errorf("rankings = %d", len(ranked))
+	}
+	frontier := stordep.ParetoFrontier(results, 1)
+	if len(frontier) == 0 {
+		t.Error("empty frontier")
+	}
+}
+
+func TestFacadeDegradedStudy(t *testing.T) {
+	rows, err := stordep.DegradedStudy(stordep.WhatIfDesigns()[0],
+		stordep.Scenario{Scope: stordep.ScopeArray},
+		[]time.Duration{stordep.Week})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestFacadeCrossover(t *testing.T) {
+	ds := stordep.WhatIfDesigns()
+	rate, err := stordep.Crossover(ds[5], ds[6],
+		stordep.Scenario{Scope: stordep.ScopeSite}, 2_000_000, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 50_000 {
+		t.Errorf("crossover %v should be above the case study's $50k/hr", rate)
+	}
+}
+
+func TestFacadeTuneExhaustive(t *testing.T) {
+	sol, err := stordep.TuneExhaustive(stordep.WhatIfDesigns()[5],
+		[]stordep.Knob{stordep.LinkCountKnob(stordep.NameWANLinks, []int{1, 2, 4})},
+		[]stordep.Scenario{{Scope: stordep.ScopeArray}, {Scope: stordep.ScopeSite}},
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Evaluations != 3 {
+		t.Errorf("evaluations = %d", sol.Evaluations)
+	}
+	if sol.Choices[0].Option != "2 links" {
+		t.Errorf("choice = %s", sol.Choices[0].Option)
+	}
+}
+
+func TestFacadeWorkloadPresets(t *testing.T) {
+	for _, w := range []*stordep.Workload{
+		stordep.OLTPWorkload(500 * stordep.GB),
+		stordep.FileServerWorkload(stordep.TB),
+		stordep.WarehouseWorkload(10 * stordep.TB),
+	} {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+	merged, err := stordep.MergeWorkloads("all",
+		stordep.OLTPWorkload(500*stordep.GB),
+		stordep.FileServerWorkload(stordep.TB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(merged.DataCap-1524*stordep.GB)) > 1 {
+		t.Errorf("merged cap = %v", merged.DataCap)
+	}
+}
+
+func TestFacadeCloneDesign(t *testing.T) {
+	d := stordep.WhatIfDesigns()[0]
+	clone, err := stordep.CloneDesign(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone.Name = "mutated"
+	if d.Name == "mutated" {
+		t.Error("clone aliased original")
+	}
+}
+
+func TestFacadeBuildMulti(t *testing.T) {
+	base := stordep.WhatIfDesigns()[0]
+	md := &stordep.MultiDesign{
+		Name:         "svc",
+		Requirements: base.Requirements,
+		Devices:      base.Devices,
+		Facility:     base.Facility,
+		Objects: []stordep.ObjectSpec{
+			{
+				Name:     "only",
+				Workload: stordep.Cello(),
+				Primary:  &stordep.Primary{Array: stordep.NameDiskArray},
+				Levels:   base.Levels,
+			},
+		},
+	}
+	ms, err := stordep.BuildMulti(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := ms.Assess(stordep.Scenario{Scope: stordep.ScopeArray})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.DataLoss != 217*time.Hour {
+		t.Errorf("single-object service loss = %v", sa.DataLoss)
+	}
+}

@@ -1,0 +1,3 @@
+module stordep
+
+go 1.22

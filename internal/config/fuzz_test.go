@@ -1,0 +1,46 @@
+package config
+
+import (
+	"testing"
+
+	"stordep/internal/casestudy"
+	"stordep/internal/core"
+)
+
+// FuzzUnmarshal checks the decoder never panics on arbitrary input and
+// that anything it accepts either validates cleanly or fails with a
+// regular error — no crashes deeper in the pipeline.
+func FuzzUnmarshal(f *testing.F) {
+	for _, d := range casestudy.WhatIfDesigns() {
+		data, err := Marshal(d)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"workload":{"dataCap":"-5GB","avgAccessRate":"1MB/s","avgUpdateRate":"1MB/s"}}`))
+	f.Add([]byte(`{"levels":[{"type":"mirror","mode":"sync","policy":{"accW":"1h","retCnt":1,"retW":"1h"}}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must round-trip without panicking; designs
+		// that pass validation must also build.
+		if _, err := Marshal(d); err != nil {
+			if d.Workload != nil && d.Primary != nil {
+				t.Fatalf("decoded design does not re-encode: %v", err)
+			}
+			return
+		}
+		if d.Validate() == nil {
+			if _, err := core.Build(d); err != nil {
+				// Build may still reject on device overload; that is a
+				// regular error, not a bug.
+				t.Logf("build rejected validated design: %v", err)
+			}
+		}
+	})
+}

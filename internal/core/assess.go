@@ -1,0 +1,299 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"stordep/internal/cost"
+	"stordep/internal/device"
+	"stordep/internal/failure"
+	"stordep/internal/hierarchy"
+	"stordep/internal/protect"
+	"stordep/internal/recovery"
+	"stordep/internal/units"
+)
+
+// Assessment is the full dependability evaluation of a design under one
+// failure scenario: the four output metrics of Table 1 plus the resolved
+// recovery plan.
+type Assessment struct {
+	// Scenario is the evaluated failure.
+	Scenario failure.Scenario
+	// Utilization is the normal-mode system utilization (scenario-
+	// independent, repeated here for self-contained reports).
+	Utilization Utilization
+	// Plan is the resolved recovery path. For an unrecoverable scenario
+	// Plan.SourceLevel is 0 and Steps is empty.
+	Plan recovery.Plan
+	// RecoveryTime is the worst-case time until the application runs
+	// again (units.Forever when unrecoverable).
+	RecoveryTime time.Duration
+	// DataLoss is the worst-case recent data loss (units.Forever when the
+	// whole object is lost).
+	DataLoss time.Duration
+	// WholeObjectLost reports the §3.3.3 third case: no surviving level
+	// retained a usable RP.
+	WholeObjectLost bool
+	// Cost is the overall cost: annual outlays plus scenario penalties.
+	Cost cost.Summary
+	// Warnings carries the design's soft-convention violations.
+	Warnings []string
+}
+
+// deviceState resolves what serves in a device's role after a failure:
+// the device itself, its spare, or facility replacement hardware.
+type deviceState struct {
+	name      string
+	placement failure.Placement
+	// provision is the parallelizable fixed delay before the device (or
+	// its replacement) is usable.
+	provision time.Duration
+	// avail is the bandwidth available for recovery transfers.
+	avail units.Rate
+	// delay is the device's fixed access delay (tape load and seek).
+	delay time.Duration
+	// replaced reports that spare or facility hardware stands in.
+	replaced bool
+}
+
+// errNoReplacement marks a failed device with no surviving spare and no
+// usable facility: recovery through it is impossible.
+var errNoReplacement = errors.New("core: device lost with no surviving replacement")
+
+// resolveDevice determines the post-failure state of the named device
+// under the scenario. Intact devices offer their normal-mode available
+// bandwidth (recovery transfers are "limited to the remaining bandwidth
+// after any RP propagation workload demands have been satisfied",
+// §3.3.4); replacements are fresh and offer full device bandwidth after
+// their provisioning delay.
+func (s *System) resolveDevice(name string, sc failure.Scenario) (deviceState, error) {
+	pd, ok := s.design.placedDevice(name)
+	if !ok {
+		return deviceState{}, fmt.Errorf("%w: %q", ErrUnknownLevel, name)
+	}
+	at := s.design.PrimaryPlacement()
+	if pd.Placement.Survives(sc.Scope, at) {
+		dev := s.devices[name]
+		return deviceState{
+			name:      name,
+			placement: pd.Placement,
+			avail:     dev.AvailableBandwidth(),
+			delay:     pd.Spec.Delay,
+		}, nil
+	}
+	if pd.Spec.HasSpare() && pd.effectiveSparePlacement().Survives(sc.Scope, at) {
+		return deviceState{
+			name:      name + " (spare)",
+			placement: pd.effectiveSparePlacement(),
+			provision: pd.Spec.Spare.ProvisionTime,
+			avail:     pd.Spec.MaxBandwidth(),
+			delay:     pd.Spec.Delay,
+			replaced:  true,
+		}, nil
+	}
+	if f := s.design.Facility; f != nil && f.Placement.Survives(sc.Scope, at) {
+		return deviceState{
+			name:      name + " (facility)",
+			placement: f.Placement,
+			provision: f.ProvisionTime,
+			avail:     pd.Spec.MaxBandwidth(),
+			delay:     pd.Spec.Delay,
+			replaced:  true,
+		}, nil
+	}
+	return deviceState{}, fmt.Errorf("%w: %q under %s failure", errNoReplacement, name, sc.Scope)
+}
+
+// Assess evaluates the design under a failure scenario. Scenarios the
+// design cannot recover from produce an Assessment with WholeObjectLost
+// or infinite recovery time rather than an error; errors indicate invalid
+// input.
+func (s *System) Assess(sc failure.Scenario) (*Assessment, error) {
+	return s.assessWithChain(sc, s.chain)
+}
+
+// AssessDegraded evaluates the scenario in degraded mode: the named
+// protection level has been out of service for the outage duration when
+// the failure strikes (§5 future work). RPs downstream of the degraded
+// level are correspondingly staler, raising the worst-case loss.
+func (s *System) AssessDegraded(sc failure.Scenario, levelName string, outage time.Duration) (*Assessment, error) {
+	idx := s.chain.Index(levelName)
+	if idx == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownLevel, levelName)
+	}
+	chain, err := s.chain.Degraded(idx, outage)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return s.assessWithChain(sc, chain)
+}
+
+func (s *System) assessWithChain(sc failure.Scenario, chain hierarchy.Chain) (*Assessment, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Assessment{
+		Scenario:    sc,
+		Utilization: s.Utilization(),
+		Warnings:    s.Warnings(),
+	}
+	surviving := s.SurvivingLevels(sc)
+	cand, err := recovery.SelectSource(chain, surviving, sc.TargetAge)
+	if err != nil {
+		if errors.Is(err, recovery.ErrUnrecoverable) {
+			s.finishLost(a)
+			return a, nil
+		}
+		return nil, err
+	}
+	tech := s.design.Levels[cand.Level-1]
+	steps, err := s.recoverySteps(tech, sc)
+	if err != nil {
+		if errors.Is(err, errNoReplacement) {
+			// The data exists but nothing can read or receive it.
+			s.finishLost(a)
+			return a, nil
+		}
+		return nil, err
+	}
+	a.Plan = recovery.Plan{
+		SourceLevel: cand.Level,
+		SourceName:  tech.Name(),
+		Loss:        cand.Loss,
+		Steps:       steps,
+	}
+	a.RecoveryTime = a.Plan.Time()
+	a.DataLoss = cand.Loss
+	a.Cost = cost.Summary{
+		Outlays:   s.outlays,
+		Penalties: cost.Assess(s.design.Requirements, a.RecoveryTime, a.DataLoss),
+	}
+	return a, nil
+}
+
+// finishLost fills an assessment for the whole-object-lost case: both
+// recovery time and loss are unbounded, and so are the penalties.
+func (s *System) finishLost(a *Assessment) {
+	a.WholeObjectLost = true
+	a.RecoveryTime = units.Forever
+	a.DataLoss = units.Forever
+	a.Cost = cost.Summary{
+		Outlays:   s.outlays,
+		Penalties: cost.Assess(s.design.Requirements, units.Forever, units.Forever),
+	}
+}
+
+// recoverySteps builds the recovery path from the chosen source level to
+// the primary copy, skipping intermediate levels that would only add
+// latency (§3.2: the recovery-path optimization). The path has at most two
+// hops: a media-return hop when retained media must travel back to a
+// reader (vault -> tape library), then the data transfer into the
+// (possibly replaced) primary array.
+func (s *System) recoverySteps(tech protect.Technique, sc failure.Scenario) ([]recovery.Step, error) {
+	dest, err := s.resolveDevice(s.design.Primary.Array, sc)
+	if err != nil {
+		return nil, err
+	}
+	readName := tech.ReadDevice()
+	if ms, ok := tech.(protect.MultiSited); ok {
+		// Multi-sited reconstruction streams from a surviving fragment
+		// site; source selection already verified the threshold holds.
+		if sites := s.survivingCopySites(ms, sc); len(sites) > 0 {
+			readName = sites[0]
+		}
+	}
+	read, err := s.resolveDevice(readName, sc)
+	if err != nil {
+		return nil, err
+	}
+
+	var steps []recovery.Step
+
+	// Media-return hop: retained media live on a different device than the
+	// one that reads them (vaulted tapes -> library). The transport's
+	// fixed delay (shipment transit) serializes ahead of everything that
+	// needs the data.
+	transport, hasTransport := s.transportSpec(tech)
+	if tech.CopyDevice() != tech.ReadDevice() {
+		var transit time.Duration
+		if hasTransport {
+			transit = transport.Delay
+		}
+		steps = append(steps, recovery.Step{
+			Name:   fmt.Sprintf("%s -> %s", tech.CopyDevice(), read.name),
+			SerFix: transit,
+		})
+	}
+
+	size := sc.RecoverSize
+	if size <= 0 {
+		size = tech.RestoreSize(s.design.Workload)
+	}
+
+	xfer := recovery.Step{
+		Name:   fmt.Sprintf("%s -> %s", read.name, dest.name),
+		ParFix: maxDuration(read.provision, dest.provision),
+		SerFix: read.delay,
+		Size:   size,
+	}
+	switch {
+	case read.name == dest.name && !dest.replaced:
+		// Intra-array copy: reads and writes share one enclosure, halving
+		// the effective rate (reproduces the 0.004 s object recovery).
+		xfer.Bandwidth = dest.avail / 2
+	default:
+		xfer.Bandwidth = minRate(read.avail, dest.avail)
+		// A network interconnect caps the rate and adds its propagation
+		// delay when the transfer crosses sites.
+		if hasTransport && transport.Kind == device.KindInterconnect &&
+			read.placement.Site != dest.placement.Site {
+			if links := s.devices[transport.Name]; links != nil {
+				xfer.Bandwidth = minRate(xfer.Bandwidth, links.AvailableBandwidth())
+			}
+			xfer.SerFix += transport.Delay
+		}
+	}
+	steps = append(steps, xfer)
+	return steps, nil
+}
+
+// transportSpec returns the spec of the technique's transport device.
+func (s *System) transportSpec(tech protect.Technique) (device.Spec, bool) {
+	name := tech.TransportDevice()
+	if name == "" {
+		return device.Spec{}, false
+	}
+	pd, ok := s.design.placedDevice(name)
+	if !ok {
+		return device.Spec{}, false
+	}
+	return pd.Spec, true
+}
+
+// AssessAll evaluates every scenario, in order.
+func (s *System) AssessAll(scs []failure.Scenario) ([]*Assessment, error) {
+	out := make([]*Assessment, 0, len(scs))
+	for _, sc := range scs {
+		a, err := s.Assess(sc)
+		if err != nil {
+			return nil, fmt.Errorf("core: scenario %s: %w", sc.DisplayName(), err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minRate(a, b units.Rate) units.Rate {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"stordep/internal/cost"
+	"stordep/internal/device"
+	"stordep/internal/failure"
+	"stordep/internal/protect"
+	"stordep/internal/units"
+	"stordep/internal/workload"
+)
+
+// ObjectSpec is one data object in a multi-object design: its workload,
+// primary copy, protection levels, and the objects whose recovery must
+// complete before this one can begin (§3.1.1: "inter-object dependencies
+// during recovery" — an application's data volume is useless before its
+// catalog volume is back).
+type ObjectSpec struct {
+	Name      string
+	Workload  *workload.Workload
+	Primary   *protect.Primary
+	Levels    []protect.Technique
+	DependsOn []string
+}
+
+// MultiDesign extends Design to several data objects sharing one device
+// fleet, the extension §3.1.1 sketches: each object's demands are tracked
+// explicitly, utilization aggregates across objects, and recovery honors
+// inter-object dependencies.
+type MultiDesign struct {
+	Name         string
+	Requirements cost.Requirements
+	Devices      []PlacedDevice
+	Facility     *Facility
+	Objects      []ObjectSpec
+}
+
+// Multi-design validation errors.
+var (
+	ErrNoObjects   = errors.New("core: multi design needs at least one object")
+	ErrDupObject   = errors.New("core: duplicate object name")
+	ErrDupTech     = errors.New("core: technique instance names must be unique across objects")
+	ErrUnknownDep  = errors.New("core: dependency on unknown object")
+	ErrDependCycle = errors.New("core: object dependencies form a cycle")
+)
+
+// Validate checks the multi design: every object forms a valid
+// single-object design over the shared fleet, technique names are
+// globally unique (required for demand attribution), and the dependency
+// graph is acyclic.
+func (md *MultiDesign) Validate() error {
+	if len(md.Objects) == 0 {
+		return ErrNoObjects
+	}
+	names := make(map[string]bool, len(md.Objects))
+	techNames := make(map[string]bool)
+	for _, obj := range md.Objects {
+		if obj.Name == "" {
+			return fmt.Errorf("%w: object with empty name", ErrDupObject)
+		}
+		if names[obj.Name] {
+			return fmt.Errorf("%w: %q", ErrDupObject, obj.Name)
+		}
+		names[obj.Name] = true
+		for _, tech := range obj.Levels {
+			if techNames[tech.Name()] {
+				return fmt.Errorf("%w: %q (set InstanceName per object)", ErrDupTech, tech.Name())
+			}
+			techNames[tech.Name()] = true
+		}
+		if err := md.objectDesign(obj).Validate(); err != nil {
+			return fmt.Errorf("core: object %s: %w", obj.Name, err)
+		}
+	}
+	for _, obj := range md.Objects {
+		for _, dep := range obj.DependsOn {
+			if !names[dep] {
+				return fmt.Errorf("%w: %s -> %q", ErrUnknownDep, obj.Name, dep)
+			}
+		}
+	}
+	return md.checkAcyclic()
+}
+
+// checkAcyclic rejects dependency cycles via iterative DFS coloring.
+func (md *MultiDesign) checkAcyclic() error {
+	deps := make(map[string][]string, len(md.Objects))
+	for _, obj := range md.Objects {
+		deps[obj.Name] = obj.DependsOn
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(deps))
+	var visit func(string) error
+	visit = func(n string) error {
+		switch color[n] {
+		case gray:
+			return fmt.Errorf("%w (at %q)", ErrDependCycle, n)
+		case black:
+			return nil
+		}
+		color[n] = gray
+		for _, d := range deps[n] {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	for _, obj := range md.Objects {
+		if err := visit(obj.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// objectDesign synthesizes the single-object view of one object over the
+// shared fleet. The per-object design shares the fleet slice; demands are
+// still applied on the shared devices by BuildMulti.
+func (md *MultiDesign) objectDesign(obj ObjectSpec) *Design {
+	return &Design{
+		Name:         fmt.Sprintf("%s/%s", md.Name, obj.Name),
+		Workload:     obj.Workload,
+		Requirements: md.Requirements,
+		Devices:      md.Devices,
+		Primary:      obj.Primary,
+		Levels:       obj.Levels,
+		Facility:     md.Facility,
+	}
+}
+
+// MultiSystem is a built multi-object design: one shared device fleet
+// carrying every object's demands, with a per-object System view for
+// assessment.
+type MultiSystem struct {
+	design  *MultiDesign
+	devices protect.DeviceMap
+	objects map[string]*System
+	order   []string
+	outlays cost.Outlays
+}
+
+// BuildMulti validates the design, applies every object's demands to the
+// shared fleet, and checks aggregate utilization — the point of the
+// multi-object extension: two objects that fit individually can overload
+// a shared array together.
+func BuildMulti(md *MultiDesign) (*MultiSystem, error) {
+	if err := md.Validate(); err != nil {
+		return nil, err
+	}
+	devs := make(protect.DeviceMap, len(md.Devices))
+	ordered := make([]*device.Device, 0, len(md.Devices))
+	for _, pd := range md.Devices {
+		dev, err := device.New(pd.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		devs[pd.Spec.Name] = dev
+		ordered = append(ordered, dev)
+	}
+	ms := &MultiSystem{
+		design:  md,
+		devices: devs,
+		objects: make(map[string]*System, len(md.Objects)),
+	}
+	for _, obj := range md.Objects {
+		d := md.objectDesign(obj)
+		if err := d.Primary.ApplyDemands(d.Workload, devs); err != nil {
+			return nil, fmt.Errorf("core: object %s: %w", obj.Name, err)
+		}
+		for i, tech := range d.Levels {
+			if err := tech.ApplyDemands(d.Workload, devs); err != nil {
+				return nil, fmt.Errorf("core: object %s level %d: %w", obj.Name, i+1, err)
+			}
+		}
+		ms.objects[obj.Name] = &System{
+			design:  d,
+			devices: devs,
+			chain:   d.Chain(),
+		}
+		ms.order = append(ms.order, obj.Name)
+	}
+	for _, dev := range ordered {
+		if err := dev.Check(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	// Outlays are computed once over the shared fleet; facility retainer
+	// piggybacks on the first object's placement view (the fleet and
+	// facility are shared).
+	ms.outlays = collectOutlays(md.objectDesign(md.Objects[0]), ordered)
+	for name := range ms.objects {
+		ms.objects[name].outlays = ms.outlays
+	}
+	return ms, nil
+}
+
+// Object returns the per-object System view (shared devices, own chain).
+func (ms *MultiSystem) Object(name string) *System { return ms.objects[name] }
+
+// Objects returns the object names in design order.
+func (ms *MultiSystem) Objects() []string {
+	out := make([]string, len(ms.order))
+	copy(out, ms.order)
+	return out
+}
+
+// Outlays returns the fleet-wide annualized outlays.
+func (ms *MultiSystem) Outlays() cost.Outlays { return ms.outlays }
+
+// Utilization aggregates normal-mode utilization across all objects.
+func (ms *MultiSystem) Utilization() Utilization {
+	// Any object's System sees the shared devices; use the first.
+	return ms.objects[ms.order[0]].Utilization()
+}
+
+// ObjectAssessment pairs an object with its assessment and its effective
+// recovery time once dependencies are honored.
+type ObjectAssessment struct {
+	Object string
+	*Assessment
+	// EffectiveRT is when the object is back in service: its own recovery
+	// time after every dependency has recovered. Independent objects
+	// recover in parallel; dependent ones serialize.
+	EffectiveRT time.Duration
+}
+
+// ServiceAssessment is the business-service view of a multi-object
+// failure: the service runs again only when every object is back.
+type ServiceAssessment struct {
+	Scenario failure.Scenario
+	Objects  []ObjectAssessment
+	// RecoveryTime is the critical path over the dependency DAG.
+	RecoveryTime time.Duration
+	// DataLoss is the worst per-object loss (a service is as stale as its
+	// stalest object).
+	DataLoss time.Duration
+	// Cost totals fleet outlays and service-level penalties.
+	Cost cost.Summary
+}
+
+// Assess evaluates the scenario for every object and composes the
+// service-level metrics along the dependency DAG.
+func (ms *MultiSystem) Assess(sc failure.Scenario) (*ServiceAssessment, error) {
+	perObject := make(map[string]*Assessment, len(ms.order))
+	for _, name := range ms.order {
+		a, err := ms.objects[name].Assess(sc)
+		if err != nil {
+			return nil, fmt.Errorf("core: object %s: %w", name, err)
+		}
+		perObject[name] = a
+	}
+	deps := make(map[string][]string, len(ms.design.Objects))
+	for _, obj := range ms.design.Objects {
+		deps[obj.Name] = obj.DependsOn
+	}
+	// Effective RT via memoized longest path (the DAG was validated
+	// acyclic at build time).
+	memo := make(map[string]time.Duration, len(ms.order))
+	var effective func(string) time.Duration
+	effective = func(name string) time.Duration {
+		if rt, ok := memo[name]; ok {
+			return rt
+		}
+		var gate time.Duration
+		for _, d := range deps[name] {
+			if rt := effective(d); rt > gate {
+				gate = rt
+			}
+		}
+		own := perObject[name].RecoveryTime
+		rt := units.Forever
+		if own != units.Forever && gate != units.Forever {
+			rt = gate + own
+		}
+		memo[name] = rt
+		return rt
+	}
+
+	out := &ServiceAssessment{Scenario: sc}
+	for _, name := range ms.order {
+		a := perObject[name]
+		eff := effective(name)
+		out.Objects = append(out.Objects, ObjectAssessment{
+			Object:      name,
+			Assessment:  a,
+			EffectiveRT: eff,
+		})
+		if eff > out.RecoveryTime {
+			out.RecoveryTime = eff
+		}
+		if a.DataLoss > out.DataLoss {
+			out.DataLoss = a.DataLoss
+		}
+	}
+	out.Cost = cost.Summary{
+		Outlays:   ms.outlays,
+		Penalties: cost.Assess(ms.design.Requirements, out.RecoveryTime, out.DataLoss),
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"stordep/internal/casestudy"
+	"stordep/internal/core"
+	"stordep/internal/failure"
+	"stordep/internal/protect"
+	"stordep/internal/units"
+)
+
+// Property: data loss is monotone non-decreasing in failure blast radius
+// for the baseline design (each wider scope destroys a superset of
+// copies).
+func TestLossMonotoneInScopeProperty(t *testing.T) {
+	sys, err := core.Build(casestudy.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scopes := []failure.Scope{
+		failure.ScopeObject, failure.ScopeArray, failure.ScopeBuilding,
+		failure.ScopeSite, failure.ScopeRegion,
+	}
+	var prev time.Duration
+	for _, scope := range scopes {
+		a, err := sys.Assess(failure.Scenario{Scope: scope})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.DataLoss < prev {
+			t.Errorf("loss shrank at scope %v: %v < %v", scope, a.DataLoss, prev)
+		}
+		prev = a.DataLoss
+	}
+}
+
+// Property: recovery time grows with the data capacity being restored
+// (transfers dominate), for any capacity scale that still fits.
+func TestRTMonotoneInCapacityProperty(t *testing.T) {
+	rt := func(scale float64) (time.Duration, bool) {
+		d := casestudy.Baseline()
+		w, err := d.Workload.Scale(scale)
+		if err != nil {
+			return 0, false
+		}
+		d.Workload = w
+		sys, err := core.Build(d)
+		if err != nil {
+			return 0, false
+		}
+		a, err := sys.Assess(failure.Scenario{Scope: failure.ScopeArray})
+		if err != nil {
+			return 0, false
+		}
+		return a.RecoveryTime, true
+	}
+	f := func(a, b uint8) bool {
+		// Scales in (0, 1.1]: the baseline sits at 87% capacity already.
+		s1 := float64(a%100+1) / 100.0
+		s2 := float64(b%100+1) / 100.0
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		t1, ok1 := rt(s1)
+		t2, ok2 := rt(s2)
+		if !ok1 || !ok2 {
+			return false
+		}
+		return t1 <= t2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: outlays are monotone in mirror retention count.
+func TestOutlaysMonotoneInRetentionProperty(t *testing.T) {
+	outlays := func(ret int) (units.Money, bool) {
+		d := casestudy.Baseline()
+		pol := casestudy.SplitMirrorPolicy()
+		pol.RetCnt = ret
+		pol.RetW = time.Duration(ret) * pol.Primary.AccW
+		d.Levels[0] = &protect.SplitMirror{Array: "disk-array", Pol: pol}
+		sys, err := core.Build(d)
+		if err != nil {
+			return 0, false
+		}
+		return sys.Outlays().Total(), true
+	}
+	f := func(a, b uint8) bool {
+		r1, r2 := int(a%4)+1, int(b%4)+1
+		if r1 > r2 {
+			r1, r2 = r2, r1
+		}
+		o1, ok1 := outlays(r1)
+		o2, ok2 := outlays(r2)
+		return ok1 && ok2 && o1 <= o2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: penalties are linear in the penalty rates: doubling both
+// rates doubles every scenario's penalties, leaving outlays unchanged.
+func TestPenaltyLinearityProperty(t *testing.T) {
+	f := func(mult uint8) bool {
+		m := float64(mult%10) + 1
+		base := casestudy.Baseline()
+		scaled := casestudy.Baseline()
+		scaled.Requirements.UnavailPenaltyRate *= units.PenaltyRate(m)
+		scaled.Requirements.LossPenaltyRate *= units.PenaltyRate(m)
+		sysBase, err := core.Build(base)
+		if err != nil {
+			return false
+		}
+		sysScaled, err := core.Build(scaled)
+		if err != nil {
+			return false
+		}
+		for _, sc := range failure.CaseStudyScenarios() {
+			a1, err := sysBase.Assess(sc)
+			if err != nil {
+				return false
+			}
+			a2, err := sysScaled.Assess(sc)
+			if err != nil {
+				return false
+			}
+			diff := float64(a2.Cost.Penalties.Total()) - m*float64(a1.Cost.Penalties.Total())
+			if diff < -1 || diff > 1 {
+				return false
+			}
+			if a1.Cost.Outlays.Total() != a2.Cost.Outlays.Total() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: degraded loss equals healthy loss plus the outage for every
+// outage length, whenever the degraded level is on the recovery path.
+func TestDegradedShiftExactProperty(t *testing.T) {
+	sys, err := core.Build(casestudy.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := failure.Scenario{Scope: failure.ScopeArray}
+	healthy, err := sys.Assess(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(hours uint16) bool {
+		outage := time.Duration(hours) * time.Hour
+		a, err := sys.AssessDegraded(sc, "backup", outage)
+		if err != nil {
+			return false
+		}
+		return a.DataLoss == healthy.DataLoss+outage
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

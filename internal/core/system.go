@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+
+	"stordep/internal/cost"
+	"stordep/internal/device"
+	"stordep/internal/failure"
+	"stordep/internal/hierarchy"
+	"stordep/internal/protect"
+	"stordep/internal/units"
+)
+
+// System is a built design: devices carry their normal-mode demands, the
+// hierarchy chain is assembled, and outlays are collected. Build once,
+// then Assess against any number of failure scenarios.
+type System struct {
+	design  *Design
+	devices protect.DeviceMap
+	chain   hierarchy.Chain
+	outlays cost.Outlays
+}
+
+// Build validates the design, instantiates its devices, applies every
+// technique's normal-mode demands, and verifies the configuration can
+// carry them (the global half of §3.3.1 — any device over 100% utilization
+// is a design error).
+func Build(d *Design) (*System, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	devs := make(protect.DeviceMap, len(d.Devices))
+	ordered := make([]*device.Device, 0, len(d.Devices))
+	for _, pd := range d.Devices {
+		dev, err := device.New(pd.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		devs[pd.Spec.Name] = dev
+		ordered = append(ordered, dev)
+	}
+	if err := d.Primary.ApplyDemands(d.Workload, devs); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	for i, tech := range d.Levels {
+		if err := tech.ApplyDemands(d.Workload, devs); err != nil {
+			return nil, fmt.Errorf("core: level %d (%s): %w", i+1, tech.Name(), err)
+		}
+	}
+	for _, dev := range ordered {
+		if err := dev.Check(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	sys := &System{
+		design:  d,
+		devices: devs,
+		chain:   d.Chain(),
+		outlays: collectOutlays(d, ordered),
+	}
+	return sys, nil
+}
+
+// collectOutlays gathers device outlays plus the shared recovery
+// facility's retainer (CostFactor x the base outlays of the devices at the
+// primary site, which the facility must be able to replace).
+func collectOutlays(d *Design, ordered []*device.Device) cost.Outlays {
+	out := cost.CollectOutlays(ordered)
+	if d.Facility == nil || d.Facility.CostFactor == 0 {
+		return out
+	}
+	primarySite := d.PrimaryPlacement().Site
+	var covered units.Money
+	for _, it := range out.Items {
+		if pd, ok := d.placedDevice(it.Device); ok && pd.Placement.Site != "" && pd.Placement.Site == primarySite {
+			covered += it.Base
+		}
+	}
+	if covered > 0 {
+		out.Items = append(out.Items, cost.OutlayItem{
+			Device:    "recovery-facility",
+			Technique: "recovery-facility",
+			Base:      units.Money(d.Facility.CostFactor) * covered,
+		})
+	}
+	return out
+}
+
+// Design returns the built design.
+func (s *System) Design() *Design { return s.design }
+
+// Chain returns the assembled hierarchy.
+func (s *System) Chain() hierarchy.Chain { return s.chain }
+
+// Outlays returns the design's annualized outlays.
+func (s *System) Outlays() cost.Outlays { return s.outlays }
+
+// Device returns the named built device (with demands applied), or nil.
+func (s *System) Device(name string) *device.Device { return s.devices[name] }
+
+// Devices returns the built devices in design order.
+func (s *System) Devices() []*device.Device {
+	out := make([]*device.Device, 0, len(s.design.Devices))
+	for _, pd := range s.design.Devices {
+		out = append(out, s.devices[pd.Spec.Name])
+	}
+	return out
+}
+
+// Warnings reports the design's soft-convention violations (§3.2.1).
+func (s *System) Warnings() []string { return s.chain.Warnings() }
+
+// DeviceUtilization is the per-device, per-technique normal-mode
+// utilization (the rows of Table 5).
+type DeviceUtilization struct {
+	Device string
+	Rows   []device.TechUtilization
+	// Overall utilization of the device across techniques.
+	BWUtil  float64
+	CapUtil float64
+	// Absolute totals for the Table 5 parentheticals.
+	Bandwidth units.Rate
+	Capacity  units.ByteSize
+}
+
+// Utilization is the global normal-mode utilization: that of the most
+// heavily utilized device in each dimension (§3.3.1).
+type Utilization struct {
+	// BW and Cap are the system utilizations (max over devices).
+	BW  float64
+	Cap float64
+	// BWDevice and CapDevice name the binding devices.
+	BWDevice  string
+	CapDevice string
+	// PerDevice holds the detailed breakdown.
+	PerDevice []DeviceUtilization
+}
+
+// Utilization computes the normal-mode utilization report.
+func (s *System) Utilization() Utilization {
+	var u Utilization
+	for _, dev := range s.Devices() {
+		du := DeviceUtilization{
+			Device:    dev.Name(),
+			Rows:      dev.Utilizations(),
+			BWUtil:    dev.BWUtil(),
+			CapUtil:   dev.CapUtil(),
+			Bandwidth: dev.TotalBandwidth(),
+			Capacity:  dev.TotalCapacity(),
+		}
+		u.PerDevice = append(u.PerDevice, du)
+		if du.BWUtil > u.BW {
+			u.BW, u.BWDevice = du.BWUtil, du.Device
+		}
+		if du.CapUtil > u.Cap {
+			u.Cap, u.CapDevice = du.CapUtil, du.Device
+		}
+	}
+	return u
+}
+
+// SurvivingLevels returns the 1-based indices of hierarchy levels whose
+// copy devices outlive the scenario, in level order. Multi-sited
+// techniques (protect.MultiSited, e.g. erasure coding) survive when at
+// least their threshold of copy devices does.
+func (s *System) SurvivingLevels(sc failure.Scenario) []int {
+	at := s.design.PrimaryPlacement()
+	var out []int
+	for i, tech := range s.design.Levels {
+		if ms, ok := tech.(protect.MultiSited); ok {
+			if len(s.survivingCopySites(ms, sc)) >= ms.SurvivalThreshold() {
+				out = append(out, i+1)
+			}
+			continue
+		}
+		pd, ok := s.design.placedDevice(tech.CopyDevice())
+		if !ok {
+			continue
+		}
+		if pd.Placement.Survives(sc.Scope, at) {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}
+
+// survivingCopySites lists a multi-sited technique's copy devices that
+// outlive the scenario.
+func (s *System) survivingCopySites(ms protect.MultiSited, sc failure.Scenario) []string {
+	at := s.design.PrimaryPlacement()
+	var out []string
+	for _, name := range ms.CopyDevices() {
+		if pd, ok := s.design.placedDevice(name); ok && pd.Placement.Survives(sc.Scope, at) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// TechniqueNames returns the design's technique names, primary copy first
+// then level order — used by reports.
+func (s *System) TechniqueNames() []string {
+	names := []string{s.design.Primary.Name()}
+	for _, tech := range s.design.Levels {
+		names = append(names, tech.Name())
+	}
+	return names
+}

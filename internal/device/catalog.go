@@ -1,0 +1,203 @@
+package device
+
+import (
+	"time"
+
+	"stordep/internal/units"
+)
+
+// This file is the device catalog for the paper's case study (Table 4).
+// Each function returns a fresh Spec so callers may tweak fields without
+// aliasing.
+
+// Standard catalog device names.
+const (
+	NameDiskArray    = "disk-array"
+	NameMirrorArray  = "mirror-array"
+	NameTapeLibrary  = "tape-library"
+	NameTapeVault    = "tape-vault"
+	NameAirShipment  = "air-shipment"
+	NameWANLinks     = "wan-links"
+	NameRecoverySite = "recovery-site-array"
+)
+
+// MidrangeArray is the primary disk array: a mid-range array modeled on
+// HP's EVA with up to 256 73-GB disks, 256 x 25 MB/s of disk bandwidth
+// and a 512 MB/s enclosure. Internal storage is RAID-1 protected, so each
+// logical byte consumes two raw bytes (capacity overhead 2 — required to
+// reproduce Table 5's 14.6%/72.8% utilization split). A dedicated hot
+// spare provisions in 0.02 hr at full (1x) cost.
+func MidrangeArray() Spec {
+	return Spec{
+		Name:        NameDiskArray,
+		Kind:        KindStorage,
+		MaxCapSlots: 256,
+		SlotCap:     73 * units.GB,
+		MaxBWSlots:  256,
+		SlotBW:      25 * units.MBPerSec,
+		EnclBW:      512 * units.MBPerSec,
+		CapOverhead: 2,
+		Cost:        CostModel{Fixed: 123297, PerGB: 17.2},
+		Spare: Spare{
+			Kind:          SpareDedicated,
+			ProvisionTime: time.Duration(0.02 * float64(time.Hour)),
+			Discount:      1,
+		},
+	}
+}
+
+// TapeLibrary is the local backup target, modeled on HP's ESL9595: up to
+// 16 LTO drives at 60 MB/s, 500 400-GB cartridges, a 240 MB/s enclosure
+// and 0.01 hr of load-and-seek delay. Dedicated hot spare at 1x cost.
+func TapeLibrary() Spec {
+	return Spec{
+		Name:        NameTapeLibrary,
+		Kind:        KindStorage,
+		MaxCapSlots: 500,
+		SlotCap:     400 * units.GB,
+		MaxBWSlots:  16,
+		SlotBW:      60 * units.MBPerSec,
+		EnclBW:      240 * units.MBPerSec,
+		Delay:       time.Duration(0.01 * float64(time.Hour)),
+		Cost:        CostModel{Fixed: 98895, PerGB: 0.4, PerMBPerSec: 108.6},
+		Spare: Spare{
+			Kind:          SpareDedicated,
+			ProvisionTime: time.Duration(0.02 * float64(time.Hour)),
+			Discount:      1,
+		},
+	}
+}
+
+// TapeVault is the off-site archival vault holding up to 5000 cartridges.
+// It has no online bandwidth (tapes are shipped) and no spare.
+func TapeVault() Spec {
+	return Spec{
+		Name:        NameTapeVault,
+		Kind:        KindStorage,
+		MaxCapSlots: 5000,
+		SlotCap:     400 * units.GB,
+		Cost:        CostModel{Fixed: 25000, PerGB: 0.4},
+		Spare:       Spare{Kind: SpareNone},
+	}
+}
+
+// AirShipment is the overnight courier between the primary site and the
+// vault: a transport "interconnect" with a 24-hour transit delay, priced
+// per shipment.
+func AirShipment() Spec {
+	return Spec{
+		Name:  NameAirShipment,
+		Kind:  KindTransport,
+		Delay: 24 * time.Hour,
+		Cost:  CostModel{PerShipment: 50},
+		Spare: Spare{Kind: SpareNone},
+	}
+}
+
+// OC3LinkBandwidth is the usable rate of one OC-3 (155 Mbps) link under
+// the framework's binary-MB/s convention: 155/8 = 19.375 MB/s.
+const OC3LinkBandwidth = 19.375 * units.MBPerSec
+
+// WANLinks returns n OC-3 links used for inter-array mirroring, priced at
+// $23,535 per MB/s per year (the what-if cost model in Table 7's caption).
+// The aggregate bandwidth is n x 19.375 MB/s.
+func WANLinks(n int) Spec {
+	return Spec{
+		Name:       NameWANLinks,
+		Kind:       KindInterconnect,
+		MaxBWSlots: n,
+		SlotBW:     OC3LinkBandwidth,
+		Cost:       CostModel{PerMBPerSec: 23535},
+		Spare:      Spare{Kind: SpareNone},
+	}
+}
+
+// RemoteMirrorArray is the destination array for inter-array mirroring:
+// the same mid-range hardware as the primary, at a remote site, without a
+// dedicated hot spare of its own (it *is* the redundant copy).
+func RemoteMirrorArray() Spec {
+	s := MidrangeArray()
+	s.Name = NameMirrorArray
+	s.Spare = Spare{Kind: SpareNone}
+	return s
+}
+
+// SharedRecoveryArray is array capacity at a shared remote hosting
+// facility used for site-disaster recovery: provisioned (drained of other
+// workloads and scrubbed) in nine hours, at 20% of dedicated cost.
+func SharedRecoveryArray() Spec {
+	s := MidrangeArray()
+	s.Name = NameRecoverySite
+	s.Spare = Spare{
+		Kind:          SpareShared,
+		ProvisionTime: 9 * time.Hour,
+		Discount:      0.2,
+	}
+	return s
+}
+
+// Additional catalog entries beyond the paper's Table 4, for what-if
+// studies that need modern alternatives.
+
+// Extra catalog device names.
+const (
+	NameVTL          = "virtual-tape-library"
+	NameGigELinks    = "gige-links"
+	NameEconomyArray = "economy-array"
+)
+
+// VirtualTapeLibrary is a disk-backed backup target: tape semantics with
+// no load-and-seek delay and a faster enclosure, at a higher per-GB price
+// than cartridges.
+func VirtualTapeLibrary() Spec {
+	return Spec{
+		Name:        NameVTL,
+		Kind:        KindStorage,
+		MaxCapSlots: 200,
+		SlotCap:     500 * units.GB,
+		MaxBWSlots:  8,
+		SlotBW:      90 * units.MBPerSec,
+		EnclBW:      500 * units.MBPerSec,
+		Cost:        CostModel{Fixed: 60000, PerGB: 2.4, PerMBPerSec: 60},
+		Spare: Spare{
+			Kind:          SpareDedicated,
+			ProvisionTime: time.Duration(0.02 * float64(time.Hour)),
+			Discount:      1,
+		},
+	}
+}
+
+// GigELinkBandwidth is one gigabit-Ethernet link under the framework's
+// binary-MB/s convention: 1000/8 = 125 MB/s.
+const GigELinkBandwidth = 125 * units.MBPerSec
+
+// GigELinks returns n 1 Gbps links, cheaper per MB/s than OC-3 circuits.
+func GigELinks(n int) Spec {
+	return Spec{
+		Name:       NameGigELinks,
+		Kind:       KindInterconnect,
+		MaxBWSlots: n,
+		SlotBW:     GigELinkBandwidth,
+		Cost:       CostModel{PerMBPerSec: 7200},
+		Spare:      Spare{Kind: SpareNone},
+	}
+}
+
+// EconomyArray is a capacity-oriented SATA array: big cheap disks behind
+// a modest enclosure, parity-protected (RAID-5 style 4+1, capacity
+// overhead 1.25) instead of mirrored. Suited to fragment and archive
+// storage rather than primary copies.
+func EconomyArray() Spec {
+	return Spec{
+		Name:        NameEconomyArray,
+		Kind:        KindStorage,
+		MaxCapSlots: 512,
+		SlotCap:     500 * units.GB,
+		MaxBWSlots:  512,
+		SlotBW:      12 * units.MBPerSec,
+		EnclBW:      400 * units.MBPerSec,
+		CapOverhead: 1.25,
+		Cost:        CostModel{Fixed: 45000, PerGB: 3.1},
+		Spare:       Spare{Kind: SpareNone},
+	}
+}

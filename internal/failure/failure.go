@@ -1,0 +1,165 @@
+// Package failure describes the failure scenarios a storage system design
+// is evaluated against (§3.1.3 of the paper). A scenario names a failure
+// scope — the set of data-copy sites made unavailable — and a recovery
+// target: the point in time to which restoration is requested.
+//
+// Scopes are evaluated as hypothesized disasters, not weighted by
+// frequency: disaster-tolerant systems are designed to survive the
+// postulated event regardless of how rare it is.
+package failure
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"stordep/internal/units"
+)
+
+// Scope identifies the set of failed storage and interconnect devices.
+type Scope int
+
+// Failure scopes, ordered by blast radius.
+const (
+	// ScopeObject is loss or corruption of the data object itself (user or
+	// software error) with no hardware failure.
+	ScopeObject Scope = iota + 1
+	// ScopeArray is failure of a single disk array.
+	ScopeArray
+	// ScopeBuilding fails all devices in one building.
+	ScopeBuilding
+	// ScopeSite fails all devices on one site.
+	ScopeSite
+	// ScopeRegion fails all devices in one geographic region.
+	ScopeRegion
+)
+
+// String returns the scope name used in reports.
+func (s Scope) String() string {
+	switch s {
+	case ScopeObject:
+		return "object"
+	case ScopeArray:
+		return "array"
+	case ScopeBuilding:
+		return "building"
+	case ScopeSite:
+		return "site"
+	case ScopeRegion:
+		return "region"
+	default:
+		return fmt.Sprintf("Scope(%d)", int(s))
+	}
+}
+
+// Valid reports whether the scope is one of the defined constants.
+func (s Scope) Valid() bool { return s >= ScopeObject && s <= ScopeRegion }
+
+// Placement locates a device or data copy in the physical world. Empty
+// strings mean "unspecified", which never matches a failure footprint —
+// e.g. a courier service has no fixed site.
+type Placement struct {
+	Array    string
+	Building string
+	Site     string
+	Region   string
+}
+
+// Survives reports whether a resource at placement p remains available
+// when a failure of the given scope strikes the resource at placement at.
+// Object-scope failures destroy data, not hardware, so every placement
+// survives them.
+func (p Placement) Survives(scope Scope, at Placement) bool {
+	match := func(a, b string) bool { return a != "" && a == b }
+	switch scope {
+	case ScopeObject:
+		return true
+	case ScopeArray:
+		return !match(p.Array, at.Array)
+	case ScopeBuilding:
+		return !match(p.Building, at.Building)
+	case ScopeSite:
+		return !match(p.Site, at.Site)
+	case ScopeRegion:
+		return !match(p.Region, at.Region)
+	default:
+		return false
+	}
+}
+
+// Scenario is one evaluated failure: a scope striking the primary copy's
+// placement, and the recovery goals.
+type Scenario struct {
+	// Name labels the scenario in reports; defaults to the scope name.
+	Name string
+	// Scope is the failure footprint.
+	Scope Scope
+	// TargetAge is the age of the recovery target: zero requests "now"
+	// (the instant before the failure); a positive age requests rollback
+	// to an earlier point (e.g. 24h before a corrupting user error).
+	TargetAge time.Duration
+	// RecoverSize overrides the amount of data to restore; zero means the
+	// whole data object. Object-scope scenarios typically restore only the
+	// corrupted object (1 MB in the paper's case study).
+	RecoverSize units.ByteSize
+}
+
+// Validation errors.
+var (
+	ErrBadScope  = errors.New("failure: invalid scope")
+	ErrBadTarget = errors.New("failure: recovery target age must be non-negative")
+	ErrBadSize   = errors.New("failure: recover size must be non-negative")
+)
+
+// Validate checks the scenario.
+func (sc *Scenario) Validate() error {
+	if !sc.Scope.Valid() {
+		return fmt.Errorf("%w: %d", ErrBadScope, int(sc.Scope))
+	}
+	if sc.TargetAge < 0 {
+		return fmt.Errorf("%w: %v", ErrBadTarget, sc.TargetAge)
+	}
+	if sc.RecoverSize < 0 {
+		return fmt.Errorf("%w: %v", ErrBadSize, sc.RecoverSize)
+	}
+	return nil
+}
+
+// DisplayName returns the scenario's report label.
+func (sc *Scenario) DisplayName() string {
+	if sc.Name != "" {
+		return sc.Name
+	}
+	return sc.Scope.String()
+}
+
+// CaseStudyScenarios returns the three failure scenarios of the paper's
+// case study (§4): a 1 MB object corrupted 24 hours ago, a primary array
+// failure, and a primary site disaster (both of the latter restoring the
+// whole dataset to "now").
+func CaseStudyScenarios() []Scenario {
+	return []Scenario{
+		{Name: "object", Scope: ScopeObject, TargetAge: 24 * time.Hour, RecoverSize: units.MB},
+		{Name: "array", Scope: ScopeArray},
+		{Name: "site", Scope: ScopeSite},
+	}
+}
+
+// ParseScope converts a scope name ("object", "array", "building",
+// "site", "region") into its Scope constant.
+func ParseScope(s string) (Scope, error) {
+	switch s {
+	case "object":
+		return ScopeObject, nil
+	case "array":
+		return ScopeArray, nil
+	case "building":
+		return ScopeBuilding, nil
+	case "site":
+		return ScopeSite, nil
+	case "region":
+		return ScopeRegion, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown scope %q", ErrBadScope, s)
+	}
+}

@@ -1,0 +1,157 @@
+package failure
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"stordep/internal/units"
+)
+
+func TestScopeString(t *testing.T) {
+	tests := []struct {
+		scope Scope
+		want  string
+	}{
+		{ScopeObject, "object"},
+		{ScopeArray, "array"},
+		{ScopeBuilding, "building"},
+		{ScopeSite, "site"},
+		{ScopeRegion, "region"},
+		{Scope(0), "Scope(0)"},
+		{Scope(99), "Scope(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.scope.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestScopeValid(t *testing.T) {
+	for s := ScopeObject; s <= ScopeRegion; s++ {
+		if !s.Valid() {
+			t.Errorf("scope %v should be valid", s)
+		}
+	}
+	if Scope(0).Valid() || Scope(6).Valid() {
+		t.Error("out-of-range scopes should be invalid")
+	}
+}
+
+func TestPlacementSurvives(t *testing.T) {
+	primary := Placement{Array: "arr1", Building: "b1", Site: "palo-alto", Region: "west"}
+	sameArray := primary
+	sameSite := Placement{Array: "arr2", Building: "b2", Site: "palo-alto", Region: "west"}
+	remoteSite := Placement{Array: "arr3", Building: "b9", Site: "denver", Region: "central"}
+	vault := Placement{Site: "vault-city", Region: "east"}
+	courier := Placement{} // no fixed location
+
+	tests := []struct {
+		name  string
+		p     Placement
+		scope Scope
+		want  bool
+	}{
+		{"object failures destroy no hardware", sameArray, ScopeObject, true},
+		{"same array fails with array", sameArray, ScopeArray, false},
+		{"same site survives array failure", sameSite, ScopeArray, true},
+		{"same site fails with site", sameSite, ScopeSite, false},
+		{"same building fails with building", sameArray, ScopeBuilding, false},
+		{"other building survives building", sameSite, ScopeBuilding, true},
+		{"remote site survives site failure", remoteSite, ScopeSite, true},
+		{"same region fails with region", sameSite, ScopeRegion, false},
+		{"other region survives region", remoteSite, ScopeRegion, true},
+		{"vault survives site failure", vault, ScopeSite, true},
+		{"courier survives everything", courier, ScopeRegion, true},
+		{"unknown scope survives nothing", sameSite, Scope(42), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Survives(tt.scope, primary); got != tt.want {
+				t.Errorf("Survives(%v) = %v, want %v", tt.scope, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPlacementEmptyFieldsNeverMatch(t *testing.T) {
+	// Two placements both with empty sites are distinct unknown locations,
+	// not the same site.
+	a, b := Placement{}, Placement{}
+	if !a.Survives(ScopeSite, b) {
+		t.Error("empty sites should not be treated as co-located")
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		sc      Scenario
+		wantErr error
+	}{
+		{"valid now", Scenario{Scope: ScopeArray}, nil},
+		{"valid rollback", Scenario{Scope: ScopeObject, TargetAge: 24 * time.Hour, RecoverSize: units.MB}, nil},
+		{"bad scope", Scenario{Scope: 0}, ErrBadScope},
+		{"negative target", Scenario{Scope: ScopeSite, TargetAge: -time.Hour}, ErrBadTarget},
+		{"negative size", Scenario{Scope: ScopeSite, RecoverSize: -1}, ErrBadSize},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.sc.Validate()
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Errorf("Validate() = %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("Validate() = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestDisplayName(t *testing.T) {
+	sc := Scenario{Scope: ScopeArray}
+	if got := sc.DisplayName(); got != "array" {
+		t.Errorf("DisplayName = %q", got)
+	}
+	sc.Name = "primary array crash"
+	if got := sc.DisplayName(); got != "primary array crash" {
+		t.Errorf("DisplayName = %q", got)
+	}
+}
+
+func TestCaseStudyScenarios(t *testing.T) {
+	scs := CaseStudyScenarios()
+	if len(scs) != 3 {
+		t.Fatalf("got %d scenarios, want 3", len(scs))
+	}
+	for _, sc := range scs {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("scenario %s invalid: %v", sc.DisplayName(), err)
+		}
+	}
+	if scs[0].Scope != ScopeObject || scs[0].TargetAge != 24*time.Hour || scs[0].RecoverSize != units.MB {
+		t.Errorf("object scenario = %+v", scs[0])
+	}
+	if scs[1].Scope != ScopeArray || scs[1].TargetAge != 0 {
+		t.Errorf("array scenario = %+v", scs[1])
+	}
+	if scs[2].Scope != ScopeSite {
+		t.Errorf("site scenario = %+v", scs[2])
+	}
+}
+
+func TestParseScope(t *testing.T) {
+	for s := ScopeObject; s <= ScopeRegion; s++ {
+		got, err := ParseScope(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScope(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScope("alien"); !errors.Is(err, ErrBadScope) {
+		t.Errorf("ParseScope(alien) = %v", err)
+	}
+}

@@ -1,0 +1,56 @@
+package hierarchy
+
+import (
+	"fmt"
+	"time"
+)
+
+// Degraded returns a copy of the chain modeling degraded-mode operation
+// (§5 of the paper: "evaluate degraded mode operation, e.g. under the
+// failure of a data protection technique"): the technique at 1-based
+// level k has been out of service for the given outage duration, so no
+// new RPs have propagated through it in that time.
+//
+// The transform adds the outage to level k's hold windows: every RP that
+// will eventually arrive at levels >= k is that much staler, which shifts
+// the cumulative transfer lags, worst-case losses and guaranteed ranges
+// of the whole suffix of the hierarchy. This is the conservative
+// worst-case reading — retention at the affected levels is assumed to
+// keep expiring while nothing new arrives.
+func (c Chain) Degraded(level int, outage time.Duration) (Chain, error) {
+	if level < 1 || level > len(c) {
+		return nil, fmt.Errorf("hierarchy: degraded level %d out of range [1,%d]", level, len(c))
+	}
+	if outage < 0 {
+		return nil, fmt.Errorf("hierarchy: outage must be non-negative, got %v", outage)
+	}
+	out := make(Chain, len(c))
+	copy(out, c)
+	pol := out[level-1].Policy // copies the struct
+	pol.Primary.HoldW += outage
+	if pol.Secondary != nil {
+		sec := *pol.Secondary
+		sec.HoldW += outage
+		pol.Secondary = &sec
+	}
+	out[level-1].Policy = pol
+	return out, nil
+}
+
+// DegradedLoss returns the worst-case recent data loss at level j for a
+// recovery target of the given age, after the technique at failedLevel
+// has been degraded for the outage duration. Levels below failedLevel are
+// unaffected.
+func (c Chain) DegradedLoss(j, failedLevel int, outage time.Duration, targetAge time.Duration) (time.Duration, bool) {
+	if failedLevel < 1 || failedLevel > len(c) || outage < 0 {
+		return 0, false
+	}
+	if j < failedLevel {
+		return c.WorstCaseLoss(j, targetAge)
+	}
+	deg, err := c.Degraded(failedLevel, outage)
+	if err != nil {
+		return 0, false
+	}
+	return deg.WorstCaseLoss(j, targetAge)
+}

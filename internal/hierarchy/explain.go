@@ -1,0 +1,77 @@
+package hierarchy
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"stordep/internal/units"
+)
+
+// Explain derives level j's worst-case timing term by term, in the
+// notation of §3.3.2–3.3.3. The paper keeps its models "deliberately
+// simple, in order to allow users to reason about them"; this renders
+// that reasoning explicitly, so a surprising loss figure can be traced to
+// the window that causes it.
+func (c Chain) Explain(j int) string {
+	if j < 1 || j > len(c) {
+		return fmt.Sprintf("level %d is out of range [1, %d]", j, len(c))
+	}
+	var b strings.Builder
+	lvl := c[j-1]
+	pol := lvl.Policy
+	fmt.Fprintf(&b, "Level %d (%s):\n", j, lvl.Name)
+
+	// Cumulative transfer lag.
+	fmt.Fprintf(&b, "  transfer lag  = sum over levels 1..%d of (holdW + propW)\n", j)
+	var sum time.Duration
+	for i := 1; i <= j; i++ {
+		li := c[i-1]
+		lag := li.Policy.TransferLag()
+		sum += lag
+		fmt.Fprintf(&b, "                + %s (%s: holdW %s + propW %s",
+			units.FormatDuration(lag), li.Name,
+			units.FormatDuration(li.Policy.Primary.HoldW),
+			units.FormatDuration(li.Policy.Primary.PropW))
+		if li.Policy.Secondary != nil && li.Policy.Secondary.TransferLag() > li.Policy.Primary.TransferLag() {
+			fmt.Fprintf(&b, "; incremental stream slower, using its %s",
+				units.FormatDuration(li.Policy.Secondary.TransferLag()))
+		}
+		b.WriteString(")\n")
+	}
+	fmt.Fprintf(&b, "                = %s\n", units.FormatDuration(sum))
+
+	// Effective accumulation window.
+	acc := pol.EffectiveAccW()
+	if pol.Secondary != nil {
+		fmt.Fprintf(&b, "  accW          = %s (incremental cadence; fulls every %s)\n",
+			units.FormatDuration(acc), units.FormatDuration(pol.CyclePeriod()))
+	} else {
+		fmt.Fprintf(&b, "  accW          = %s\n", units.FormatDuration(acc))
+	}
+
+	// Worst-case loss for a fresh target.
+	fmt.Fprintf(&b, "  worst loss    = transfer lag + accW = %s   (target not yet propagated)\n",
+		units.FormatDuration(c.MaxLag(j)))
+	fmt.Fprintf(&b, "  covered loss  = accW = %s               (target within retention)\n",
+		units.FormatDuration(acc))
+
+	// Guaranteed range.
+	fmt.Fprintf(&b, "  retention     = (retCnt %d - 1) x cyclePer %s = %s\n",
+		pol.RetCnt, units.FormatDuration(pol.CyclePeriod()),
+		units.FormatDuration(pol.RetentionSpan()))
+	fmt.Fprintf(&b, "  guaranteed RPs %s\n", c.GuaranteedRange(j))
+	return b.String()
+}
+
+// ExplainAll derives every level.
+func (c Chain) ExplainAll() string {
+	var b strings.Builder
+	for j := 1; j <= len(c); j++ {
+		b.WriteString(c.Explain(j))
+		if j < len(c) {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

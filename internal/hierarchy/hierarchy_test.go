@@ -1,0 +1,426 @@
+package hierarchy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"stordep/internal/units"
+)
+
+// baselineChain builds the Table 3 hierarchy: split mirror <- tape backup
+// <- remote vaulting.
+func baselineChain() Chain {
+	return Chain{
+		{
+			Name: "split-mirror",
+			Policy: Policy{
+				Primary: WindowSet{AccW: 12 * time.Hour, Rep: RepFull},
+				RetCnt:  4,
+				RetW:    2 * units.Day,
+				CopyRep: RepFull,
+			},
+		},
+		{
+			Name: "tape-backup",
+			Policy: Policy{
+				Primary: WindowSet{AccW: units.Week, PropW: 48 * time.Hour, HoldW: time.Hour, Rep: RepFull},
+				RetCnt:  4,
+				RetW:    4 * units.Week,
+				CopyRep: RepFull,
+			},
+		},
+		{
+			Name: "remote-vault",
+			Policy: Policy{
+				Primary: WindowSet{AccW: 4 * units.Week, PropW: 24 * time.Hour, HoldW: 4*units.Week + 12*time.Hour, Rep: RepFull},
+				RetCnt:  39,
+				RetW:    3 * units.Year,
+				CopyRep: RepFull,
+			},
+		},
+	}
+}
+
+func TestBaselineChainValid(t *testing.T) {
+	c := baselineChain()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("baseline chain invalid: %v", err)
+	}
+}
+
+func TestPolicyValidateErrors(t *testing.T) {
+	valid := Policy{
+		Primary: WindowSet{AccW: time.Hour, Rep: RepFull},
+		RetCnt:  2, RetW: units.Day, CopyRep: RepFull,
+	}
+	tests := []struct {
+		name    string
+		mutate  func(*Policy)
+		wantErr error
+	}{
+		{"zero retCnt", func(p *Policy) { p.RetCnt = 0 }, ErrNoRetention},
+		{"zero accW", func(p *Policy) { p.Primary.AccW = 0 }, ErrBadWindows},
+		{"negative holdW", func(p *Policy) { p.Primary.HoldW = -1 }, ErrBadWindows},
+		{"negative retW", func(p *Policy) { p.RetW = -1 }, ErrBadWindows},
+		{"propW over accW", func(p *Policy) { p.Primary.PropW = 2 * time.Hour }, ErrPropExceeds},
+		{"bad copy rep", func(p *Policy) { p.CopyRep = 0 }, ErrBadRep},
+		{"bad primary rep", func(p *Policy) { p.Primary.Rep = 9 }, ErrBadRep},
+		{"cycleCnt without secondary", func(p *Policy) { p.CycleCnt = 3 }, ErrBadCycle},
+		{"secondary without cycleCnt", func(p *Policy) {
+			p.Secondary = &WindowSet{AccW: time.Minute, Rep: RepPartial}
+		}, ErrBadCycle},
+		{"bad secondary rep", func(p *Policy) {
+			p.Secondary = &WindowSet{AccW: time.Minute}
+			p.CycleCnt = 2
+		}, ErrBadRep},
+		{"secondary propW over accW", func(p *Policy) {
+			p.Secondary = &WindowSet{AccW: time.Minute, PropW: time.Hour, Rep: RepPartial}
+			p.CycleCnt = 2
+		}, ErrPropExceeds},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := valid
+			tt.mutate(&p)
+			if err := p.Validate(); !errors.Is(err, tt.wantErr) {
+				t.Errorf("Validate() = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+}
+
+func TestChainValidateErrors(t *testing.T) {
+	if err := (Chain{}).Validate(); !errors.Is(err, ErrEmptyChain) {
+		t.Errorf("empty chain: %v", err)
+	}
+	dup := baselineChain()
+	dup[2].Name = dup[0].Name
+	if err := dup.Validate(); !errors.Is(err, ErrDupLevelName) {
+		t.Errorf("dup names: %v", err)
+	}
+	unnamed := baselineChain()
+	unnamed[1].Name = ""
+	if err := unnamed.Validate(); err == nil {
+		t.Error("unnamed level accepted")
+	}
+	bad := baselineChain()
+	bad[1].Policy.RetCnt = 0
+	if err := bad.Validate(); !errors.Is(err, ErrNoRetention) {
+		t.Errorf("bad level policy: %v", err)
+	}
+}
+
+func TestCyclePeriod(t *testing.T) {
+	simple := baselineChain()[1].Policy // weekly backup
+	if got := simple.CyclePeriod(); got != units.Week {
+		t.Errorf("simple cyclePer = %v, want 1wk", got)
+	}
+	// F+I: 48-hr accW full + 5 daily incrementals = 1 week.
+	fi := Policy{
+		Primary:   WindowSet{AccW: 48 * time.Hour, PropW: 48 * time.Hour, HoldW: time.Hour, Rep: RepFull},
+		Secondary: &WindowSet{AccW: 24 * time.Hour, PropW: 12 * time.Hour, HoldW: time.Hour, Rep: RepPartial},
+		CycleCnt:  5,
+		RetCnt:    4, RetW: 4 * units.Week, CopyRep: RepFull,
+	}
+	if err := fi.Validate(); err != nil {
+		t.Fatalf("F+I policy invalid: %v", err)
+	}
+	if got := fi.CyclePeriod(); got != units.Week {
+		t.Errorf("F+I cyclePer = %v, want 1wk", got)
+	}
+	if got := fi.EffectiveAccW(); got != 24*time.Hour {
+		t.Errorf("F+I effective accW = %v, want 24h", got)
+	}
+	// Worst-case transfer lag is the full's 49h, not the incremental's 13h.
+	if got := fi.TransferLag(); got != 49*time.Hour {
+		t.Errorf("F+I transfer lag = %v, want 49h", got)
+	}
+}
+
+func TestRetentionSpan(t *testing.T) {
+	c := baselineChain()
+	tests := []struct {
+		level int
+		want  time.Duration
+	}{
+		{0, 3 * 12 * time.Hour},  // split mirror: (4-1) x 12h
+		{1, 3 * units.Week},      // backup: (4-1) x 1wk
+		{2, 38 * 4 * units.Week}, // vault: (39-1) x 4wk
+	}
+	for _, tt := range tests {
+		if got := c[tt.level].Policy.RetentionSpan(); got != tt.want {
+			t.Errorf("level %d retention span = %v, want %v", tt.level+1, got, tt.want)
+		}
+	}
+	one := Policy{RetCnt: 1, Primary: WindowSet{AccW: time.Hour}}
+	if got := one.RetentionSpan(); got != 0 {
+		t.Errorf("retCnt=1 span = %v, want 0", got)
+	}
+}
+
+// TestMaxLagMatchesTable6 verifies the worst-case lag at each level, which
+// the paper reports as recent data loss when the target has not yet
+// propagated (Table 6: 12 hr / 217 hr / 1429 hr).
+func TestMaxLagMatchesTable6(t *testing.T) {
+	c := baselineChain()
+	tests := []struct {
+		level int
+		want  time.Duration
+	}{
+		{1, 12 * time.Hour},
+		{2, (1 + 48 + 168) * time.Hour},        // 217 hr
+		{3, (49 + 684 + 24 + 672) * time.Hour}, // 1429 hr
+	}
+	for _, tt := range tests {
+		if got := c.MaxLag(tt.level); got != tt.want {
+			t.Errorf("MaxLag(%d) = %v hr, want %v hr", tt.level, got.Hours(), tt.want.Hours())
+		}
+	}
+	if got := c.MaxLag(0); got != 0 {
+		t.Errorf("MaxLag(0) = %v, want 0", got)
+	}
+	if got := c.MaxLag(4); got != 0 {
+		t.Errorf("MaxLag(out of range) = %v, want 0", got)
+	}
+}
+
+func TestCumTransferLag(t *testing.T) {
+	c := baselineChain()
+	tests := []struct {
+		level int
+		want  time.Duration
+	}{
+		{0, 0},
+		{1, 0},                           // split mirror: hold 0 + prop 0
+		{2, 49 * time.Hour},              // + backup 1+48
+		{3, (49 + 684 + 24) * time.Hour}, // + vault (4wk+12h)+24h = 757h
+	}
+	for _, tt := range tests {
+		if got := c.CumTransferLag(tt.level); got != tt.want {
+			t.Errorf("CumTransferLag(%d) = %v, want %v", tt.level, got, tt.want)
+		}
+	}
+}
+
+func TestGuaranteedRange(t *testing.T) {
+	c := baselineChain()
+	// Split mirror: [now-36h .. now-12h] (Figure 3 with retCnt 4, 12h).
+	r := c.GuaranteedRange(1)
+	if want := (Range{Oldest: 36 * time.Hour, Newest: 12 * time.Hour}); r != want {
+		t.Errorf("split mirror range = %+v, want %+v", r, want)
+	}
+	if r.Empty() {
+		t.Error("split mirror range should not be empty")
+	}
+	if !r.Contains(24 * time.Hour) {
+		t.Error("24h target should be covered by split mirror")
+	}
+	if r.Contains(6 * time.Hour) {
+		t.Error("6h target is too recent for split mirror")
+	}
+	if r.Contains(48 * time.Hour) {
+		t.Error("48h target is too old for split mirror")
+	}
+	// Out-of-range level indices yield the empty range.
+	if !c.GuaranteedRange(0).Empty() || !c.GuaranteedRange(9).Empty() {
+		t.Error("out-of-range levels should give empty ranges")
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	r := Range{Oldest: 36 * time.Hour, Newest: 12 * time.Hour}
+	if got := r.String(); got != "[now-1d12h .. now-12h]" {
+		t.Errorf("Range.String() = %q", got)
+	}
+	if got := (Range{}).String(); got != "[empty]" {
+		t.Errorf("empty Range.String() = %q", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	c := baselineChain()
+	tests := []struct {
+		name  string
+		level int
+		age   time.Duration
+		want  Match
+	}{
+		{"now at mirror", 1, 0, MatchTooRecent},
+		{"24h at mirror", 1, 24 * time.Hour, MatchCovered},
+		{"1wk at mirror", 1, units.Week, MatchTooOld},
+		{"now at backup", 2, 0, MatchTooRecent},
+		{"2wk at backup", 2, 2 * units.Week, MatchCovered},
+		{"1yr at backup", 2, units.Year, MatchTooOld},
+		{"now at vault", 3, 0, MatchTooRecent},
+		{"10wk at vault", 3, 10 * units.Week, MatchCovered},
+		{"10yr at vault", 3, 10 * units.Year, MatchTooOld},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := c.Classify(tt.level, tt.age); got != tt.want {
+				t.Errorf("Classify(%d, %v) = %v, want %v", tt.level, tt.age, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestClassifyEmptyRangeIsTooOld(t *testing.T) {
+	c := Chain{{
+		Name: "thin",
+		Policy: Policy{
+			// Retains a single RP but takes longer than one window to
+			// propagate-and-expire: guaranteed range is empty.
+			Primary: WindowSet{AccW: time.Hour, PropW: time.Hour, Rep: RepFull},
+			RetCnt:  1, RetW: time.Hour, CopyRep: RepFull,
+		},
+	}}
+	if got := c.Classify(1, 30*time.Minute); got != MatchTooOld {
+		t.Errorf("empty-range classify = %v, want too-old", got)
+	}
+}
+
+func TestWorstCaseLoss(t *testing.T) {
+	c := baselineChain()
+	// Target "now": mirror hasn't got it; loss = 12h (Table 6 object row
+	// uses the covered case below).
+	loss, ok := c.WorstCaseLoss(1, 0)
+	if !ok || loss != 12*time.Hour {
+		t.Errorf("mirror loss for now = %v/%v, want 12h/true", loss, ok)
+	}
+	// Target 24h old: covered; loss = accW = 12h.
+	loss, ok = c.WorstCaseLoss(1, 24*time.Hour)
+	if !ok || loss != 12*time.Hour {
+		t.Errorf("mirror loss for 24h = %v/%v, want 12h/true", loss, ok)
+	}
+	// Backup, target now: loss = 217h (Table 6 array row).
+	loss, ok = c.WorstCaseLoss(2, 0)
+	if !ok || loss != 217*time.Hour {
+		t.Errorf("backup loss = %v hr/%v, want 217h/true", loss.Hours(), ok)
+	}
+	// Vault, target now: loss = 1429h (Table 6 site row).
+	loss, ok = c.WorstCaseLoss(3, 0)
+	if !ok || loss != 1429*time.Hour {
+		t.Errorf("vault loss = %v hr/%v, want 1429h/true", loss.Hours(), ok)
+	}
+	// Too-old target: not recoverable from the level.
+	if _, ok := c.WorstCaseLoss(1, units.Year); ok {
+		t.Error("year-old target should not be recoverable from split mirror")
+	}
+}
+
+func TestWarnings(t *testing.T) {
+	c := baselineChain()
+	warns := c.Warnings()
+	// The baseline's vault holdW (4wk12h) exceeds the backup retW (4wk),
+	// which §3.2.3 says forces an extra tape copy; everything else is
+	// conformant.
+	if len(warns) != 1 {
+		t.Fatalf("warnings = %v, want exactly the holdW/retW warning", warns)
+	}
+	if !strings.Contains(warns[0], "extra copy") {
+		t.Errorf("warning = %q", warns[0])
+	}
+
+	// A shrinking retention count and a too-short accW both warn.
+	bad := Chain{
+		{Name: "a", Policy: Policy{Primary: WindowSet{AccW: units.Day, Rep: RepFull}, RetCnt: 10, RetW: units.Week, CopyRep: RepFull}},
+		{Name: "b", Policy: Policy{Primary: WindowSet{AccW: time.Hour, Rep: RepFull}, RetCnt: 2, RetW: units.Week, CopyRep: RepFull}},
+	}
+	warns = bad.Warnings()
+	if len(warns) != 2 {
+		t.Fatalf("warnings = %v, want 2", warns)
+	}
+}
+
+func TestIndex(t *testing.T) {
+	c := baselineChain()
+	if got := c.Index("tape-backup"); got != 2 {
+		t.Errorf("Index(tape-backup) = %d, want 2", got)
+	}
+	if got := c.Index("nope"); got != 0 {
+		t.Errorf("Index(nope) = %d, want 0", got)
+	}
+}
+
+func TestChainString(t *testing.T) {
+	got := baselineChain().String()
+	want := "primary <- split-mirror <- tape-backup <- remote-vault"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	tests := []struct{ got, want string }{
+		{RepFull.String(), "full"},
+		{RepPartial.String(), "partial"},
+		{Representation(7).String(), "Representation(7)"},
+		{MatchTooRecent.String(), "too-recent"},
+		{MatchCovered.String(), "covered"},
+		{MatchTooOld.String(), "too-old"},
+		{Match(0).String(), "Match(0)"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("got %q, want %q", tt.got, tt.want)
+		}
+	}
+}
+
+// Property: MaxLag is strictly greater than CumTransferLag and both are
+// monotone non-decreasing in level index.
+func TestLagMonotoneProperty(t *testing.T) {
+	c := baselineChain()
+	for j := 1; j <= len(c); j++ {
+		if c.MaxLag(j) <= c.CumTransferLag(j) {
+			t.Errorf("MaxLag(%d) not above CumTransferLag", j)
+		}
+		if j > 1 && c.CumTransferLag(j) < c.CumTransferLag(j-1) {
+			t.Errorf("CumTransferLag not monotone at %d", j)
+		}
+	}
+}
+
+// Property: for random policies, the guaranteed range's newest edge always
+// equals transfer lag + accW and loss in the covered case is exactly accW.
+func TestGuaranteedRangeProperty(t *testing.T) {
+	f := func(accH, propH, holdH uint8, retCnt uint8) bool {
+		acc := time.Duration(accH%100+1) * time.Hour
+		prop := time.Duration(propH) * time.Hour
+		if prop > acc {
+			prop = acc
+		}
+		pol := Policy{
+			Primary: WindowSet{AccW: acc, PropW: prop, HoldW: time.Duration(holdH) * time.Hour, Rep: RepFull},
+			RetCnt:  int(retCnt%20) + 1,
+			RetW:    units.Year,
+			CopyRep: RepFull,
+		}
+		if pol.Validate() != nil {
+			return false
+		}
+		c := Chain{{Name: "x", Policy: pol}}
+		r := c.GuaranteedRange(1)
+		wantNewest := pol.TransferLag() + acc
+		if r.Newest != wantNewest {
+			return false
+		}
+		// Covered targets always lose exactly one accumulation window.
+		if !r.Empty() {
+			loss, ok := c.WorstCaseLoss(1, r.Newest)
+			if !ok || loss != acc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

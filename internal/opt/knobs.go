@@ -1,0 +1,178 @@
+package opt
+
+import (
+	"fmt"
+	"time"
+
+	"stordep/internal/core"
+	"stordep/internal/hierarchy"
+	"stordep/internal/protect"
+	"stordep/internal/units"
+)
+
+// This file provides knob constructors for the built-in techniques, so
+// common tunings don't require hand-written Apply functions.
+
+// findLevel locates a level by technique name.
+func findLevel(d *core.Design, name string) (int, error) {
+	for i, tech := range d.Levels {
+		if tech.Name() == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("opt: design has no level %q", name)
+}
+
+// setPolicy rewrites the policy of the named level, preserving the
+// technique's other configuration.
+func setPolicy(d *core.Design, level string, pol hierarchy.Policy) error {
+	i, err := findLevel(d, level)
+	if err != nil {
+		return err
+	}
+	switch t := d.Levels[i].(type) {
+	case *protect.SplitMirror:
+		t.Pol = pol
+	case *protect.Snapshot:
+		t.Pol = pol
+	case *protect.Backup:
+		t.Pol = pol
+	case *protect.Vaulting:
+		t.Pol = pol
+	case *protect.Mirror:
+		t.Pol = pol
+	case *protect.ErasureCode:
+		t.Pol = pol
+	default:
+		return fmt.Errorf("opt: level %q has unsupported type %T", level, d.Levels[i])
+	}
+	return nil
+}
+
+// PolicyKnob selects among complete policies for one level. Option names
+// are supplied alongside the policies.
+func PolicyKnob(level string, names []string, policies []hierarchy.Policy) Knob {
+	return Knob{
+		Name:    level + " policy",
+		Options: names,
+		Apply: func(d *core.Design, i int) error {
+			if i < 0 || i >= len(policies) {
+				return fmt.Errorf("opt: policy option %d out of range", i)
+			}
+			return setPolicy(d, level, policies[i])
+		},
+	}
+}
+
+// AccWKnob sweeps one level's primary accumulation window, scaling the
+// retention count to keep the retention window covered (retCnt =
+// ceil(retW / cyclePer), at least 1). Propagation and hold windows are
+// clamped to the new accW to preserve the propW <= accW convention.
+func AccWKnob(level string, options []time.Duration) Knob {
+	names := make([]string, len(options))
+	for i, o := range options {
+		names[i] = units.FormatDuration(o)
+	}
+	return Knob{
+		Name:    level + " accW",
+		Options: names,
+		Apply: func(d *core.Design, i int) error {
+			li, err := findLevel(d, level)
+			if err != nil {
+				return err
+			}
+			pol := d.Levels[li].Level().Policy
+			pol.Primary.AccW = options[i]
+			if pol.Primary.PropW > options[i] {
+				pol.Primary.PropW = options[i]
+			}
+			if pol.RetW > 0 {
+				cycle := pol.CyclePeriod()
+				if cycle > 0 {
+					ret := int((pol.RetW + cycle - 1) / cycle)
+					if ret < 1 {
+						ret = 1
+					}
+					pol.RetCnt = ret
+				}
+			}
+			return setPolicy(d, level, pol)
+		},
+	}
+}
+
+// RetCntKnob sweeps one level's retention count, scaling retW to match
+// (retW = retCnt x cyclePer).
+func RetCntKnob(level string, options []int) Knob {
+	names := make([]string, len(options))
+	for i, o := range options {
+		names[i] = fmt.Sprintf("%d", o)
+	}
+	return Knob{
+		Name:    level + " retCnt",
+		Options: names,
+		Apply: func(d *core.Design, i int) error {
+			li, err := findLevel(d, level)
+			if err != nil {
+				return err
+			}
+			pol := d.Levels[li].Level().Policy
+			pol.RetCnt = options[i]
+			pol.RetW = time.Duration(options[i]) * pol.CyclePeriod()
+			return setPolicy(d, level, pol)
+		},
+	}
+}
+
+// PiTKnob chooses between split mirrors and virtual snapshots for the
+// named level (the Table 7 "snapshot" substitution), keeping the policy.
+func PiTKnob(level string) Knob {
+	return Knob{
+		Name:    level + " PiT technique",
+		Options: []string{"split-mirror", "virtual-snapshot"},
+		Apply: func(d *core.Design, i int) error {
+			li, err := findLevel(d, level)
+			if err != nil {
+				return err
+			}
+			pol := d.Levels[li].Level().Policy
+			var array, instance string
+			switch t := d.Levels[li].(type) {
+			case *protect.SplitMirror:
+				array, instance = t.Array, t.InstanceName
+			case *protect.Snapshot:
+				array, instance = t.Array, t.InstanceName
+			default:
+				return fmt.Errorf("opt: level %q is not a PiT technique (%T)", level, d.Levels[li])
+			}
+			if i == 0 {
+				d.Levels[li] = &protect.SplitMirror{InstanceName: instance, Array: array, Pol: pol}
+			} else {
+				d.Levels[li] = &protect.Snapshot{InstanceName: instance, Array: array, Pol: pol}
+			}
+			return nil
+		},
+	}
+}
+
+// LinkCountKnob sweeps the provisioned WAN link count by rewriting the
+// named interconnect device's bandwidth slots.
+func LinkCountKnob(deviceName string, options []int) Knob {
+	names := make([]string, len(options))
+	for i, o := range options {
+		names[i] = fmt.Sprintf("%d links", o)
+	}
+	return Knob{
+		Name:    deviceName + " count",
+		Options: names,
+		Apply: func(d *core.Design, i int) error {
+			for di := range d.Devices {
+				if d.Devices[di].Spec.Name == deviceName {
+					d.Devices[di].Spec.MaxBWSlots = options[i]
+					return nil
+				}
+			}
+			return fmt.Errorf("opt: design has no device %q", deviceName)
+		},
+	}
+}

@@ -1,0 +1,162 @@
+// Package recovery implements the worst-case recovery-time and recent
+// data-loss models of §3.3.3–3.3.4.
+//
+// Recovery proceeds along a recovery path: the reverse of the RP
+// propagation hierarchy, starting from the level chosen to serve as the
+// data source, optionally skipping levels that would only add latency. At
+// each hop, preparatory work that needs no data (device reprovisioning,
+// resource negotiation) can proceed in parallel with upstream hops, while
+// tape loads and the data transfer itself serialize behind data arrival —
+// the structure in Figure 4. The recovery time obeys the recursion
+//
+//	RT_i = max(RT_{i+1}, parFix_i) + serXfer_i + serFix_i
+//
+// evaluated from the source level down to the primary copy (level 0).
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"stordep/internal/hierarchy"
+	"stordep/internal/units"
+)
+
+// Step is one hop of a recovery path, ordered from the data source toward
+// the primary copy.
+type Step struct {
+	// Name labels the hop in reports, e.g. "vault -> tape-library".
+	Name string
+	// ParFix is preparatory work overlapping upstream readiness: spare
+	// provisioning, reconfiguration, negotiating shared resources.
+	ParFix time.Duration
+	// SerFix is fixed work that starts only when data arrives: tape load
+	// and seek, or a physical shipment's transit time.
+	SerFix time.Duration
+	// Size is the data transferred on this hop (zero for pure-latency
+	// hops such as shipments).
+	Size units.ByteSize
+	// Bandwidth is the effective transfer rate: the minimum of sender and
+	// receiver available bandwidth. Zero with a non-zero Size means the
+	// hop cannot move data and the recovery never completes.
+	Bandwidth units.Rate
+}
+
+// Duration returns the hop's serialized time: serFix + serXfer.
+func (s Step) Duration() time.Duration {
+	d := s.SerFix
+	if s.Size > 0 {
+		xfer := units.Div(s.Size, s.Bandwidth)
+		if xfer == units.Forever {
+			return units.Forever
+		}
+		d += xfer
+	}
+	return d
+}
+
+// Time applies the RT recursion over steps ordered source-first and
+// returns the overall recovery time (RT_0). An impossible transfer yields
+// units.Forever.
+func Time(steps []Step) time.Duration {
+	var rt time.Duration
+	for _, s := range steps {
+		if s.ParFix > rt {
+			rt = s.ParFix
+		}
+		d := s.Duration()
+		if d == units.Forever {
+			return units.Forever
+		}
+		rt += d
+	}
+	return rt
+}
+
+// Plan is a fully-resolved recovery: the chosen source level, the loss it
+// implies, and the timed steps to the primary copy.
+type Plan struct {
+	// SourceLevel is the 1-based hierarchy index serving the recovery
+	// (0 when the primary copy itself survives, e.g. object rollback
+	// served from level 0 — not used in practice since objects roll back
+	// from PiT copies).
+	SourceLevel int
+	// SourceName is the level's technique name.
+	SourceName string
+	// Loss is the worst-case recent data loss (§3.3.3).
+	Loss time.Duration
+	// Steps are the recovery hops, source first.
+	Steps []Step
+}
+
+// Time returns the plan's overall recovery time.
+func (p *Plan) Time() time.Duration { return Time(p.Steps) }
+
+// String renders the plan for reports.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "recover from %s (loss %s):", p.SourceName, units.FormatDuration(p.Loss))
+	for _, s := range p.Steps {
+		fmt.Fprintf(&b, " [%s]", s.Name)
+	}
+	return b.String()
+}
+
+// ErrUnrecoverable is returned when no surviving level retains an RP
+// usable for the requested target: the data object is lost.
+var ErrUnrecoverable = errors.New("recovery: no surviving level can serve the recovery target")
+
+// Candidate pairs a hierarchy level with the data loss it would incur
+// serving a given recovery target.
+type Candidate struct {
+	// Level is the 1-based hierarchy index.
+	Level int
+	// Loss is the worst-case recent data loss if this level serves.
+	Loss time.Duration
+}
+
+// SelectSource picks the surviving level whose retained RPs most closely
+// match the recovery target (§3.3.3): the candidate with the smallest
+// worst-case loss, preferring the nearer (faster) level on ties. surviving
+// holds the 1-based indices of levels whose devices outlived the failure;
+// order does not matter.
+//
+// If no surviving level retains a usable RP, ErrUnrecoverable is returned:
+// the worst-case loss is the entire data object.
+func SelectSource(c hierarchy.Chain, surviving []int, targetAge time.Duration) (Candidate, error) {
+	best := Candidate{Level: -1}
+	for _, j := range surviving {
+		if j < 1 || j > len(c) {
+			continue
+		}
+		loss, ok := c.WorstCaseLoss(j, targetAge)
+		if !ok {
+			continue
+		}
+		if best.Level == -1 || loss < best.Loss || (loss == best.Loss && j < best.Level) {
+			best = Candidate{Level: j, Loss: loss}
+		}
+	}
+	if best.Level == -1 {
+		return Candidate{}, fmt.Errorf("%w (target age %s)",
+			ErrUnrecoverable, units.FormatDuration(targetAge))
+	}
+	return best, nil
+}
+
+// Candidates returns the loss every surviving level would incur for the
+// target, for what-if reporting. Levels that cannot serve are omitted.
+func Candidates(c hierarchy.Chain, surviving []int, targetAge time.Duration) []Candidate {
+	var out []Candidate
+	for _, j := range surviving {
+		if j < 1 || j > len(c) {
+			continue
+		}
+		if loss, ok := c.WorstCaseLoss(j, targetAge); ok {
+			out = append(out, Candidate{Level: j, Loss: loss})
+		}
+	}
+	return out
+}

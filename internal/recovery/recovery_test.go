@@ -1,0 +1,277 @@
+package recovery
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"stordep/internal/hierarchy"
+	"stordep/internal/units"
+)
+
+func TestStepDuration(t *testing.T) {
+	tests := []struct {
+		name string
+		step Step
+		want time.Duration
+	}{
+		{"fixed only", Step{SerFix: time.Minute}, time.Minute},
+		{"transfer only", Step{Size: 600 * units.MB, Bandwidth: 10 * units.MBPerSec}, time.Minute},
+		{"fixed plus transfer", Step{SerFix: 30 * time.Second, Size: 300 * units.MB, Bandwidth: 10 * units.MBPerSec}, time.Minute},
+		{"no data no time", Step{}, 0},
+		{"impossible transfer", Step{Size: units.GB}, units.Forever},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.step.Duration(); got != tt.want {
+				t.Errorf("Duration() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestTimeFigure4 models the paper's Figure 4 site-disaster path: tape
+// shipment from the vault (24h transit), tape load at the recovery site
+// library (36s), transfer to the array whose shared-facility provisioning
+// (9h) overlaps the shipment. RT = max(24h, 9h) + 36s + transfer.
+func TestTimeFigure4(t *testing.T) {
+	xferBW := 240 * units.MBPerSec
+	steps := []Step{
+		{Name: "vault -> site", SerFix: 24 * time.Hour},
+		{
+			Name:      "tape -> array",
+			ParFix:    9 * time.Hour,
+			SerFix:    36 * time.Second,
+			Size:      1360 * units.GB,
+			Bandwidth: xferBW,
+		},
+	}
+	got := Time(steps)
+	want := 24*time.Hour + 36*time.Second + units.Div(1360*units.GB, xferBW)
+	if got != want {
+		t.Errorf("Time = %v, want %v", got, want)
+	}
+	// The 9h provisioning must be hidden by the 24h shipment.
+	if got >= 33*time.Hour {
+		t.Error("provisioning was serialized instead of overlapped")
+	}
+}
+
+func TestTimeParFixDominates(t *testing.T) {
+	// When provisioning exceeds upstream readiness, it gates the start.
+	steps := []Step{
+		{Name: "ship", SerFix: time.Hour},
+		{Name: "restore", ParFix: 9 * time.Hour, Size: 36 * units.GB, Bandwidth: units.GBPerSec},
+	}
+	want := 9*time.Hour + 36*time.Second
+	if got := Time(steps); got != want {
+		t.Errorf("Time = %v, want %v", got, want)
+	}
+}
+
+func TestTimeEmptyAndForever(t *testing.T) {
+	if got := Time(nil); got != 0 {
+		t.Errorf("Time(nil) = %v", got)
+	}
+	steps := []Step{{Size: units.GB}} // no bandwidth
+	if got := Time(steps); got != units.Forever {
+		t.Errorf("Time(impossible) = %v, want Forever", got)
+	}
+}
+
+func baselineChain() hierarchy.Chain {
+	return hierarchy.Chain{
+		{Name: "split-mirror", Policy: hierarchy.Policy{
+			Primary: hierarchy.WindowSet{AccW: 12 * time.Hour, Rep: hierarchy.RepFull},
+			RetCnt:  4, RetW: 2 * units.Day, CopyRep: hierarchy.RepFull,
+		}},
+		{Name: "tape-backup", Policy: hierarchy.Policy{
+			Primary: hierarchy.WindowSet{AccW: units.Week, PropW: 48 * time.Hour, HoldW: time.Hour, Rep: hierarchy.RepFull},
+			RetCnt:  4, RetW: 4 * units.Week, CopyRep: hierarchy.RepFull,
+		}},
+		{Name: "remote-vault", Policy: hierarchy.Policy{
+			Primary: hierarchy.WindowSet{AccW: 4 * units.Week, PropW: 24 * time.Hour, HoldW: 4*units.Week + 12*time.Hour, Rep: hierarchy.RepFull},
+			RetCnt:  39, RetW: 3 * units.Year, CopyRep: hierarchy.RepFull,
+		}},
+	}
+}
+
+func TestSelectSourceObjectFailure(t *testing.T) {
+	// All levels survive an object corruption; the 24h-old target is
+	// covered by the split mirrors with a 12h worst-case loss (Table 6).
+	c := baselineChain()
+	got, err := SelectSource(c, []int{1, 2, 3}, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Level != 1 || got.Loss != 12*time.Hour {
+		t.Errorf("SelectSource = %+v, want level 1, loss 12h", got)
+	}
+}
+
+func TestSelectSourceArrayFailure(t *testing.T) {
+	// The array failure destroys the mirrors; tape backup serves with
+	// 217h worst-case loss (Table 6).
+	c := baselineChain()
+	got, err := SelectSource(c, []int{2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Level != 2 || got.Loss != 217*time.Hour {
+		t.Errorf("SelectSource = %+v, want level 2, loss 217h", got)
+	}
+}
+
+func TestSelectSourceSiteFailure(t *testing.T) {
+	// Only the vault survives: 1429h worst-case loss (Table 6).
+	c := baselineChain()
+	got, err := SelectSource(c, []int{3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Level != 3 || got.Loss != 1429*time.Hour {
+		t.Errorf("SelectSource = %+v, want level 3, loss 1429h", got)
+	}
+}
+
+func TestSelectSourceUnrecoverable(t *testing.T) {
+	c := baselineChain()
+	// A ten-year-old target predates every level's retention.
+	if _, err := SelectSource(c, []int{1, 2, 3}, 10*units.Year); !errors.Is(err, ErrUnrecoverable) {
+		t.Errorf("err = %v, want ErrUnrecoverable", err)
+	}
+	// No survivors at all.
+	if _, err := SelectSource(c, nil, 0); !errors.Is(err, ErrUnrecoverable) {
+		t.Errorf("err = %v, want ErrUnrecoverable", err)
+	}
+	// Out-of-range survivor indices are ignored.
+	if _, err := SelectSource(c, []int{0, 7}, 0); !errors.Is(err, ErrUnrecoverable) {
+		t.Errorf("err = %v, want ErrUnrecoverable", err)
+	}
+}
+
+func TestSelectSourcePrefersNearerOnTie(t *testing.T) {
+	// Two identical levels: equal loss, pick the nearer one (faster
+	// recovery path).
+	pol := hierarchy.Policy{
+		Primary: hierarchy.WindowSet{AccW: time.Hour, Rep: hierarchy.RepFull},
+		RetCnt:  10, RetW: units.Day, CopyRep: hierarchy.RepFull,
+	}
+	c := hierarchy.Chain{{Name: "a", Policy: pol}, {Name: "b", Policy: pol}}
+	got, err := SelectSource(c, []int{2, 1}, 2*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Level != 1 {
+		t.Errorf("tie broken toward level %d, want 1", got.Level)
+	}
+}
+
+func TestCandidates(t *testing.T) {
+	c := baselineChain()
+	cands := Candidates(c, []int{1, 2, 3}, 24*time.Hour)
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %+v, want 3", cands)
+	}
+	// Deeper levels lose more for a covered/too-recent target.
+	if !(cands[0].Loss <= cands[1].Loss && cands[1].Loss <= cands[2].Loss) {
+		t.Errorf("losses not monotone: %+v", cands)
+	}
+	// A target too old for the mirrors drops level 1.
+	cands = Candidates(c, []int{1, 2, 3}, units.Week)
+	for _, cd := range cands {
+		if cd.Level == 1 {
+			t.Errorf("split mirror cannot serve a week-old target: %+v", cands)
+		}
+	}
+}
+
+func TestPlan(t *testing.T) {
+	p := &Plan{
+		SourceLevel: 2,
+		SourceName:  "tape-backup",
+		Loss:        217 * time.Hour,
+		Steps: []Step{
+			{Name: "tape -> array", ParFix: 72 * time.Second, SerFix: 36 * time.Second,
+				Size: 1360 * units.GB, Bandwidth: 231 * units.MBPerSec},
+		},
+	}
+	rt := p.Time()
+	// 72s parFix + 36s load + ~1.68h transfer.
+	if rt < 90*time.Minute || rt > 2*time.Hour {
+		t.Errorf("plan time = %v, want ~1.7h", rt)
+	}
+	s := p.String()
+	if !strings.Contains(s, "tape-backup") || !strings.Contains(s, "tape -> array") {
+		t.Errorf("Plan.String() = %q", s)
+	}
+}
+
+// Property: recovery time is monotone in transfer size and never below
+// the sum of fixed components.
+func TestTimeMonotoneProperty(t *testing.T) {
+	f := func(gb1, gb2 uint16, parMin, serMin uint8) bool {
+		lo, hi := units.ByteSize(gb1)*units.GB, units.ByteSize(gb2)*units.GB
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		mk := func(size units.ByteSize) []Step {
+			return []Step{
+				{SerFix: time.Duration(serMin) * time.Minute},
+				{ParFix: time.Duration(parMin) * time.Minute, Size: size, Bandwidth: 100 * units.MBPerSec},
+			}
+		}
+		tLo, tHi := Time(mk(lo)), Time(mk(hi))
+		if tLo > tHi {
+			return false
+		}
+		return tHi >= time.Duration(serMin)*time.Minute
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: overlapping (parallel) preparation never lengthens recovery
+// beyond fully-serialized execution, and recovery is at least as long as
+// its longest single component.
+func TestTimeOverlapBoundsProperty(t *testing.T) {
+	f := func(parMin, serMin, xferMin uint8) bool {
+		par := time.Duration(parMin) * time.Minute
+		ser := time.Duration(serMin) * time.Minute
+		size := units.Rate(10 * units.MBPerSec).Over(time.Duration(xferMin) * time.Minute)
+		steps := []Step{
+			{SerFix: ser},
+			{ParFix: par, Size: size, Bandwidth: 10 * units.MBPerSec},
+		}
+		rt := Time(steps)
+		serial := par + ser + time.Duration(xferMin)*time.Minute
+		longest := par
+		if ser > longest {
+			longest = ser
+		}
+		tol := time.Millisecond
+		return rt <= serial+tol && rt+tol >= longest
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeNumericalExample(t *testing.T) {
+	// The paper's array-failure intuition: transfer dominates. 1360 GB at
+	// 231.9 MB/s available tape bandwidth is ~1.67h.
+	steps := []Step{{
+		ParFix:    72 * time.Second,
+		SerFix:    36 * time.Second,
+		Size:      1360 * units.GB,
+		Bandwidth: 231.9 * units.MBPerSec,
+	}}
+	got := Time(steps).Hours()
+	if math.Abs(got-1.68) > 0.02 {
+		t.Errorf("array restore = %.3fh, want ~1.68h", got)
+	}
+}

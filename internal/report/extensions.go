@@ -1,0 +1,115 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"stordep/internal/core"
+	"stordep/internal/units"
+	"stordep/internal/whatif"
+)
+
+// Figure1 renders a design's structure as ASCII (the paper's Figure 1:
+// the example storage system with its RP propagation hierarchy).
+func Figure1(d *core.Design) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: Storage system design %q\n", d.Name)
+	fmt.Fprintf(&b, "  workload %s on primary copy (level 0) @ %s\n",
+		d.Workload.Name, d.Primary.Array)
+	for i, tech := range d.Levels {
+		arrow := "  " + strings.Repeat("  ", i) + "└─ "
+		loc := tech.CopyDevice()
+		if tr := tech.TransportDevice(); tr != "" {
+			loc += " via " + tr
+		}
+		fmt.Fprintf(&b, "%slevel %d: %s -> %s\n", arrow, i+1, tech.Name(), loc)
+	}
+	if len(d.Devices) > 0 {
+		b.WriteString("  devices:\n")
+		for _, pd := range d.Devices {
+			site := pd.Placement.Site
+			if site == "" {
+				site = "(mobile)"
+			}
+			fmt.Fprintf(&b, "    %-22s %-13s @ %s\n", pd.Spec.Name, pd.Spec.Kind, site)
+		}
+	}
+	if d.Facility != nil {
+		fmt.Fprintf(&b, "  recovery facility @ %s (provision %s, %g%% retainer)\n",
+			d.Facility.Placement.Site,
+			units.FormatDuration(d.Facility.ProvisionTime),
+			d.Facility.CostFactor*100)
+	}
+	return b.String()
+}
+
+// DegradedTable renders a degraded-mode study: the marginal loss exposure
+// of running with each protection technique out of service.
+func DegradedTable(scenario string, rows []whatif.DegradedOutcome) string {
+	t := NewTable(
+		fmt.Sprintf("Degraded mode exposure (%s failure)", scenario),
+		"Degraded level", "Down for", "Healthy loss", "Degraded loss", "Extra penalty")
+	for _, r := range rows {
+		t.AddRow(
+			r.Level,
+			units.FormatDuration(r.Outage),
+			hours(r.Healthy),
+			hours(r.Degraded),
+			r.ExtraPenalty.String(),
+		)
+	}
+	return t.String()
+}
+
+// ExpectedTable renders a frequency-weighted expected-cost ranking next
+// to the worst-case criterion.
+func ExpectedTable(worst []whatif.Result, expected []whatif.ExpectedRanking) string {
+	t := NewTable("Design ranking: worst-scenario total vs expected annual cost",
+		"Design", "Worst-case total", "Expected annual")
+	expByName := make(map[string]units.Money, len(expected))
+	for _, e := range expected {
+		expByName[e.Design] = e.Expected
+	}
+	for _, r := range worst {
+		t.AddRow(r.Design, money(r.WorstTotal()), money(expByName[r.Design]))
+	}
+	return t.String()
+}
+
+// ServiceTable renders a multi-object service assessment: per-object
+// recovery with dependency gating, then the service-level critical path.
+func ServiceTable(sa *core.ServiceAssessment) string {
+	t := NewTable(
+		fmt.Sprintf("Multi-object service recovery (%s failure)", sa.Scenario.DisplayName()),
+		"Object", "Source", "Own RT", "Effective RT", "Data loss")
+	for _, oa := range sa.Objects {
+		src := oa.Plan.SourceName
+		if oa.WholeObjectLost {
+			src = "(unrecoverable)"
+		}
+		t.AddRow(oa.Object, src,
+			hours(oa.RecoveryTime), hours(oa.EffectiveRT), hours(oa.DataLoss))
+	}
+	t.AddSeparator()
+	t.AddRow("service", "", hours(sa.RecoveryTime), hours(sa.RecoveryTime), hours(sa.DataLoss))
+	return t.String()
+}
+
+// ParetoTable renders a Pareto frontier.
+func ParetoTable(title string, pts []whatif.Point) string {
+	t := NewTable(title, "Design", "Recovery time", "Data loss", "Outlays")
+	for _, p := range pts {
+		t.AddRow(p.Design, hours(p.RecoveryTime), hours(p.DataLoss), p.Outlays.String())
+	}
+	return t.String()
+}
+
+// durations below one minute render awkwardly in the hours helper; keep a
+// crisp formatter for sub-hour plan steps if needed by future renderers.
+func shortDuration(d time.Duration) string {
+	if d < time.Hour {
+		return units.FormatDuration(d)
+	}
+	return hours(d)
+}

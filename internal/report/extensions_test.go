@@ -1,0 +1,132 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"stordep/internal/casestudy"
+	"stordep/internal/core"
+	"stordep/internal/cost"
+	"stordep/internal/device"
+	"stordep/internal/failure"
+	"stordep/internal/protect"
+	"stordep/internal/units"
+	"stordep/internal/whatif"
+	"stordep/internal/workload"
+)
+
+func TestFigure1(t *testing.T) {
+	out := Figure1(casestudy.Baseline())
+	for _, want := range []string{
+		"Figure 1", "level 0", "level 1: split-mirror", "level 3: vaulting",
+		"tape-vault via air-shipment", "disk-array", "(mobile)",
+		"recovery facility @ recovery-site", "provision 9h", "20% retainer",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDegradedTable(t *testing.T) {
+	rows, err := whatif.DegradedStudy(casestudy.Baseline(),
+		failure.Scenario{Scope: failure.ScopeArray}, []time.Duration{units.Week})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := DegradedTable("array", rows)
+	for _, want := range []string{"Degraded mode exposure", "backup", "1wk", "217 hr", "385 hr", "$8.40M"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DegradedTable missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpectedTable(t *testing.T) {
+	results, err := whatif.Evaluate(casestudy.WhatIfDesigns(), []failure.Scenario{
+		{Scope: failure.ScopeArray}, {Scope: failure.ScopeSite},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := whatif.Rank(results)
+	expected := whatif.RankExpected(results, whatif.TypicalFrequencies())
+	out := ExpectedTable(worst, expected)
+	for _, want := range []string{"Expected annual", "Baseline", "AsyncB mirror, 1 link(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ExpectedTable missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "$") < 14 {
+		t.Errorf("ExpectedTable seems incomplete:\n%s", out)
+	}
+}
+
+func TestServiceTable(t *testing.T) {
+	base := casestudy.Baseline()
+	md := &core.MultiDesign{
+		Name:         "svc",
+		Requirements: cost.CaseStudyRequirements(),
+		Devices:      base.Devices,
+		Facility:     base.Facility,
+		Objects: []core.ObjectSpec{
+			{
+				Name:     "a",
+				Workload: workload.FileServer(300 * units.GB),
+				Primary:  &protect.Primary{Array: device.NameDiskArray},
+				Levels: []protect.Technique{
+					&protect.Backup{InstanceName: "a-backup", SourceArray: device.NameDiskArray,
+						Target: device.NameTapeLibrary, Pol: casestudy.BackupPolicy()},
+				},
+			},
+			{
+				Name:      "b",
+				Workload:  workload.OLTP(200 * units.GB),
+				Primary:   &protect.Primary{Array: device.NameDiskArray},
+				DependsOn: []string{"a"},
+				Levels: []protect.Technique{
+					&protect.Backup{InstanceName: "b-backup", SourceArray: device.NameDiskArray,
+						Target: device.NameTapeLibrary, Pol: casestudy.BackupPolicy()},
+				},
+			},
+		},
+	}
+	ms, err := core.BuildMulti(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := ms.Assess(failure.Scenario{Scope: failure.ScopeArray})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ServiceTable(sa)
+	for _, want := range []string{"Multi-object service recovery (array failure)", "a-backup", "b-backup", "service"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ServiceTable missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParetoTable(t *testing.T) {
+	results, err := whatif.Evaluate(casestudy.WhatIfDesigns(), []failure.Scenario{
+		{Scope: failure.ScopeSite},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := whatif.Pareto(results, 0)
+	out := ParetoTable("Frontier", pts)
+	if !strings.Contains(out, "Frontier") || strings.Count(out, "\n") < 3 {
+		t.Errorf("ParetoTable:\n%s", out)
+	}
+}
+
+func TestShortDuration(t *testing.T) {
+	if got := shortDuration(30 * time.Minute); got != "30min" {
+		t.Errorf("shortDuration = %q", got)
+	}
+	if got := shortDuration(26 * time.Hour); got != "26 hr" {
+		t.Errorf("shortDuration = %q", got)
+	}
+}

@@ -1,0 +1,324 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"stordep/internal/core"
+	"stordep/internal/hierarchy"
+	"stordep/internal/units"
+	"stordep/internal/workload"
+)
+
+// hours formats a duration as fractional hours, the unit of the paper's
+// dependability tables.
+func hours(d time.Duration) string {
+	if d == units.Forever {
+		return "inf"
+	}
+	switch {
+	case d < time.Second:
+		return fmt.Sprintf("%.3g s", d.Seconds())
+	case d < time.Hour:
+		return fmt.Sprintf("%.2g hr", d.Hours())
+	default:
+		return fmt.Sprintf("%.4g hr", d.Hours())
+	}
+}
+
+func pct(u float64) string { return fmt.Sprintf("%.1f%%", u*100) }
+
+func money(m units.Money) string {
+	if math.IsInf(float64(m), 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("$%.2fM", float64(m)/1e6)
+}
+
+// Table2 renders the workload parameters in the layout of the paper's
+// Table 2.
+func Table2(w *workload.Workload) string { return Table2Data(w).String() }
+
+// Table2Data builds the Table 2 rows for custom rendering (CSV, ...).
+func Table2Data(w *workload.Workload) *Table {
+	t := NewTable(
+		fmt.Sprintf("Table 2: Parameters for %s workload", w.Name),
+		"dataCap", "avgAccessR", "avgUpdateR", "burstM", "batchUpdR(win)")
+	var parts []string
+	for _, p := range w.BatchCurve {
+		parts = append(parts, fmt.Sprintf("%s: %v", units.FormatDuration(p.Window), p.Rate))
+	}
+	t.AddRow(
+		w.DataCap.String(),
+		w.AvgAccessRate.String(),
+		w.AvgUpdateRate.String(),
+		fmt.Sprintf("%.3gX", w.BurstMult),
+		strings.Join(parts, "; "),
+	)
+	return t
+}
+
+// Table3 renders a design's data protection technique parameters (the
+// paper's Table 3).
+func Table3(d *core.Design) string { return Table3Data(d).String() }
+
+// Table3Data builds the Table 3 rows for custom rendering.
+func Table3Data(d *core.Design) *Table {
+	t := NewTable(
+		fmt.Sprintf("Table 3: Data protection technique parameters (%s)", d.Name),
+		"Technique", "accW", "propW", "holdW", "cyclePer", "retCnt", "retW", "copyRep", "propRep")
+	for _, tech := range d.Levels {
+		lvl := tech.Level()
+		p := lvl.Policy
+		t.AddRow(
+			lvl.Name,
+			units.FormatDuration(p.Primary.AccW),
+			units.FormatDuration(p.Primary.PropW),
+			units.FormatDuration(p.Primary.HoldW),
+			units.FormatDuration(p.CyclePeriod()),
+			fmt.Sprintf("%d", p.RetCnt),
+			units.FormatDuration(p.RetW),
+			p.CopyRep.String(),
+			p.Primary.Rep.String(),
+		)
+		if p.Secondary != nil {
+			t.AddRow(
+				fmt.Sprintf("  +%d incrementals", p.CycleCnt),
+				units.FormatDuration(p.Secondary.AccW),
+				units.FormatDuration(p.Secondary.PropW),
+				units.FormatDuration(p.Secondary.HoldW),
+				"", "", "", "",
+				p.Secondary.Rep.String(),
+			)
+		}
+	}
+	return t
+}
+
+// Table4 renders a design's device configuration (the paper's Table 4).
+func Table4(d *core.Design) string { return Table4Data(d).String() }
+
+// Table4Data builds the Table 4 rows for custom rendering.
+func Table4Data(d *core.Design) *Table {
+	t := NewTable(
+		fmt.Sprintf("Table 4: Device configuration parameters (%s)", d.Name),
+		"Device", "capSlots@slotCap", "bwSlots@slotBW", "enclBW", "devDelay", "costs", "spare", "spareTime", "spareDisc")
+	for _, pd := range d.Devices {
+		s := pd.Spec
+		capCol, bwCol, encl := "n/a", "n/a", "n/a"
+		if s.MaxCapSlots > 0 {
+			capCol = fmt.Sprintf("%d@%v", s.MaxCapSlots, s.SlotCap)
+		}
+		if s.MaxBWSlots > 0 {
+			bwCol = fmt.Sprintf("%d@%v", s.MaxBWSlots, s.SlotBW)
+		}
+		if s.EnclBW > 0 {
+			encl = s.EnclBW.String()
+		}
+		delay := "n/a"
+		if s.Delay > 0 {
+			delay = units.FormatDuration(s.Delay)
+		}
+		var costParts []string
+		if s.Cost.Fixed != 0 {
+			costParts = append(costParts, fmt.Sprintf("%.0f", float64(s.Cost.Fixed)))
+		}
+		if s.Cost.PerGB != 0 {
+			costParts = append(costParts, fmt.Sprintf("c*%.1f", s.Cost.PerGB))
+		}
+		if s.Cost.PerMBPerSec != 0 {
+			costParts = append(costParts, fmt.Sprintf("b*%.1f", s.Cost.PerMBPerSec))
+		}
+		if s.Cost.PerShipment != 0 {
+			costParts = append(costParts, fmt.Sprintf("s*%.0f", s.Cost.PerShipment))
+		}
+		spare, spareTime, spareDisc := s.Spare.Kind.String(), "n/a", "n/a"
+		if s.HasSpare() {
+			spareTime = units.FormatDuration(s.Spare.ProvisionTime)
+			spareDisc = fmt.Sprintf("%gX", s.Spare.Discount)
+		}
+		t.AddRow(s.Name, capCol, bwCol, encl, delay,
+			strings.Join(costParts, " + "), spare, spareTime, spareDisc)
+	}
+	return t
+}
+
+// Table5 renders the normal-mode utilization breakdown (the paper's
+// Table 5).
+func Table5(u core.Utilization) string { return Table5Data(u).String() }
+
+// Table5Data builds the Table 5 rows for custom rendering.
+func Table5Data(u core.Utilization) *Table {
+	t := NewTable("Table 5: Normal mode bandwidth and capacity utilization",
+		"Device / Technique", "Bandwidth", "Capacity")
+	for _, du := range u.PerDevice {
+		if len(du.Rows) == 0 {
+			continue
+		}
+		t.AddRow(du.Device, "", "")
+		for _, r := range du.Rows {
+			t.AddRow("  "+r.Technique, pct(r.BWUtil), pct(r.CapUtil))
+		}
+		t.AddRow("  overall",
+			fmt.Sprintf("%s (%v)", pct(du.BWUtil), du.Bandwidth),
+			fmt.Sprintf("%s (%v)", pct(du.CapUtil), du.Capacity))
+		t.AddSeparator()
+	}
+	t.AddRow("system",
+		fmt.Sprintf("%s (%s)", pct(u.BW), u.BWDevice),
+		fmt.Sprintf("%s (%s)", pct(u.Cap), u.CapDevice))
+	return t
+}
+
+// Table6 renders worst-case recovery time and recent data loss per failure
+// scenario (the paper's Table 6).
+func Table6(assessments []*core.Assessment) string { return Table6Data(assessments).String() }
+
+// Table6Data builds the Table 6 rows for custom rendering.
+func Table6Data(assessments []*core.Assessment) *Table {
+	t := NewTable("Table 6: Worst case recovery time and recent data loss",
+		"Failure scope", "Recovery source", "Recovery time", "Recent data loss")
+	for _, a := range assessments {
+		src := a.Plan.SourceName
+		loss := hours(a.DataLoss)
+		if a.WholeObjectLost {
+			src, loss = "(unrecoverable)", "entire object"
+		}
+		t.AddRow(a.Scenario.DisplayName(), src, hours(a.RecoveryTime), loss)
+	}
+	return t
+}
+
+// WhatIfRow is one design's Table 7 row: outlays plus dependability and
+// penalties under the array-failure and site-disaster scenarios.
+type WhatIfRow struct {
+	Design string
+	Array  *core.Assessment
+	Site   *core.Assessment
+}
+
+// Table7 renders the what-if comparison (the paper's Table 7).
+func Table7(rows []WhatIfRow) string { return Table7Data(rows).String() }
+
+// Table7Data builds the Table 7 rows for custom rendering.
+func Table7Data(rows []WhatIfRow) *Table {
+	t := NewTable("Table 7: Recovery time (RT), recent data loss (DL) and cost, what-if scenarios",
+		"Storage system design", "Outlays",
+		"RT(arr)", "DL(arr)", "Pen(arr)", "Total(arr)",
+		"RT(site)", "DL(site)", "Pen(site)", "Total(site)")
+	for _, r := range rows {
+		t.AddRow(
+			r.Design,
+			money(r.Array.Cost.Outlays.Total()),
+			hours(r.Array.RecoveryTime), hours(r.Array.DataLoss),
+			money(r.Array.Cost.Penalties.Total()), money(r.Array.Cost.Total()),
+			hours(r.Site.RecoveryTime), hours(r.Site.DataLoss),
+			money(r.Site.Cost.Penalties.Total()), money(r.Site.Cost.Total()),
+		)
+	}
+	return t
+}
+
+// Figure5 renders the overall-cost breakdown per failure scenario as an
+// ASCII bar chart (the paper's Figure 5): outlays split by technique plus
+// the outage and loss penalties.
+func Figure5(assessments []*core.Assessment) string {
+	const width = 40
+	var b strings.Builder
+	b.WriteString("Figure 5: Overall system cost by failure scenario\n")
+
+	var max float64
+	for _, a := range assessments {
+		if tot := float64(a.Cost.Total()); !math.IsInf(tot, 1) && tot > max {
+			max = tot
+		}
+	}
+	for _, a := range assessments {
+		fmt.Fprintf(&b, "\n%s failure: total %s\n", a.Scenario.DisplayName(), money(a.Cost.Total()))
+		byTech, names := a.Cost.Outlays.ByTechnique()
+		for _, name := range names {
+			v := byTech[name]
+			fmt.Fprintf(&b, "  outlay  %-22s %10s |%s|\n",
+				name, money(v), Bar(float64(v), max, width))
+		}
+		fmt.Fprintf(&b, "  penalty %-22s %10s |%s|\n",
+			"data outage", money(a.Cost.Penalties.Outage),
+			Bar(float64(a.Cost.Penalties.Outage), max, width))
+		fmt.Fprintf(&b, "  penalty %-22s %10s |%s|\n",
+			"recent data loss", money(a.Cost.Penalties.Loss),
+			Bar(float64(a.Cost.Penalties.Loss), max, width))
+	}
+	return b.String()
+}
+
+// Figure2 renders the per-level timing parameters as a textual timeline
+// (the paper's Figure 2).
+func Figure2(d *core.Design) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: Parameter specification for %s\n", d.Name)
+	fmt.Fprintf(&b, "  level 0: primary copy on %s\n", d.Primary.Array)
+	for i, tech := range d.Levels {
+		lvl := tech.Level()
+		p := lvl.Policy
+		fmt.Fprintf(&b, "  level %d: %s — every %s accumulate; hold %s; propagate over %s; retain %d for %s\n",
+			i+1, lvl.Name,
+			units.FormatDuration(p.Primary.AccW),
+			units.FormatDuration(p.Primary.HoldW),
+			units.FormatDuration(p.Primary.PropW),
+			p.RetCnt,
+			units.FormatDuration(p.RetW),
+		)
+		if p.Secondary != nil {
+			fmt.Fprintf(&b, "           plus %d incrementals per cycle: every %s, hold %s, propagate over %s\n",
+				p.CycleCnt,
+				units.FormatDuration(p.Secondary.AccW),
+				units.FormatDuration(p.Secondary.HoldW),
+				units.FormatDuration(p.Secondary.PropW),
+			)
+		}
+	}
+	return b.String()
+}
+
+// Figure3 renders each level's guaranteed retrieval-point range (the
+// paper's Figure 3).
+func Figure3(c hierarchy.Chain) string {
+	t := NewTable("Figure 3: Range of RPs guaranteed present at each level",
+		"Level", "Technique", "Time lag (min..max)", "Guaranteed range")
+	for j := 1; j <= len(c); j++ {
+		r := c.GuaranteedRange(j)
+		t.AddRow(
+			fmt.Sprintf("%d", j),
+			c[j-1].Name,
+			fmt.Sprintf("%s..%s",
+				units.FormatDuration(c.CumTransferLag(j)),
+				units.FormatDuration(c.MaxLag(j))),
+			r.String(),
+		)
+	}
+	return t.String()
+}
+
+// Figure4 renders a recovery plan's dependency chain (the paper's
+// Figure 4).
+func Figure4(a *core.Assessment) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: Recovery time dependencies (%s failure)\n", a.Scenario.DisplayName())
+	if a.WholeObjectLost {
+		b.WriteString("  unrecoverable: no surviving level retains a usable RP\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  source: level %d (%s), worst-case loss %s\n",
+		a.Plan.SourceLevel, a.Plan.SourceName, hours(a.DataLoss))
+	for _, s := range a.Plan.Steps {
+		fmt.Fprintf(&b, "  step %-38s parFix=%-8s serFix=%-8s xfer=%v@%v\n",
+			s.Name,
+			units.FormatDuration(s.ParFix),
+			s.SerFix.String(),
+			s.Size, s.Bandwidth)
+	}
+	fmt.Fprintf(&b, "  recovery time: %s\n", hours(a.RecoveryTime))
+	return b.String()
+}

@@ -1,0 +1,263 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"stordep/internal/casestudy"
+	"stordep/internal/core"
+	"stordep/internal/failure"
+	"stordep/internal/workload"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("Title", "A", "BBBB")
+	tbl.AddRow("x", "y")
+	tbl.AddRow("longer", "z")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "A ") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(out, "longer  z") {
+		t.Errorf("row alignment wrong:\n%s", out)
+	}
+}
+
+func TestTableSeparatorAndRaggedRows(t *testing.T) {
+	tbl := NewTable("", "A", "B")
+	tbl.AddRow("1")
+	tbl.AddSeparator()
+	tbl.AddRow("2", "3", "4") // extra cell is kept
+	out := tbl.String()
+	if !strings.Contains(out, "---") {
+		t.Error("separator missing")
+	}
+	if !strings.Contains(out, "4") {
+		t.Error("extra cell dropped")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("t", "A", "B")
+	tbl.AddRow("plain", `has "quote", and comma`)
+	tbl.AddSeparator()
+	got := tbl.CSV()
+	want := "A,B\nplain,\"has \"\"quote\"\", and comma\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestBar(t *testing.T) {
+	tests := []struct {
+		value, max float64
+		width      int
+		want       string
+	}{
+		{50, 100, 10, "#####     "},
+		{100, 100, 10, "##########"},
+		{200, 100, 10, "##########"},
+		{0, 100, 10, "          "},
+		{-5, 100, 10, "          "},
+		{0.1, 100, 10, "#         "}, // sliver
+		{1, 0, 4, "    "},
+		{1, 1, 0, ""},
+	}
+	for _, tt := range tests {
+		if got := Bar(tt.value, tt.max, tt.width); got != tt.want {
+			t.Errorf("Bar(%v,%v,%d) = %q, want %q", tt.value, tt.max, tt.width, got, tt.want)
+		}
+	}
+}
+
+func buildBaseline(t *testing.T) (*core.System, []*core.Assessment) {
+	t.Helper()
+	sys, err := core.Build(casestudy.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := sys.AssessAll(failure.CaseStudyScenarios())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, as
+}
+
+func TestTable2(t *testing.T) {
+	out := Table2(workload.Cello())
+	for _, want := range []string{"1.3TB", "1.0MB/s", "799.0KB/s", "10X", "1min: 727.0KB/s", "12h: 350.0KB/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	out := Table3(casestudy.Baseline())
+	for _, want := range []string{"split-mirror", "backup", "vaulting", "12h", "1wk", "4wk12h", "39", "3yr", "full"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3 missing %q:\n%s", want, out)
+		}
+	}
+	// F+I variant shows the incremental row.
+	out = Table3(casestudy.WeeklyVaultFI())
+	if !strings.Contains(out, "+5 incrementals") {
+		t.Errorf("Table3 missing incremental row:\n%s", out)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	out := Table4(casestudy.Baseline())
+	for _, want := range []string{"disk-array", "256@73.0GB", "512.0MB/s", "tape-library", "16@60.0MB/s", "c*17.2", "b*108.6", "s*50", "dedicated", "none", "1X"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable5(t *testing.T) {
+	sys, _ := buildBaseline(t)
+	out := Table5(sys.Utilization())
+	for _, want := range []string{"foreground", "14.6%", "72.8%", "87.3%", "3.4%", "2.7%", "system"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table5 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable6(t *testing.T) {
+	_, as := buildBaseline(t)
+	out := Table6(as)
+	for _, want := range []string{"object", "split-mirror", "12 hr", "array", "backup", "217 hr", "site", "vaulting", "0.004 s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table6 missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "1429 hr") && !strings.Contains(out, "1429") {
+		t.Errorf("Table6 missing site loss:\n%s", out)
+	}
+}
+
+func TestTable7(t *testing.T) {
+	arrSc := failure.Scenario{Scope: failure.ScopeArray}
+	siteSc := failure.Scenario{Scope: failure.ScopeSite}
+	var rows []WhatIfRow
+	for _, d := range casestudy.WhatIfDesigns() {
+		sys, err := core.Build(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr, err := sys.Assess(arrSc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		site, err := sys.Assess(siteSc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, WhatIfRow{Design: d.Name, Array: arr, Site: site})
+	}
+	out := Table7(rows)
+	for _, want := range []string{"Baseline", "Weekly vault, daily F, snapshot", "AsyncB mirror, 10 link(s)", "217 hr", "DL(site)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table7 missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Count(out, "\n")
+	if lines < 9 {
+		t.Errorf("Table7 too short (%d lines):\n%s", lines, out)
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	_, as := buildBaseline(t)
+	out := Figure5(as)
+	for _, want := range []string{"object failure", "array failure", "site failure", "recent data loss", "data outage", "split-mirror", "|#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure5 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	out := Figure2(casestudy.Baseline())
+	for _, want := range []string{"level 0", "level 1: split-mirror", "every 12h", "level 3", "retain 39 for 3yr"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure2 missing %q:\n%s", want, out)
+		}
+	}
+	out = Figure2(casestudy.WeeklyVaultFI())
+	if !strings.Contains(out, "plus 5 incrementals per cycle") {
+		t.Errorf("Figure2 missing incrementals:\n%s", out)
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	sys, _ := buildBaseline(t)
+	out := Figure3(sys.Chain())
+	for _, want := range []string{"split-mirror", "[now-1d12h .. now-12h]", "backup", "vaulting"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	_, as := buildBaseline(t)
+	out := Figure4(as[2]) // site disaster
+	for _, want := range []string{"site failure", "vaulting", "parFix", "recovery time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure4Unrecoverable(t *testing.T) {
+	d := casestudy.Baseline()
+	d.Facility = nil
+	sys, err := core.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sys.Assess(failure.Scenario{Scope: failure.ScopeSite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Figure4(a)
+	if !strings.Contains(out, "unrecoverable") {
+		t.Errorf("Figure4 should mark unrecoverable:\n%s", out)
+	}
+	// Table 6 should render it too.
+	t6 := Table6([]*core.Assessment{a})
+	if !strings.Contains(t6, "entire object") || !strings.Contains(t6, "inf") {
+		t.Errorf("Table6 unrecoverable rendering:\n%s", t6)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := NewTable("Caption", "A", "B")
+	tbl.AddRow("x", "y|z")
+	tbl.AddSeparator()
+	got := tbl.Markdown()
+	for _, want := range []string{"**Caption**", "| A ", "| B", "|---", `y\|z`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, got)
+		}
+	}
+	// Separators are dropped; exactly one rule line.
+	if strings.Count(got, "|----") != 1 {
+		t.Errorf("rule lines:\n%s", got)
+	}
+}
+
+func TestTable6Markdown(t *testing.T) {
+	_, as := buildBaseline(t)
+	got := Table6Data(as).Markdown()
+	if !strings.Contains(got, "| array") || !strings.Contains(got, "217 hr") {
+		t.Errorf("Table6 markdown:\n%s", got)
+	}
+}

@@ -1,0 +1,192 @@
+// Package report renders the framework's outputs in the layout of the
+// paper's tables and figures: plain-text tables for terminals, CSV for
+// downstream tooling, and ASCII bar charts for the cost breakdown of
+// Figure 5.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned plain-text table.
+type Table struct {
+	// Title is printed above the table when non-empty.
+	Title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// AddRow appends a row; missing cells render empty, extras are kept.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(cells))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddSeparator appends a horizontal rule row.
+func (t *Table) AddSeparator() {
+	t.rows = append(t.rows, nil)
+}
+
+// columnWidths returns the width of each column across header and rows.
+func (t *Table) columnWidths() []int {
+	n := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	widths := make([]int, n)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	return widths
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := t.columnWidths()
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i, w := range widths {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", w, cell)
+		}
+		// Trim the padding on the last column.
+		s := b.String()
+		trimmed := strings.TrimRight(s, " ")
+		b.Reset()
+		b.WriteString(trimmed)
+		b.WriteByte('\n')
+	}
+	rule := func() {
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		total += 2 * (len(widths) - 1)
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	if len(t.header) > 0 {
+		writeRow(t.header)
+		rule()
+	}
+	for _, r := range t.rows {
+		if r == nil {
+			rule()
+			continue
+		}
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (RFC-4180 quoting for
+// cells containing commas, quotes or newlines).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.header) > 0 {
+		writeRow(t.header)
+	}
+	for _, r := range t.rows {
+		if r != nil {
+			writeRow(r)
+		}
+	}
+	return b.String()
+}
+
+// Bar renders a proportional ASCII bar of the given width for value out of
+// max. Values at or below zero produce an empty bar; an infinite or
+// max-exceeding value fills it.
+func Bar(value, max float64, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	if value <= 0 || max <= 0 {
+		return strings.Repeat(" ", width)
+	}
+	n := int(value / max * float64(width))
+	if n > width || value > max {
+		n = width
+	}
+	if n == 0 {
+		n = 1 // visible sliver for tiny non-zero values
+	}
+	return strings.Repeat("#", n) + strings.Repeat(" ", width-n)
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table; the
+// title becomes a bold caption line.
+func (t *Table) Markdown() string {
+	widths := t.columnWidths()
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	writeRow := func(row []string) {
+		b.WriteByte('|')
+		for i := range widths {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			fmt.Fprintf(&b, " %-*s |", widths[i], strings.ReplaceAll(cell, "|", "\\|"))
+		}
+		b.WriteByte('\n')
+	}
+	header := t.header
+	if len(header) == 0 && len(t.rows) > 0 {
+		header = make([]string, len(widths))
+	}
+	writeRow(header)
+	b.WriteByte('|')
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2))
+		b.WriteByte('|')
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		if r != nil {
+			writeRow(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,359 @@
+// Package sim is a discrete-event simulator for retrieval-point (RP)
+// propagation through a protection hierarchy. Where package hierarchy
+// derives closed-form worst-case bounds (§3.3.2–3.3.3 of the paper), this
+// simulator plays the actual RP lifecycle — accumulation windows closing,
+// holds, propagations, retention expiry — on a simulated clock, injects
+// failures at arbitrary instants, and measures the data loss that a
+// recovery would really incur.
+//
+// Its purpose is validation (the paper's own future work: "validate these
+// models using measurements of recovery behavior"): for every failure
+// instant, the simulated loss must never exceed the analytic worst case,
+// and the supremum over failure instants should approach it.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+
+	"stordep/internal/hierarchy"
+)
+
+// RP is one retrieval point held at a level.
+type RP struct {
+	// Cut is the instant the RP reflects: updates up to Cut are in it.
+	Cut time.Duration
+	// AvailableAt is when the RP finished propagating to the level.
+	AvailableAt time.Duration
+	// ExpiresAt is when retention discards it.
+	ExpiresAt time.Duration
+	// Secondary marks an incremental (partial) RP from a cyclic policy's
+	// secondary window; a restore from it also needs its base full.
+	Secondary bool
+}
+
+// Covers reports whether the RP is usable at observation time `at`.
+func (r RP) Covers(at time.Duration) bool {
+	return r.AvailableAt <= at && at < r.ExpiresAt
+}
+
+// event is a scheduled RP propagation start at one level.
+type event struct {
+	at    time.Duration
+	level int // 1-based
+	// secondary marks a cyclic policy's incremental window.
+	secondary bool
+	// seq breaks ties deterministically (FIFO for equal times).
+	seq int64
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	// Lower levels fire first at equal instants so a level snapshotting
+	// its source sees data that lands "at the same time" (the aligned
+	// schedules of Figure 2 depend on this).
+	if q[i].level != q[j].level {
+		return q[i].level < q[j].level
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// Outage suspends one level's RP propagation for a time span: windows
+// that close inside [From, To) produce no RP (the technique is out of
+// service). Used to validate the analytic degraded-mode model.
+type Outage struct {
+	Level    int // 1-based
+	From, To time.Duration
+}
+
+// contains reports whether the instant falls inside the outage.
+func (o Outage) contains(at time.Duration) bool {
+	return at >= o.From && at < o.To
+}
+
+// Simulator replays RP propagation for a hierarchy chain.
+type Simulator struct {
+	chain   hierarchy.Chain
+	levels  [][]RP // retained and expired RPs per level, in cut order
+	outages []Outage
+	ran     time.Duration
+}
+
+// New validates the chain and returns a simulator.
+func New(c hierarchy.Chain) (*Simulator, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	chain := make(hierarchy.Chain, len(c))
+	copy(chain, c)
+	return &Simulator{
+		chain:  chain,
+		levels: make([][]RP, len(c)),
+	}, nil
+}
+
+// ErrNotRun is returned by queries before Run.
+var ErrNotRun = errors.New("sim: Run must be called first")
+
+// AddOutage registers a propagation outage; it must be called before Run.
+func (s *Simulator) AddOutage(o Outage) error {
+	if s.ran > 0 {
+		return errors.New("sim: outages must be added before Run")
+	}
+	if o.Level < 1 || o.Level > len(s.chain) {
+		return fmt.Errorf("sim: outage level %d out of range", o.Level)
+	}
+	if o.To <= o.From || o.From < 0 {
+		return fmt.Errorf("sim: outage window [%v, %v) invalid", o.From, o.To)
+	}
+	s.outages = append(s.outages, o)
+	return nil
+}
+
+// Run simulates RP propagation from time zero (cold start: no RPs exist)
+// until the given horizon. It may be called once per Simulator.
+func (s *Simulator) Run(until time.Duration) error {
+	if s.ran > 0 {
+		return errors.New("sim: already run")
+	}
+	if until <= 0 {
+		return fmt.Errorf("sim: horizon must be positive, got %v", until)
+	}
+	var q eventQueue
+	var seq int64
+	push := func(e event) {
+		e.seq = seq
+		seq++
+		heap.Push(&q, e)
+	}
+	// Seed the first cycle of every level. Primary windows fire at
+	// multiples of the cycle period; secondary (incremental) windows fire
+	// between them. Each level is phase-aligned to fire just after fresh
+	// data lands from below (the paper's Figure 2 construction: backup
+	// propagation begins right after the Saturday-midnight split; vault
+	// shipments catch the just-expired backup), which is what makes the
+	// closed-form worst case Σ(holdW+propW)+accW achievable.
+	for j := 1; j <= len(s.chain); j++ {
+		pol := s.chain[j-1].Policy
+		phase := s.chain.CumTransferLag(j - 1)
+		push(event{at: phase + pol.Primary.AccW, level: j})
+		if pol.Secondary != nil {
+			for k := 1; k <= pol.CycleCnt; k++ {
+				push(event{
+					at:        phase + pol.Primary.AccW + time.Duration(k)*pol.Secondary.AccW,
+					level:     j,
+					secondary: true,
+				})
+			}
+		}
+	}
+	for q.Len() > 0 {
+		e := heap.Pop(&q).(event)
+		if e.at > until {
+			break
+		}
+		s.fire(e)
+		// Reschedule one cycle later.
+		next := e
+		next.at += s.chain[e.level-1].Policy.CyclePeriod()
+		push(next)
+	}
+	s.ran = until
+	return nil
+}
+
+// fire executes one propagation: the level snapshots the newest content
+// available below it and the RP becomes available after hold+prop.
+func (s *Simulator) fire(e event) {
+	for _, o := range s.outages {
+		if o.Level == e.level && o.contains(e.at) {
+			return // technique out of service: the window produces nothing
+		}
+	}
+	pol := s.chain[e.level-1].Policy
+	win := pol.Primary
+	if e.secondary {
+		win = *pol.Secondary
+	}
+	// What does this RP reflect? Level 1 draws from the always-current
+	// primary copy: the RP covers updates through the window close (now).
+	// Deeper levels forward the newest RP available below at this instant.
+	cut := e.at
+	if e.level > 1 {
+		below, ok := s.newest(e.level-1, e.at)
+		if !ok {
+			return // nothing to propagate yet (cold start)
+		}
+		cut = below.Cut
+	}
+	avail := e.at + win.HoldW + win.PropW
+	s.levels[e.level-1] = append(s.levels[e.level-1], RP{
+		Cut:         cut,
+		AvailableAt: avail,
+		ExpiresAt:   avail + pol.RetW,
+		Secondary:   e.secondary,
+	})
+}
+
+// newest returns the freshest RP usable at `at` on the level.
+func (s *Simulator) newest(level int, at time.Duration) (RP, bool) {
+	var best RP
+	found := false
+	// RPs are appended in window-close order, which is not availability
+	// order for cyclic policies (a slow full can land after a later fast
+	// incremental), so scan the whole list.
+	for _, rp := range s.levels[level-1] {
+		if rp.Covers(at) && (!found || rp.Cut > best.Cut) {
+			best, found = rp, true
+		}
+	}
+	return best, found
+}
+
+// Available returns the RPs usable at observation time `at` on a level.
+func (s *Simulator) Available(level int, at time.Duration) ([]RP, error) {
+	if s.ran == 0 {
+		return nil, ErrNotRun
+	}
+	if level < 1 || level > len(s.chain) {
+		return nil, fmt.Errorf("sim: level %d out of range", level)
+	}
+	var out []RP
+	for _, rp := range s.levels[level-1] {
+		if rp.Covers(at) {
+			out = append(out, rp)
+		}
+	}
+	return out, nil
+}
+
+// baseFull returns the newest full RP at the level whose cut does not
+// postdate the incremental's: the base a cumulative incremental must be
+// applied over. A cumulative incremental covers updates since the last
+// full only, so no older full can substitute.
+func (s *Simulator) baseFull(level int, incr RP) (RP, bool) {
+	var best RP
+	found := false
+	for _, rp := range s.levels[level-1] {
+		if !rp.Secondary && rp.Cut <= incr.Cut && (!found || rp.Cut > best.Cut) {
+			best, found = rp, true
+		}
+	}
+	return best, found
+}
+
+// usableAt reports whether the RP can actually serve a restore at failAt:
+// it must cover the instant itself and, for incrementals, so must its
+// base full (an incremental that lands while its full is still
+// propagating is useless until the full arrives).
+func (s *Simulator) usableAt(level int, rp RP, failAt time.Duration) bool {
+	if !rp.Covers(failAt) {
+		return false
+	}
+	if !rp.Secondary {
+		return true
+	}
+	base, ok := s.baseFull(level, rp)
+	return ok && base.Covers(failAt)
+}
+
+// Loss measures the data loss a recovery would incur if a failure struck
+// at failAt with the given surviving levels, restoring to the target
+// instant failAt-targetAge. The serving RP is the newest usable one
+// (across surviving levels) whose cut does not postdate the target; the
+// loss is target-cut. ok is false when no usable RP survives: the object
+// is lost.
+func (s *Simulator) Loss(surviving []int, failAt, targetAge time.Duration) (loss time.Duration, level int, ok bool) {
+	if s.ran == 0 || failAt > s.ran {
+		return 0, 0, false
+	}
+	target := failAt - targetAge
+	if target < 0 {
+		return 0, 0, false
+	}
+	bestLevel := 0
+	var bestCut time.Duration = -1
+	for _, j := range surviving {
+		if j < 1 || j > len(s.chain) {
+			continue
+		}
+		for _, rp := range s.levels[j-1] {
+			if s.usableAt(j, rp, failAt) && rp.Cut <= target && rp.Cut > bestCut {
+				bestCut, bestLevel = rp.Cut, j
+			}
+		}
+	}
+	if bestLevel == 0 {
+		return 0, 0, false
+	}
+	return target - bestCut, bestLevel, true
+}
+
+// Stats summarizes a loss study across failure instants.
+type Stats struct {
+	// Samples is the number of failure instants evaluated.
+	Samples int
+	// Unrecoverable counts instants where no usable RP survived.
+	Unrecoverable int
+	// Max and Mean summarize the loss over recoverable instants.
+	Max  time.Duration
+	Mean time.Duration
+}
+
+// LossStudy sweeps failure instants from `from` to `to` (inclusive) every
+// `step` and aggregates the measured losses.
+func (s *Simulator) LossStudy(surviving []int, targetAge, from, to, step time.Duration) (Stats, error) {
+	if s.ran == 0 {
+		return Stats{}, ErrNotRun
+	}
+	if step <= 0 || to < from {
+		return Stats{}, fmt.Errorf("sim: bad study window [%v, %v] step %v", from, to, step)
+	}
+	var st Stats
+	var sum time.Duration
+	for at := from; at <= to; at += step {
+		st.Samples++
+		loss, _, ok := s.Loss(surviving, at, targetAge)
+		if !ok {
+			st.Unrecoverable++
+			continue
+		}
+		if loss > st.Max {
+			st.Max = loss
+		}
+		sum += loss
+	}
+	if n := st.Samples - st.Unrecoverable; n > 0 {
+		st.Mean = sum / time.Duration(n)
+	}
+	return st, nil
+}
+
+// WarmUp returns a horizon after which every level is in steady state:
+// each has filled its retention and absorbed the full propagation lag.
+func (s *Simulator) WarmUp() time.Duration {
+	var warm time.Duration
+	for j := 1; j <= len(s.chain); j++ {
+		pol := s.chain[j-1].Policy
+		candidate := s.chain.CumTransferLag(j) +
+			time.Duration(pol.RetCnt+1)*pol.CyclePeriod() + pol.RetW
+		if candidate > warm {
+			warm = candidate
+		}
+	}
+	return warm
+}
+
+// Chain returns the simulated chain.
+func (s *Simulator) Chain() hierarchy.Chain { return s.chain }

@@ -1,0 +1,374 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"stordep/internal/hierarchy"
+	"stordep/internal/units"
+)
+
+// baselineChain mirrors the paper's Table 3 hierarchy.
+func baselineChain() hierarchy.Chain {
+	return hierarchy.Chain{
+		{Name: "split-mirror", Policy: hierarchy.Policy{
+			Primary: hierarchy.WindowSet{AccW: 12 * time.Hour, Rep: hierarchy.RepFull},
+			RetCnt:  4, RetW: 2 * units.Day, CopyRep: hierarchy.RepFull,
+		}},
+		{Name: "tape-backup", Policy: hierarchy.Policy{
+			Primary: hierarchy.WindowSet{AccW: units.Week, PropW: 48 * time.Hour, HoldW: time.Hour, Rep: hierarchy.RepFull},
+			RetCnt:  4, RetW: 4 * units.Week, CopyRep: hierarchy.RepFull,
+		}},
+		{Name: "remote-vault", Policy: hierarchy.Policy{
+			Primary: hierarchy.WindowSet{AccW: 4 * units.Week, PropW: 24 * time.Hour, HoldW: 4*units.Week + 12*time.Hour, Rep: hierarchy.RepFull},
+			RetCnt:  39, RetW: 3 * units.Year, CopyRep: hierarchy.RepFull,
+		}},
+	}
+}
+
+func run(t *testing.T, c hierarchy.Chain, until time.Duration) *Simulator {
+	t.Helper()
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(until); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewRejectsInvalidChain(t *testing.T) {
+	if _, err := New(hierarchy.Chain{}); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}
+
+func TestRunGuards(t *testing.T) {
+	s, err := New(baselineChain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if err := s.Run(units.Week); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(units.Week); err == nil {
+		t.Error("second Run accepted")
+	}
+}
+
+func TestQueriesBeforeRun(t *testing.T) {
+	s, err := New(baselineChain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Available(1, 0); !errors.Is(err, ErrNotRun) {
+		t.Errorf("Available = %v", err)
+	}
+	if _, err := s.LossStudy([]int{1}, 0, 0, time.Hour, time.Hour); !errors.Is(err, ErrNotRun) {
+		t.Errorf("LossStudy = %v", err)
+	}
+	if _, _, ok := s.Loss([]int{1}, time.Hour, 0); ok {
+		t.Error("Loss before Run should fail")
+	}
+}
+
+func TestSplitMirrorTimeline(t *testing.T) {
+	c := baselineChain()[:1]
+	s := run(t, c, 5*units.Day)
+	// At t=100h the mirrors cut at 96h, 84h, 72h, 60h... are available;
+	// retention (2 days after availability) keeps cuts back to ~52h.
+	rps, err := s.Available(1, 100*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rps) == 0 {
+		t.Fatal("no mirrors available")
+	}
+	var newest time.Duration
+	for _, rp := range rps {
+		if rp.Cut > newest {
+			newest = rp.Cut
+		}
+	}
+	if newest != 96*time.Hour {
+		t.Errorf("newest mirror cut = %v, want 96h", newest)
+	}
+	// Losses: fail at 100h targeting now -> lose 4h (since the 96h cut).
+	loss, lvl, ok := s.Loss([]int{1}, 100*time.Hour, 0)
+	if !ok || lvl != 1 || loss != 4*time.Hour {
+		t.Errorf("loss = %v/%d/%v, want 4h/1/true", loss, lvl, ok)
+	}
+}
+
+func TestLevelIndexValidation(t *testing.T) {
+	s := run(t, baselineChain(), units.Week)
+	if _, err := s.Available(0, 0); err == nil {
+		t.Error("level 0 accepted")
+	}
+	if _, err := s.Available(9, 0); err == nil {
+		t.Error("level 9 accepted")
+	}
+}
+
+// TestSimulatedLossNeverExceedsAnalytic is the core validation property:
+// across thousands of failure instants, the measured loss never exceeds
+// the closed-form worst case, and the worst measured instant gets close
+// to it (the bound is tight).
+func TestSimulatedLossNeverExceedsAnalytic(t *testing.T) {
+	c := baselineChain()
+	horizon := 30 * units.Week
+	s := run(t, c, horizon)
+
+	cases := []struct {
+		name      string
+		surviving []int
+		targetAge time.Duration
+		analytic  time.Duration
+	}{
+		{"object via mirror", []int{1, 2, 3}, 24 * time.Hour, 12 * time.Hour},
+		{"array via backup", []int{2, 3}, 0, 217 * time.Hour},
+		{"site via vault", []int{3}, 0, 1429 * time.Hour},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			from := 20 * units.Week // past warm-up for levels 1-3 arrivals
+			st, err := s.LossStudy(tc.surviving, tc.targetAge, from, horizon-units.Week, time.Hour)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Unrecoverable > 0 {
+				t.Fatalf("%d unrecoverable instants in steady state", st.Unrecoverable)
+			}
+			if st.Max > tc.analytic {
+				t.Errorf("simulated max loss %v exceeds analytic %v", st.Max, tc.analytic)
+			}
+			// Tightness: the worst sampled instant should reach at least
+			// 90%% of the bound (hourly sampling misses the supremum by at
+			// most one step plus alignment effects).
+			if st.Max < time.Duration(0.9*float64(tc.analytic)) {
+				t.Errorf("simulated max loss %v far below analytic %v (bound not tight?)",
+					st.Max, tc.analytic)
+			}
+			if st.Mean <= 0 || st.Mean > st.Max {
+				t.Errorf("mean %v out of range (max %v)", st.Mean, st.Max)
+			}
+		})
+	}
+}
+
+// TestGuaranteedRangeHolds: every instant in the analytic guaranteed
+// range is actually recoverable in the simulation.
+func TestGuaranteedRangeHolds(t *testing.T) {
+	c := baselineChain()
+	horizon := 30 * units.Week
+	s := run(t, c, horizon)
+	for j := 1; j <= len(c); j++ {
+		r := c.GuaranteedRange(j)
+		if r.Empty() {
+			t.Fatalf("level %d range empty", j)
+		}
+		failAt := 25 * units.Week
+		for _, age := range []time.Duration{r.Newest, (r.Newest + r.Oldest) / 2, r.Oldest} {
+			if age > failAt {
+				continue // older than the sim horizon allows
+			}
+			if _, _, ok := s.Loss([]int{j}, failAt, age); !ok {
+				t.Errorf("level %d: target age %v in guaranteed range %v not recoverable",
+					j, age, r)
+			}
+		}
+	}
+}
+
+// TestColdStartUnrecoverable: before the first RP propagates, recovery
+// fails — and the framework's lag math predicts exactly when coverage
+// begins.
+func TestColdStartUnrecoverable(t *testing.T) {
+	c := baselineChain()
+	s := run(t, c, 4*units.Week)
+	// At t=1h no mirror exists yet.
+	if _, _, ok := s.Loss([]int{1}, time.Hour, 0); ok {
+		t.Error("recovery should fail before any RP exists")
+	}
+	// At t=13h the 12h mirror is available.
+	if _, _, ok := s.Loss([]int{1}, 13*time.Hour, 0); !ok {
+		t.Error("mirror should be available after the first split")
+	}
+	// Backup coverage begins at one week + hold + prop.
+	firstBackup := units.Week + 49*time.Hour
+	if _, _, ok := s.Loss([]int{2}, firstBackup-time.Hour, 0); ok {
+		t.Error("backup should not be available yet")
+	}
+	if _, _, ok := s.Loss([]int{2}, firstBackup+time.Hour, 0); !ok {
+		t.Error("backup should be available")
+	}
+}
+
+// TestCyclicPolicySim: the F+I backup's RPs arrive daily (incrementals)
+// with the fulls' long propagation, matching the 73-hour analytic bound.
+func TestCyclicPolicySim(t *testing.T) {
+	fi := hierarchy.Chain{
+		{Name: "fi-backup", Policy: hierarchy.Policy{
+			Primary:   hierarchy.WindowSet{AccW: 48 * time.Hour, PropW: 48 * time.Hour, HoldW: time.Hour, Rep: hierarchy.RepFull},
+			Secondary: &hierarchy.WindowSet{AccW: 24 * time.Hour, PropW: 12 * time.Hour, HoldW: time.Hour, Rep: hierarchy.RepPartial},
+			CycleCnt:  5,
+			RetCnt:    4, RetW: 4 * units.Week, CopyRep: hierarchy.RepFull,
+		}},
+	}
+	s := run(t, fi, 20*units.Week)
+	analytic, ok := fi.WorstCaseLoss(1, 0)
+	if !ok {
+		t.Fatal("analytic loss unavailable")
+	}
+	if analytic != 73*time.Hour {
+		t.Fatalf("analytic F+I loss = %v, want the paper's 73h", analytic)
+	}
+	st, err := s.LossStudy([]int{1}, 0, 10*units.Week, 19*units.Week, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Unrecoverable > 0 {
+		t.Fatalf("%d unrecoverable instants", st.Unrecoverable)
+	}
+	// VALIDATION FINDING (recorded in EXPERIMENTS.md): for cyclic
+	// policies the paper's closed-form worst case is optimistic. A new
+	// cycle's incrementals are useless until their base full finishes its
+	// 48-hour propagation, and during the full's accumulation no
+	// incrementals fire at all; so the previous cycle's last RP serves for
+	// up to accW_full + holdW_full + propW_full = 48 + 1 + 48 = 97h —
+	// a day beyond the paper's 73h formula.
+	structural := 48*time.Hour + time.Hour + 48*time.Hour
+	if st.Max > structural {
+		t.Errorf("simulated F+I max loss %v exceeds the structural bound %v", st.Max, structural)
+	}
+	if st.Max <= analytic {
+		t.Errorf("simulated F+I max loss %v unexpectedly within the paper's optimistic %v "+
+			"(did the schedule change?)", st.Max, analytic)
+	}
+	// Incrementals keep the typical loss far below the full-cycle worst.
+	if st.Mean >= st.Max {
+		t.Errorf("mean %v should be below max %v", st.Mean, st.Max)
+	}
+}
+
+func TestWarmUp(t *testing.T) {
+	s, err := New(baselineChain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.WarmUp()
+	// Warm-up must exceed the vault's retention fill (39 cycles x 4wk
+	// would be years; WarmUp uses retW directly).
+	if w < 3*units.Year {
+		t.Errorf("warm-up %v should cover the vault retention window", w)
+	}
+	if len(s.Chain()) != 3 {
+		t.Error("Chain accessor")
+	}
+}
+
+func TestLossStudyValidation(t *testing.T) {
+	s := run(t, baselineChain(), units.Week)
+	if _, err := s.LossStudy([]int{1}, 0, time.Hour, 0, time.Hour); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if _, err := s.LossStudy([]int{1}, 0, 0, time.Hour, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestLossBeyondHorizonOrNegativeTarget(t *testing.T) {
+	s := run(t, baselineChain(), units.Week)
+	if _, _, ok := s.Loss([]int{1}, 2*units.Week, 0); ok {
+		t.Error("failure beyond horizon should not be measurable")
+	}
+	if _, _, ok := s.Loss([]int{1}, time.Hour, 2*time.Hour); ok {
+		t.Error("target before time zero should fail")
+	}
+}
+
+// TestRetentionExpiry: mirrors expire after their retention window, so a
+// target older than the mirror span must come from the backup level.
+func TestRetentionExpiry(t *testing.T) {
+	s := run(t, baselineChain(), 10*units.Week)
+	failAt := 8 * units.Week
+	// A 4-day-old target outlives mirror retention (2 days); only the
+	// backup can serve it.
+	_, lvl, ok := s.Loss([]int{1, 2, 3}, failAt, 4*units.Day)
+	if !ok {
+		t.Fatal("4-day target should be recoverable")
+	}
+	if lvl != 2 {
+		t.Errorf("4-day rollback served from level %d, want 2 (backup)", lvl)
+	}
+	// A fresh target is served from the mirrors.
+	_, lvl, ok = s.Loss([]int{1, 2, 3}, failAt, 0)
+	if !ok || lvl != 1 {
+		t.Errorf("fresh target served from level %d/%v, want 1", lvl, ok)
+	}
+}
+
+// TestOutageValidation cross-checks the analytic degraded-mode model: a
+// two-week backup outage before the failure raises the measured loss
+// beyond the healthy bound but never beyond the degraded bound.
+func TestOutageValidation(t *testing.T) {
+	c := baselineChain()
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outage := 2 * units.Week
+	outageEnd := 24 * units.Week
+	if err := s.AddOutage(Outage{Level: 2, From: outageEnd - outage, To: outageEnd}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(26 * units.Week); err != nil {
+		t.Fatal(err)
+	}
+	healthy, ok := c.WorstCaseLoss(2, 0)
+	if !ok {
+		t.Fatal("no healthy bound")
+	}
+	degraded, ok := c.DegradedLoss(2, 2, outage, 0)
+	if !ok {
+		t.Fatal("no degraded bound")
+	}
+	// Failing right at the end of the outage shows the grown exposure.
+	loss, lvl, ok := s.Loss([]int{2, 3}, outageEnd, 0)
+	if !ok || lvl != 2 {
+		t.Fatalf("loss = %v/%d/%v", loss, lvl, ok)
+	}
+	if loss <= healthy {
+		t.Errorf("outage loss %v should exceed healthy bound %v", loss, healthy)
+	}
+	if loss > degraded {
+		t.Errorf("outage loss %v exceeds degraded bound %v", loss, degraded)
+	}
+}
+
+func TestAddOutageValidation(t *testing.T) {
+	s, err := New(baselineChain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddOutage(Outage{Level: 0, From: 0, To: time.Hour}); err == nil {
+		t.Error("level 0 accepted")
+	}
+	if err := s.AddOutage(Outage{Level: 1, From: time.Hour, To: time.Hour}); err == nil {
+		t.Error("empty window accepted")
+	}
+	if err := s.AddOutage(Outage{Level: 1, From: -time.Hour, To: time.Hour}); err == nil {
+		t.Error("negative start accepted")
+	}
+	if err := s.Run(units.Week); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddOutage(Outage{Level: 1, From: 0, To: time.Hour}); err == nil {
+		t.Error("outage after Run accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"stordep/internal/units"
+)
+
+// Trace files are CSV with a two-line header carrying the metadata the
+// analyzer needs:
+//
+//	#stordep-trace,v1
+//	#duration_us,block_size_bytes,blocks
+//	<at_us>,<block>
+//	...
+//
+// The format is deliberately trivial so real block traces can be
+// converted into it with a one-line awk script and fed to the same
+// analyzer that processes synthetic traces.
+
+const traceMagic = "#stordep-trace,v1"
+
+// ErrBadTraceFile marks malformed trace files.
+var ErrBadTraceFile = errors.New("trace: malformed trace file")
+
+// WriteCSV streams the trace in the stordep CSV format.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, traceMagic)
+	fmt.Fprintf(bw, "#%d,%d,%d\n",
+		t.Cfg.Duration.Microseconds(), int64(t.Cfg.BlockSize), t.Cfg.Blocks)
+	for _, r := range t.Records {
+		fmt.Fprintf(bw, "%d,%d\n", r.At.Microseconds(), r.Block)
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace in the stordep CSV format. Only the metadata
+// needed by Analyze is recovered; generation parameters (seed, burst
+// shape) are not round-tripped.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != traceMagic {
+		return nil, fmt.Errorf("%w: missing %q header", ErrBadTraceFile, traceMagic)
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: missing metadata line", ErrBadTraceFile)
+	}
+	meta := strings.TrimPrefix(strings.TrimSpace(sc.Text()), "#")
+	parts := strings.Split(meta, ",")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("%w: metadata %q", ErrBadTraceFile, meta)
+	}
+	durUS, err1 := strconv.ParseInt(parts[0], 10, 64)
+	blockSize, err2 := strconv.ParseInt(parts[1], 10, 64)
+	blocks, err3 := strconv.ParseInt(parts[2], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil || durUS <= 0 || blockSize <= 0 || blocks <= 0 {
+		return nil, fmt.Errorf("%w: metadata %q", ErrBadTraceFile, meta)
+	}
+	tr := &Trace{Cfg: Config{
+		Duration:  time.Duration(durUS) * time.Microsecond,
+		BlockSize: units.ByteSize(blockSize),
+		Blocks:    blocks,
+	}}
+	line := 2
+	var prev time.Duration
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		at, block, ok := strings.Cut(text, ",")
+		if !ok {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrBadTraceFile, line, text)
+		}
+		atUS, err1 := strconv.ParseInt(at, 10, 64)
+		blk, err2 := strconv.ParseInt(block, 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrBadTraceFile, line, text)
+		}
+		rec := Record{At: time.Duration(atUS) * time.Microsecond, Block: blk}
+		if rec.At < prev {
+			return nil, fmt.Errorf("%w: line %d: records must be time-ordered", ErrBadTraceFile, line)
+		}
+		if rec.At < 0 || rec.At > tr.Cfg.Duration || blk < 0 || blk >= blocks {
+			return nil, fmt.Errorf("%w: line %d: record out of range", ErrBadTraceFile, line)
+		}
+		prev = rec.At
+		tr.Records = append(tr.Records, rec)
+		if len(tr.Records) > maxRecords {
+			return nil, fmt.Errorf("%w: more than %d records", ErrTooMany, maxRecords)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return tr, nil
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := generate(t, fastConfig(21))
+	var buf strings.Builder
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(orig.Records) {
+		t.Fatalf("records: %d vs %d", len(back.Records), len(orig.Records))
+	}
+	if back.Cfg.BlockSize != orig.Cfg.BlockSize || back.Cfg.Blocks != orig.Cfg.Blocks ||
+		back.Cfg.Duration != orig.Cfg.Duration {
+		t.Errorf("metadata changed: %+v", back.Cfg)
+	}
+	for i := range orig.Records {
+		// Microsecond rounding only.
+		if d := back.Records[i].At - orig.Records[i].At; d < -time.Microsecond || d > time.Microsecond {
+			t.Fatalf("record %d time drifted by %v", i, d)
+		}
+		if back.Records[i].Block != orig.Records[i].Block {
+			t.Fatalf("record %d block changed", i)
+		}
+	}
+	// The analyzer produces near-identical results on the round-tripped
+	// trace.
+	a1, err := Analyze(orig, time.Minute, []time.Duration{time.Minute, time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Analyze(back, time.Minute, []time.Duration{time.Minute, time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.AvgUpdateRate != a2.AvgUpdateRate {
+		t.Errorf("avg rate drifted: %v vs %v", a1.AvgUpdateRate, a2.AvgUpdateRate)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"no magic", "hello\n"},
+		{"empty", ""},
+		{"no metadata", "#stordep-trace,v1\n"},
+		{"bad metadata fields", "#stordep-trace,v1\n#1,2\n"},
+		{"bad metadata numbers", "#stordep-trace,v1\n#x,2,3\n"},
+		{"zero duration", "#stordep-trace,v1\n#0,4096,100\n"},
+		{"bad record", "#stordep-trace,v1\n#1000000,4096,100\nnope\n"},
+		{"bad record numbers", "#stordep-trace,v1\n#1000000,4096,100\nx,y\n"},
+		{"unordered", "#stordep-trace,v1\n#1000000,4096,100\n500,1\n100,2\n"},
+		{"block out of range", "#stordep-trace,v1\n#1000000,4096,100\n500,100\n"},
+		{"time out of range", "#stordep-trace,v1\n#1000000,4096,100\n2000000,1\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.in)); !errors.Is(err, ErrBadTraceFile) {
+				t.Errorf("ReadCSV = %v, want ErrBadTraceFile", err)
+			}
+		})
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	in := "#stordep-trace,v1\n#1000000,4096,100\n100,1\n\n200,2\n"
+	tr, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 2 {
+		t.Errorf("records = %d", len(tr.Records))
+	}
+}

@@ -1,0 +1,353 @@
+// Package trace generates and analyzes synthetic block-level update
+// traces. The paper derives its workload parameters (Table 2) from a
+// measured trace of the cello workgroup file server; that trace is not
+// publicly available, so this package provides the equivalent measurement
+// path: a generator that produces update streams with controlled rate,
+// burstiness and overwrite locality, and an analyzer that measures the
+// five workload parameters the framework consumes — data capacity,
+// average update rate, burstiness, and the batch (unique) update rate as
+// a function of window length.
+//
+// The generator's locality model is hot/cold: a small hot fraction of
+// blocks absorbs most writes, so short windows see mostly-unique updates
+// while long windows coalesce heavy overwrites — exactly the decaying
+// batchUpdR(win) shape of Table 2.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"stordep/internal/units"
+	"stordep/internal/workload"
+)
+
+// Record is one block write at a point in simulated time.
+type Record struct {
+	// At is the write's offset from the trace start.
+	At time.Duration
+	// Block is the written block number in [0, Blocks).
+	Block int64
+}
+
+// Config controls trace generation.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Duration is the trace length.
+	Duration time.Duration
+	// BlockSize is the write granularity.
+	BlockSize units.ByteSize
+	// Blocks is the data object size in blocks.
+	Blocks int64
+	// AvgUpdateRate is the target long-run write rate.
+	AvgUpdateRate units.Rate
+	// BurstMult is the target peak-to-average ratio (>= 1). Bursts are
+	// modeled as a square wave: a fraction BurstFraction of each
+	// BurstPeriod runs at the peak rate.
+	BurstMult float64
+	// BurstFraction is the fraction of time spent at peak rate; it must
+	// satisfy BurstFraction*BurstMult <= 1 so the off-peak rate stays
+	// non-negative. Zero defaults to 0.05.
+	BurstFraction float64
+	// BurstPeriod is the burst cycle length (e.g. a day); zero defaults
+	// to Duration/8.
+	BurstPeriod time.Duration
+	// HotFraction is the fraction of blocks in the hot set (default 0.1).
+	HotFraction float64
+	// HotWeight is the probability a write lands in the hot set (default
+	// 0.9).
+	HotWeight float64
+}
+
+// Validation errors.
+var (
+	ErrBadConfig = errors.New("trace: invalid config")
+	ErrTooMany   = errors.New("trace: configuration would generate too many records")
+)
+
+// maxRecords bounds memory: 50M records ~ 1.2 GB, far above any test but
+// below OOM territory.
+const maxRecords = 50_000_000
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.BurstFraction == 0 {
+		out.BurstFraction = 0.05
+	}
+	if out.BurstPeriod == 0 {
+		out.BurstPeriod = out.Duration / 8
+	}
+	if out.HotFraction == 0 {
+		out.HotFraction = 0.1
+	}
+	if out.HotWeight == 0 {
+		out.HotWeight = 0.9
+	}
+	return out
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	cc := c.withDefaults()
+	switch {
+	case cc.Duration <= 0:
+		return fmt.Errorf("%w: duration %v", ErrBadConfig, cc.Duration)
+	case cc.BlockSize <= 0:
+		return fmt.Errorf("%w: block size %v", ErrBadConfig, cc.BlockSize)
+	case cc.Blocks <= 0:
+		return fmt.Errorf("%w: blocks %d", ErrBadConfig, cc.Blocks)
+	case cc.AvgUpdateRate <= 0:
+		return fmt.Errorf("%w: update rate %v", ErrBadConfig, cc.AvgUpdateRate)
+	case cc.BurstMult < 1:
+		return fmt.Errorf("%w: burst multiplier %g", ErrBadConfig, cc.BurstMult)
+	case cc.BurstFraction <= 0 || cc.BurstFraction >= 1:
+		return fmt.Errorf("%w: burst fraction %g", ErrBadConfig, cc.BurstFraction)
+	case cc.BurstFraction*cc.BurstMult > 1:
+		return fmt.Errorf("%w: burst fraction %g x multiplier %g exceeds 1",
+			ErrBadConfig, cc.BurstFraction, cc.BurstMult)
+	case cc.HotFraction <= 0 || cc.HotFraction > 1:
+		return fmt.Errorf("%w: hot fraction %g", ErrBadConfig, cc.HotFraction)
+	case cc.HotWeight < 0 || cc.HotWeight > 1:
+		return fmt.Errorf("%w: hot weight %g", ErrBadConfig, cc.HotWeight)
+	case cc.BurstPeriod <= 0:
+		return fmt.Errorf("%w: burst period %v", ErrBadConfig, cc.BurstPeriod)
+	}
+	expected := float64(cc.AvgUpdateRate) * cc.Duration.Seconds() / float64(cc.BlockSize)
+	if expected > maxRecords {
+		return fmt.Errorf("%w: ~%.0f writes (max %d); shorten the trace or enlarge blocks",
+			ErrTooMany, expected, maxRecords)
+	}
+	return nil
+}
+
+// Trace is a generated update stream.
+type Trace struct {
+	Cfg     Config
+	Records []Record
+}
+
+// DataCap returns the object size the trace covers.
+func (t *Trace) DataCap() units.ByteSize {
+	return units.ByteSize(t.Cfg.Blocks) * t.Cfg.BlockSize
+}
+
+// Generate produces a deterministic synthetic trace.
+func Generate(cfg Config) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cc := cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cc.Seed))
+
+	// Off-peak rate chosen so the long-run mean hits AvgUpdateRate:
+	// mean = f*peak + (1-f)*low, peak = m*avg.
+	f, m := cc.BurstFraction, cc.BurstMult
+	avg := float64(cc.AvgUpdateRate)
+	peak := m * avg
+	low := avg * (1 - f*m) / (1 - f)
+
+	hotBlocks := int64(float64(cc.Blocks) * cc.HotFraction)
+	if hotBlocks < 1 {
+		hotBlocks = 1
+	}
+
+	tr := &Trace{Cfg: cc}
+	const step = time.Second
+	var carry float64 // fractional writes carried between steps
+	burstSpan := time.Duration(float64(cc.BurstPeriod) * f)
+	for at := time.Duration(0); at < cc.Duration; at += step {
+		rate := low
+		if at%cc.BurstPeriod < burstSpan {
+			rate = peak
+		}
+		carry += rate * step.Seconds() / float64(cc.BlockSize)
+		n := int(carry)
+		carry -= float64(n)
+		for i := 0; i < n; i++ {
+			var block int64
+			if rng.Float64() < cc.HotWeight {
+				block = rng.Int63n(hotBlocks)
+			} else {
+				block = hotBlocks + rng.Int63n(max64(cc.Blocks-hotBlocks, 1))
+			}
+			// Spread writes uniformly inside the step for sub-second
+			// window analyses.
+			jitter := time.Duration(rng.Int63n(int64(step)))
+			tr.Records = append(tr.Records, Record{At: at + jitter, Block: block})
+		}
+	}
+	sort.Slice(tr.Records, func(i, j int) bool { return tr.Records[i].At < tr.Records[j].At })
+	return tr, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Analysis holds the workload parameters measured from a trace.
+type Analysis struct {
+	// DataCap is the object size.
+	DataCap units.ByteSize
+	// AvgUpdateRate is total bytes written / duration.
+	AvgUpdateRate units.Rate
+	// PeakUpdateRate is the highest rate over any peak window.
+	PeakUpdateRate units.Rate
+	// BurstMult is peak / average.
+	BurstMult float64
+	// BatchCurve holds the measured unique-update rates per window.
+	BatchCurve []workload.BatchPoint
+}
+
+// ErrEmptyTrace is returned when analyzing a trace with no records.
+var ErrEmptyTrace = errors.New("trace: empty trace")
+
+// Analyze measures the framework's workload parameters from a trace. The
+// batch update rate for each requested window is the average unique bytes
+// per window across consecutive non-overlapping windows; the peak rate is
+// measured over windows of peakWin (use one minute to mirror the paper's
+// burstiness granularity).
+func Analyze(tr *Trace, peakWin time.Duration, windows []time.Duration) (*Analysis, error) {
+	if len(tr.Records) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	if peakWin <= 0 {
+		return nil, fmt.Errorf("%w: peak window %v", ErrBadConfig, peakWin)
+	}
+	dur := tr.Cfg.Duration
+	totalBytes := units.ByteSize(len(tr.Records)) * tr.Cfg.BlockSize
+	avg := units.RateOf(totalBytes, dur)
+
+	a := &Analysis{
+		DataCap:       tr.DataCap(),
+		AvgUpdateRate: avg,
+	}
+
+	// Peak: bucket counts over peakWin windows.
+	buckets := make(map[int64]int64)
+	for _, r := range tr.Records {
+		buckets[int64(r.At/peakWin)]++
+	}
+	var maxCount int64
+	for _, n := range buckets {
+		if n > maxCount {
+			maxCount = n
+		}
+	}
+	a.PeakUpdateRate = units.RateOf(units.ByteSize(maxCount)*tr.Cfg.BlockSize, peakWin)
+	if avg > 0 {
+		a.BurstMult = float64(a.PeakUpdateRate / avg)
+	}
+
+	// Unique-update rate per requested window.
+	for _, win := range windows {
+		if win <= 0 || win > dur {
+			return nil, fmt.Errorf("%w: window %v outside trace duration %v",
+				ErrBadConfig, win, dur)
+		}
+		a.BatchCurve = append(a.BatchCurve, workload.BatchPoint{
+			Window: win,
+			Rate:   uniqueRate(tr, win),
+		})
+	}
+	sort.Slice(a.BatchCurve, func(i, j int) bool {
+		return a.BatchCurve[i].Window < a.BatchCurve[j].Window
+	})
+	return a, nil
+}
+
+// uniqueRate averages unique bytes per non-overlapping window of length
+// win across the whole trace.
+func uniqueRate(tr *Trace, win time.Duration) units.Rate {
+	n := int64(tr.Cfg.Duration / win)
+	if n < 1 {
+		n = 1
+	}
+	var uniqueBlocks int64
+	seen := make(map[int64]struct{})
+	window := int64(0)
+	for _, r := range tr.Records {
+		w := int64(r.At / win)
+		if w >= n {
+			break // partial tail window is discarded
+		}
+		if w != window {
+			uniqueBlocks += int64(len(seen))
+			clear(seen)
+			window = w
+		}
+		seen[r.Block] = struct{}{}
+	}
+	uniqueBlocks += int64(len(seen))
+	bytes := units.ByteSize(uniqueBlocks) * tr.Cfg.BlockSize
+	return units.RateOf(bytes/units.ByteSize(n), win)
+}
+
+// Workload assembles a framework workload from the analysis. The access
+// rate cannot be measured from a write-only trace, so the caller supplies
+// it (reads do not affect RP propagation, only foreground bandwidth).
+func (a *Analysis) Workload(name string, accessRate units.Rate) (*workload.Workload, error) {
+	w := &workload.Workload{
+		Name:          name,
+		DataCap:       a.DataCap,
+		AvgAccessRate: accessRate,
+		AvgUpdateRate: a.AvgUpdateRate,
+		BurstMult:     a.BurstMult,
+		BatchCurve:    monotoneCurve(a.BatchCurve, a.AvgUpdateRate),
+	}
+	if w.BurstMult < 1 {
+		w.BurstMult = 1
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// monotoneCurve enforces the framework's non-increasing-rate invariant on
+// measured points (sampling noise can produce tiny inversions) and caps
+// points at the average update rate.
+func monotoneCurve(pts []workload.BatchPoint, cap units.Rate) []workload.BatchPoint {
+	out := make([]workload.BatchPoint, len(pts))
+	copy(out, pts)
+	sort.Slice(out, func(i, j int) bool { return out[i].Window < out[j].Window })
+	for i := range out {
+		if out[i].Rate > cap {
+			out[i].Rate = cap
+		}
+		if i > 0 && out[i].Rate > out[i-1].Rate {
+			out[i].Rate = out[i-1].Rate
+		}
+	}
+	return out
+}
+
+// CelloLike returns a generation config shaped like the paper's cello
+// workload, scaled down by the given factor (1 = full scale ~799 KB/s;
+// larger factors shrink the rate and object so tests stay fast).
+func CelloLike(seed int64, scaleDown float64) Config {
+	if scaleDown < 1 {
+		scaleDown = 1
+	}
+	return Config{
+		Seed:          seed,
+		Duration:      2 * units.Day,
+		BlockSize:     64 * units.KB,
+		Blocks:        int64(1360 * float64(units.GB) / float64(64*units.KB) / scaleDown),
+		AvgUpdateRate: units.Rate(799 * float64(units.KBPerSec) / scaleDown),
+		BurstMult:     10,
+		BurstFraction: 0.05,
+		BurstPeriod:   6 * time.Hour,
+		// A tight hot set (1% of blocks absorbing 90% of writes) yields
+		// cello's measured coalescing: ~0.9 of writes unique within a
+		// minute but well under half within 12 hours.
+		HotFraction: 0.01,
+		HotWeight:   0.9,
+	}
+}

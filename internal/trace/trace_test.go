@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"stordep/internal/units"
+)
+
+// fastConfig is a small trace that still shows locality and bursts.
+func fastConfig(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		Duration:      4 * time.Hour,
+		BlockSize:     64 * units.KB,
+		Blocks:        20_000, // ~1.2 GB object
+		AvgUpdateRate: 256 * units.KBPerSec,
+		BurstMult:     8,
+		BurstFraction: 0.05,
+		BurstPeriod:   time.Hour,
+		HotFraction:   0.1,
+		HotWeight:     0.9,
+	}
+}
+
+func generate(t *testing.T, cfg Config) *Trace {
+	t.Helper()
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr error
+	}{
+		{"valid", func(c *Config) {}, nil},
+		{"zero duration", func(c *Config) { c.Duration = 0 }, ErrBadConfig},
+		{"zero block size", func(c *Config) { c.BlockSize = 0 }, ErrBadConfig},
+		{"zero blocks", func(c *Config) { c.Blocks = 0 }, ErrBadConfig},
+		{"zero rate", func(c *Config) { c.AvgUpdateRate = 0 }, ErrBadConfig},
+		{"burst below one", func(c *Config) { c.BurstMult = 0.5 }, ErrBadConfig},
+		{"burst fraction too high", func(c *Config) { c.BurstFraction = 0.5; c.BurstMult = 10 }, ErrBadConfig},
+		{"hot fraction above one", func(c *Config) { c.HotFraction = 1.5 }, ErrBadConfig},
+		{"hot weight above one", func(c *Config) { c.HotWeight = 1.5 }, ErrBadConfig},
+		{"too many records", func(c *Config) {
+			c.Duration = 10 * units.Year
+			c.AvgUpdateRate = units.GBPerSec
+			c.BlockSize = units.KB
+		}, ErrTooMany},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := fastConfig(1)
+			tt.mutate(&cfg)
+			err := cfg.Validate()
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Errorf("Validate() = %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("Validate() = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := generate(t, fastConfig(42))
+	b := generate(t, fastConfig(42))
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("records diverge at %d", i)
+		}
+	}
+	c := generate(t, fastConfig(43))
+	if len(c.Records) == len(a.Records) && c.Records[0] == a.Records[0] && c.Records[len(c.Records)-1] == a.Records[len(a.Records)-1] {
+		t.Error("different seeds produced an identical-looking trace")
+	}
+}
+
+func TestGenerateHitsTargetRate(t *testing.T) {
+	cfg := fastConfig(7)
+	tr := generate(t, cfg)
+	total := units.ByteSize(len(tr.Records)) * cfg.BlockSize
+	gotRate := units.RateOf(total, cfg.Duration)
+	// Within 2% of the configured average.
+	if math.Abs(float64(gotRate-cfg.AvgUpdateRate))/float64(cfg.AvgUpdateRate) > 0.02 {
+		t.Errorf("avg rate = %v, want ~%v", gotRate, cfg.AvgUpdateRate)
+	}
+}
+
+func TestGenerateRecordsSortedAndInRange(t *testing.T) {
+	cfg := fastConfig(3)
+	tr := generate(t, cfg)
+	for i, r := range tr.Records {
+		if i > 0 && r.At < tr.Records[i-1].At {
+			t.Fatalf("records unsorted at %d", i)
+		}
+		if r.At < 0 || r.At >= cfg.Duration+time.Second {
+			t.Fatalf("record %d out of range: %v", i, r.At)
+		}
+		if r.Block < 0 || r.Block >= cfg.Blocks {
+			t.Fatalf("record %d block out of range: %d", i, r.Block)
+		}
+	}
+}
+
+func TestAnalyzeMeasuresBurstiness(t *testing.T) {
+	cfg := fastConfig(11)
+	tr := generate(t, cfg)
+	a, err := Analyze(tr, time.Minute, []time.Duration{time.Minute, time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The square-wave generator should yield burstiness close to the
+	// configured multiplier (minute buckets inside burst spans run at
+	// peak).
+	if a.BurstMult < 0.8*cfg.BurstMult || a.BurstMult > 1.3*cfg.BurstMult {
+		t.Errorf("measured burstM = %.2f, want ~%g", a.BurstMult, cfg.BurstMult)
+	}
+	if math.Abs(float64(a.AvgUpdateRate-cfg.AvgUpdateRate))/float64(cfg.AvgUpdateRate) > 0.02 {
+		t.Errorf("measured avg = %v, want ~%v", a.AvgUpdateRate, cfg.AvgUpdateRate)
+	}
+	if a.DataCap != tr.DataCap() {
+		t.Errorf("data cap = %v", a.DataCap)
+	}
+}
+
+// TestAnalyzeUniqueRateDecays verifies the Table 2 shape: the unique
+// update rate is (weakly) decreasing in the window because the hot set
+// gets overwritten.
+func TestAnalyzeUniqueRateDecays(t *testing.T) {
+	tr := generate(t, fastConfig(5))
+	windows := []time.Duration{time.Minute, 10 * time.Minute, time.Hour, 4 * time.Hour}
+	a, err := Analyze(tr, time.Minute, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.BatchCurve) != len(windows) {
+		t.Fatalf("curve = %+v", a.BatchCurve)
+	}
+	for i := 1; i < len(a.BatchCurve); i++ {
+		prev, cur := a.BatchCurve[i-1], a.BatchCurve[i]
+		if cur.Rate > prev.Rate {
+			t.Errorf("unique rate increased: %v@%v -> %v@%v",
+				prev.Rate, prev.Window, cur.Rate, cur.Window)
+		}
+	}
+	// With a 10%-hot/90%-weight working set the 4-hour unique rate must
+	// be well below the raw update rate.
+	last := a.BatchCurve[len(a.BatchCurve)-1]
+	if last.Rate > a.AvgUpdateRate/2 {
+		t.Errorf("long-window unique rate %v should be far below average %v",
+			last.Rate, a.AvgUpdateRate)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	tr := generate(t, fastConfig(2))
+	if _, err := Analyze(&Trace{Cfg: tr.Cfg}, time.Minute, nil); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("empty trace: %v", err)
+	}
+	if _, err := Analyze(tr, 0, nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero peak window: %v", err)
+	}
+	if _, err := Analyze(tr, time.Minute, []time.Duration{10 * units.Year}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("oversize window: %v", err)
+	}
+}
+
+// TestWorkloadRoundTrip: an analyzed trace produces a valid framework
+// workload usable end to end.
+func TestWorkloadRoundTrip(t *testing.T) {
+	tr := generate(t, fastConfig(9))
+	a, err := Analyze(tr, time.Minute, []time.Duration{time.Minute, time.Hour, 4 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := a.Workload("synthetic", 512*units.KBPerSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.DataCap != tr.DataCap() {
+		t.Errorf("workload cap = %v", w.DataCap)
+	}
+	// The workload's batch rate is usable by the protection models.
+	if got := w.BatchUpdateRate(30 * time.Minute); got <= 0 || got > w.AvgUpdateRate {
+		t.Errorf("interpolated batch rate = %v", got)
+	}
+}
+
+func TestCelloLikeConfig(t *testing.T) {
+	cfg := CelloLike(1, 100)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("cello-like config invalid: %v", err)
+	}
+	if cfg.BurstMult != 10 {
+		t.Errorf("burstM = %g", cfg.BurstMult)
+	}
+	// Scale-down below 1 clamps to full scale.
+	full := CelloLike(1, 0)
+	if full.Blocks != CelloLike(1, 1).Blocks {
+		t.Error("scaleDown clamp")
+	}
+}
+
+// TestCelloLikeShape is the Table 2 reproduction: a scaled cello-like
+// trace analyzed at the paper's windows shows the same qualitative curve
+// (minute-window unique rate near the average; half-day rate well below).
+func TestCelloLikeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hour synthetic trace")
+	}
+	cfg := CelloLike(17, 50)
+	tr := generate(t, cfg)
+	a, err := Analyze(tr, time.Minute, []time.Duration{time.Minute, 12 * time.Hour, 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minuteRate := a.BatchCurve[0].Rate
+	halfDayRate := a.BatchCurve[1].Rate
+	// cello: 727/799 = 0.91 of avg at one minute; 350/799 = 0.44 at 12h.
+	if ratio := float64(minuteRate / a.AvgUpdateRate); ratio < 0.7 || ratio > 1.0 {
+		t.Errorf("minute unique ratio = %.2f, want ~0.9", ratio)
+	}
+	if ratio := float64(halfDayRate / a.AvgUpdateRate); ratio > 0.7 {
+		t.Errorf("12h unique ratio = %.2f, want well below 1", ratio)
+	}
+}

@@ -1,0 +1,375 @@
+// Package units provides the dimensioned quantities used throughout the
+// dependability modeling framework: byte sizes, transfer rates, money and
+// calendar durations (weeks, years). All model inputs in Table 1 of the
+// paper are expressed in these units.
+//
+// The paper mixes decimal prefixes loosely; we standardize on binary
+// multiples (1 KB = 1024 B) because that convention reproduces the
+// case-study arithmetic (e.g. 12.4 MB/s total array bandwidth in Table 5).
+package units
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ByteSize is a data size in bytes. Sizes in the framework describe data
+// capacities, retrieval-point sizes and recovery sizes; they are always
+// non-negative.
+type ByteSize float64
+
+// Byte size constants using binary multiples.
+const (
+	Byte ByteSize = 1 << (10 * iota)
+	KB
+	MB
+	GB
+	TB
+	PB
+)
+
+// Bytes returns the size as a float64 number of bytes.
+func (b ByteSize) Bytes() float64 { return float64(b) }
+
+// GBytes returns the size expressed in gigabytes (2^30 bytes); several of
+// the paper's cost models are per-GB.
+func (b ByteSize) GBytes() float64 { return float64(b / GB) }
+
+// IsNegative reports whether the size is negative (always invalid).
+func (b ByteSize) IsNegative() bool { return b < 0 }
+
+// String renders the size with the largest prefix that keeps the mantissa
+// at or above one, e.g. "1360.0GB".
+func (b ByteSize) String() string {
+	switch {
+	case math.IsNaN(float64(b)):
+		return "NaN"
+	case b < 0:
+		return "-" + (-b).String()
+	case b >= PB:
+		return fmt.Sprintf("%.1fPB", float64(b/PB))
+	case b >= TB:
+		return fmt.Sprintf("%.1fTB", float64(b/TB))
+	case b >= GB:
+		return fmt.Sprintf("%.1fGB", float64(b/GB))
+	case b >= MB:
+		return fmt.Sprintf("%.1fMB", float64(b/MB))
+	case b >= KB:
+		return fmt.Sprintf("%.1fKB", float64(b/KB))
+	default:
+		return fmt.Sprintf("%.0fB", float64(b))
+	}
+}
+
+// Rate is a data transfer rate in bytes per second. Rates describe device
+// bandwidths, workload access/update rates and link speeds.
+type Rate float64
+
+// Common rate constants.
+const (
+	BytePerSec Rate = 1 << (10 * iota)
+	KBPerSec
+	MBPerSec
+	GBPerSec
+)
+
+// BytesPerSec returns the rate as a float64 number of bytes per second.
+func (r Rate) BytesPerSec() float64 { return float64(r) }
+
+// MBPS returns the rate expressed in MB/s (2^20 bytes per second); several
+// of the paper's cost models are per-MB/s.
+func (r Rate) MBPS() float64 { return float64(r / MBPerSec) }
+
+// String renders the rate with the largest prefix that keeps the mantissa
+// at or above one, e.g. "8.1MB/s".
+func (r Rate) String() string {
+	switch {
+	case math.IsNaN(float64(r)):
+		return "NaN"
+	case r < 0:
+		return "-" + (-r).String()
+	case r >= GBPerSec:
+		return fmt.Sprintf("%.1fGB/s", float64(r/GBPerSec))
+	case r >= MBPerSec:
+		return fmt.Sprintf("%.1fMB/s", float64(r/MBPerSec))
+	case r >= KBPerSec:
+		return fmt.Sprintf("%.1fKB/s", float64(r/KBPerSec))
+	default:
+		return fmt.Sprintf("%.1fB/s", float64(r))
+	}
+}
+
+// Over returns the volume of data transferred at rate r for duration d.
+func (r Rate) Over(d time.Duration) ByteSize {
+	return ByteSize(float64(r) * d.Seconds())
+}
+
+// Div divides a size by a rate, yielding the transfer duration. Dividing by
+// a zero or negative rate returns an infinite duration, which the recovery
+// model treats as "this path cannot transfer data".
+func Div(b ByteSize, r Rate) time.Duration {
+	if r <= 0 {
+		return Forever
+	}
+	secs := float64(b) / float64(r)
+	if secs >= math.MaxInt64/float64(time.Second) {
+		return Forever
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// RateOf returns the rate that transfers b in d. A non-positive duration
+// yields +Inf, representing an instantaneous transfer requirement.
+func RateOf(b ByteSize, d time.Duration) Rate {
+	if d <= 0 {
+		return Rate(math.Inf(1))
+	}
+	return Rate(float64(b) / d.Seconds())
+}
+
+// Calendar durations. The paper specifies policy windows in hours, days,
+// weeks and years (e.g. vault retention of three years); time.Duration has
+// no constants above Hour.
+const (
+	Day  = 24 * time.Hour
+	Week = 7 * Day
+	// Year is 52 weeks, matching the paper's "4-week cycle, retCnt 39 ≈
+	// 3 years" arithmetic (39 × 4 weeks = 156 weeks = 3 × 52 weeks).
+	Year = 52 * Week
+	// Forever is the sentinel for an unbounded duration (e.g. the recovery
+	// time of an unrecoverable design).
+	Forever = time.Duration(math.MaxInt64)
+)
+
+// Hours returns d expressed in (possibly fractional) hours.
+func Hours(d time.Duration) float64 { return d.Hours() }
+
+// Money is an amount of US dollars, stored as floating-point dollars. The
+// framework deals in annualized outlays and penalties in the $10^4..$10^8
+// range, where float64 precision (15-16 significant digits) is ample.
+type Money float64
+
+// String renders the amount as dollars, switching to $x.xxM above one
+// million to match the paper's tables.
+func (m Money) String() string {
+	switch {
+	case math.IsInf(float64(m), 1):
+		return "unbounded"
+	case math.IsNaN(float64(m)):
+		return "NaN"
+	case m < 0:
+		return "-" + (-m).String()
+	case m >= 1e6:
+		return fmt.Sprintf("$%.2fM", float64(m)/1e6)
+	case m >= 1e3:
+		return fmt.Sprintf("$%.1fK", float64(m)/1e3)
+	default:
+		return fmt.Sprintf("$%.2f", float64(m))
+	}
+}
+
+// PenaltyRate is a cost accrual per unit time (US dollars per second), used
+// for the data-unavailability and recent-data-loss penalty rates of §3.1.2.
+type PenaltyRate float64
+
+// PerHour constructs a PenaltyRate from a dollars-per-hour figure, the
+// granularity used in the paper ($50,000/hr in the case study).
+func PerHour(dollars float64) PenaltyRate {
+	return PenaltyRate(dollars / time.Hour.Seconds())
+}
+
+// Over returns the penalty accrued over duration d. An infinite duration
+// (unrecoverable) yields +Inf dollars.
+func (p PenaltyRate) Over(d time.Duration) Money {
+	if d == Forever {
+		return Money(math.Inf(1))
+	}
+	return Money(float64(p) * d.Seconds())
+}
+
+// DollarsPerHour returns the rate in dollars per hour.
+func (p PenaltyRate) DollarsPerHour() float64 {
+	return float64(p) * time.Hour.Seconds()
+}
+
+// Parsing -------------------------------------------------------------------
+
+var errEmpty = errors.New("units: empty quantity")
+
+// suffixes must be checked longest-first so "KB/s" does not match "B/s"
+// against the wrong prefix value.
+var sizeSuffixes = []struct {
+	suffix string
+	unit   ByteSize
+}{
+	{"PB", PB}, {"TB", TB}, {"GB", GB}, {"MB", MB}, {"KB", KB}, {"B", Byte},
+}
+
+// ParseByteSize parses strings such as "1360GB", "73 GB", "1.5TB" or "512B".
+// Unit suffixes are case-insensitive; binary multiples are used.
+func ParseByteSize(s string) (ByteSize, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, errEmpty
+	}
+	upper := strings.ToUpper(s)
+	for _, sf := range sizeSuffixes {
+		if !strings.HasSuffix(upper, sf.suffix) {
+			continue
+		}
+		num := strings.TrimSpace(upper[:len(upper)-len(sf.suffix)])
+		v, err := strconv.ParseFloat(num, 64)
+		if err != nil {
+			return 0, fmt.Errorf("units: bad size %q: %w", s, err)
+		}
+		return ByteSize(v) * sf.unit, nil
+	}
+	return 0, fmt.Errorf("units: size %q has no recognized unit suffix", s)
+}
+
+// ParseRate parses strings such as "799KB/s", "25 MB/s" or "1.5GB/s".
+func ParseRate(s string) (Rate, error) {
+	s = strings.TrimSpace(s)
+	upper := strings.ToUpper(s)
+	if !strings.HasSuffix(upper, "/S") {
+		return 0, fmt.Errorf("units: rate %q must end in /s", s)
+	}
+	size, err := ParseByteSize(s[:len(s)-2])
+	if err != nil {
+		return 0, fmt.Errorf("units: bad rate %q: %w", s, err)
+	}
+	return Rate(size), nil
+}
+
+// ParseDuration parses time.ParseDuration syntax extended with day ("d"),
+// week ("w" or "wk") and year ("y" or "yr") units, e.g. "12h", "2d", "4wk",
+// "3yr", "4wk12h". Units may be chained just as in time.ParseDuration.
+func ParseDuration(s string) (time.Duration, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, errEmpty
+	}
+	// Replace extended units with stdlib-parsable equivalents. Order
+	// matters: "wk" before "w", "yr" before "y", "min" before "m".
+	replacements := []struct {
+		unit   string
+		factor float64
+		out    string
+	}{
+		{"yr", Year.Hours(), "h"}, {"y", Year.Hours(), "h"},
+		{"wk", Week.Hours(), "h"}, {"w", Week.Hours(), "h"},
+		{"d", Day.Hours(), "h"},
+		{"min", 1, "m"},
+	}
+	var out strings.Builder
+	rest := s
+	for rest != "" {
+		num, unit, tail, err := nextDurationComponent(rest)
+		if err != nil {
+			return 0, fmt.Errorf("units: bad duration %q: %w", s, err)
+		}
+		rest = tail
+		lower := strings.ToLower(unit)
+		replaced := false
+		for _, rep := range replacements {
+			if lower == rep.unit {
+				fmt.Fprintf(&out, "%g%s", num*rep.factor, rep.out)
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			fmt.Fprintf(&out, "%g%s", num, unit)
+		}
+	}
+	return time.ParseDuration(out.String())
+}
+
+// nextDurationComponent splits the leading "<number><unit>" component off a
+// duration string, returning the numeric value, the unit token and the tail.
+func nextDurationComponent(s string) (num float64, unit, tail string, err error) {
+	i := 0
+	if i < len(s) && (s[i] == '+' || s[i] == '-') {
+		i++
+	}
+	start := i
+	for i < len(s) && (s[i] == '.' || (s[i] >= '0' && s[i] <= '9')) {
+		i++
+	}
+	if i == start {
+		return 0, "", "", fmt.Errorf("missing number at %q", s)
+	}
+	num, err = strconv.ParseFloat(s[:i], 64)
+	if err != nil {
+		return 0, "", "", err
+	}
+	start = i
+	for i < len(s) && !(s[i] == '.' || s[i] == '+' || s[i] == '-' || (s[i] >= '0' && s[i] <= '9')) {
+		i++
+	}
+	if i == start {
+		return 0, "", "", fmt.Errorf("missing unit at %q", s)
+	}
+	return num, s[start:i], s[i:], nil
+}
+
+// FormatDuration renders a duration compactly in the paper's idiom: "12h",
+// "2d", "4wk", "4wk12h", "3yr". It picks the largest calendar unit that
+// divides the duration exactly, falling back to fractional hours.
+func FormatDuration(d time.Duration) string {
+	if d == Forever {
+		return "forever"
+	}
+	if d == 0 {
+		return "0h"
+	}
+	neg := ""
+	if d < 0 {
+		neg, d = "-", -d
+	}
+	// Sub-hour durations use minutes and seconds (policy windows such as a
+	// one-minute mirroring batch).
+	if d < time.Minute {
+		if d%time.Second == 0 {
+			return fmt.Sprintf("%s%ds", neg, d/time.Second)
+		}
+		return fmt.Sprintf("%s%gs", neg, d.Seconds())
+	}
+	if d < time.Hour {
+		if d%time.Minute == 0 {
+			return fmt.Sprintf("%s%dmin", neg, d/time.Minute)
+		}
+		return fmt.Sprintf("%s%gmin", neg, d.Minutes())
+	}
+	type unit struct {
+		span time.Duration
+		name string
+	}
+	unitsDesc := []unit{
+		{Year, "yr"}, {Week, "wk"}, {Day, "d"},
+		{time.Hour, "h"}, {time.Minute, "min"}, {time.Second, "s"},
+	}
+	var parts []string
+	rem := d
+	for _, u := range unitsDesc {
+		if rem >= u.span && rem%u.span == 0 {
+			// The remainder is an exact multiple: finish with one unit
+			// ("12h", "4wk12h").
+			parts = append(parts, fmt.Sprintf("%d%s", rem/u.span, u.name))
+			rem = 0
+			break
+		}
+		if n := rem / u.span; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d%s", n, u.name))
+			rem -= n * u.span
+		}
+	}
+	if rem > 0 {
+		parts = append(parts, fmt.Sprintf("%gs", rem.Seconds()))
+	}
+	return neg + strings.Join(parts, "")
+}

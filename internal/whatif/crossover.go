@@ -1,0 +1,89 @@
+package whatif
+
+import (
+	"errors"
+	"fmt"
+
+	"stordep/internal/core"
+	"stordep/internal/cost"
+	"stordep/internal/failure"
+	"stordep/internal/units"
+)
+
+// Crossover answers the sensitivity question behind the paper's "ironic"
+// Table 7 observation: at $50k/hr the thin mirror pipe wins, so *at what
+// penalty rate does the fat pipe start paying for itself?* It binary-
+// searches the hourly penalty rate (applied to both unavailability and
+// loss) for the point where design B's total cost drops to design A's
+// under the scenario.
+
+// ErrNoCrossover is returned when no rate in (0, maxPerHour] reverses the
+// designs' ordering.
+var ErrNoCrossover = errors.New("whatif: designs do not cross over in the searched range")
+
+// totalAtRate evaluates a design's scenario total with both penalty rates
+// set to dollarsPerHour.
+func totalAtRate(d *core.Design, sc failure.Scenario, dollarsPerHour float64) (units.Money, error) {
+	clone := *d
+	clone.Requirements = cost.Requirements{
+		UnavailPenaltyRate: units.PerHour(dollarsPerHour),
+		LossPenaltyRate:    units.PerHour(dollarsPerHour),
+	}
+	sys, err := core.Build(&clone)
+	if err != nil {
+		return 0, err
+	}
+	a, err := sys.Assess(sc)
+	if err != nil {
+		return 0, err
+	}
+	return a.Cost.Total(), nil
+}
+
+// Crossover returns the penalty rate (dollars per hour, applied to both
+// unavailability and loss) at which design B's total cost under the
+// scenario first drops below design A's. It requires A to be cheaper at
+// rate zero (B carries higher outlays) and B to be cheaper at maxPerHour;
+// the returned rate is accurate to within tolPerHour.
+func Crossover(a, b *core.Design, sc failure.Scenario, maxPerHour, tolPerHour float64) (float64, error) {
+	if maxPerHour <= 0 || tolPerHour <= 0 {
+		return 0, fmt.Errorf("whatif: maxPerHour and tolPerHour must be positive")
+	}
+	diff := func(rate float64) (float64, error) {
+		ta, err := totalAtRate(a, sc, rate)
+		if err != nil {
+			return 0, fmt.Errorf("whatif: %s: %w", a.Name, err)
+		}
+		tb, err := totalAtRate(b, sc, rate)
+		if err != nil {
+			return 0, fmt.Errorf("whatif: %s: %w", b.Name, err)
+		}
+		return float64(tb - ta), nil
+	}
+	lo, hi := 0.0, maxPerHour
+	dLo, err := diff(lo)
+	if err != nil {
+		return 0, err
+	}
+	dHi, err := diff(hi)
+	if err != nil {
+		return 0, err
+	}
+	if dLo <= 0 || dHi >= 0 {
+		return 0, fmt.Errorf("%w (B-A at $0/hr: %.0f, at $%.0f/hr: %.0f)",
+			ErrNoCrossover, dLo, maxPerHour, dHi)
+	}
+	for hi-lo > tolPerHour {
+		mid := (lo + hi) / 2
+		d, err := diff(mid)
+		if err != nil {
+			return 0, err
+		}
+		if d > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

@@ -1,0 +1,101 @@
+package whatif
+
+import (
+	"errors"
+	"testing"
+
+	"stordep/internal/casestudy"
+	"stordep/internal/failure"
+)
+
+// TestCrossoverLinkEconomics quantifies the paper's closing observation:
+// the 1-link asyncB mirror beats 10 links at $50k/hr of penalties, so
+// there must be a rate at which the fat pipe takes over.
+func TestCrossoverLinkEconomics(t *testing.T) {
+	one := casestudy.AsyncBMirror(1)
+	ten := casestudy.AsyncBMirror(10)
+	sc := failure.Scenario{Scope: failure.ScopeSite}
+
+	rate, err := Crossover(one, ten, sc, 2_000_000, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fat pipe saves ~18.7h of site recovery per incident; $4.1M of
+	// extra links cross over around $220k/hr.
+	if rate < 100_000 || rate > 500_000 {
+		t.Errorf("crossover rate = $%.0f/hr, want a few hundred k", rate)
+	}
+	// Verify the ordering flips around the returned rate.
+	below, err := totalAtRate(one, sc, rate*0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	belowTen, err := totalAtRate(ten, sc, rate*0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below >= belowTen {
+		t.Errorf("below crossover the thin pipe should win: %v vs %v", below, belowTen)
+	}
+	above, err := totalAtRate(one, sc, rate*1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aboveTen, err := totalAtRate(ten, sc, rate*1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if above <= aboveTen {
+		t.Errorf("above crossover the fat pipe should win: %v vs %v", above, aboveTen)
+	}
+}
+
+func TestCrossoverNoReversal(t *testing.T) {
+	// The snapshot design dominates the plain daily-F design at every
+	// rate (same RT/DL, lower outlays): no crossover exists.
+	snap := casestudy.WeeklyVaultDailyFSnapshot()
+	plain := casestudy.WeeklyVaultDailyF()
+	sc := failure.Scenario{Scope: failure.ScopeSite}
+	if _, err := Crossover(snap, plain, sc, 1_000_000, 1_000); !errors.Is(err, ErrNoCrossover) {
+		t.Errorf("err = %v, want ErrNoCrossover", err)
+	}
+}
+
+func TestCrossoverValidation(t *testing.T) {
+	a, b := casestudy.AsyncBMirror(1), casestudy.AsyncBMirror(10)
+	sc := failure.Scenario{Scope: failure.ScopeSite}
+	if _, err := Crossover(a, b, sc, 0, 100); err == nil {
+		t.Error("zero max accepted")
+	}
+	if _, err := Crossover(a, b, sc, 1000, 0); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	// A design that cannot build surfaces the error.
+	broken := casestudy.Baseline()
+	big, err := broken.Workload.Scale(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken.Workload = big
+	if _, err := Crossover(broken, b, sc, 1_000_000, 1_000); err == nil {
+		t.Error("unbuildable design accepted")
+	}
+}
+
+// TestCrossoverTapeVsMirror: between the best tape design and the 1-link
+// mirror for site disasters, the mirror's tiny loss wins once penalties
+// matter at all; at very low rates the cheaper tape design wins.
+func TestCrossoverTapeVsMirror(t *testing.T) {
+	tape := casestudy.WeeklyVaultDailyFSnapshot() // $0.76M outlays
+	mirror := casestudy.AsyncBMirror(1)           // $1.00M outlays
+	sc := failure.Scenario{Scope: failure.ScopeSite}
+	rate, err := Crossover(tape, mirror, sc, 100_000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirror saves ~191h of site loss+RT per incident; the ~$243k outlay
+	// gap closes near $1.2k/hr.
+	if rate < 500 || rate > 5_000 {
+		t.Errorf("crossover = $%.0f/hr, want ~1-2k", rate)
+	}
+}

@@ -1,0 +1,58 @@
+package whatif
+
+import (
+	"fmt"
+	"time"
+
+	"stordep/internal/core"
+	"stordep/internal/failure"
+	"stordep/internal/units"
+)
+
+// DegradedOutcome records how a failure scenario's worst case moves when
+// one protection technique has been out of service for a while before the
+// failure strikes (§5 of the paper: degraded-mode operation).
+type DegradedOutcome struct {
+	// Level names the degraded technique.
+	Level string
+	// Outage is how long the technique had been down.
+	Outage time.Duration
+	// Healthy and Degraded are the scenario's data loss before and after.
+	Healthy  time.Duration
+	Degraded time.Duration
+	// ExtraPenalty is the additional loss penalty the outage exposes the
+	// business to if the failure strikes at the end of it.
+	ExtraPenalty units.Money
+}
+
+// DegradedStudy evaluates a scenario against every protection level being
+// out of service for each of the given outage durations: "if my backup
+// system has been broken for a week when the array dies, how much worse
+// off am I?" Results are ordered by level, then outage.
+func DegradedStudy(d *core.Design, sc failure.Scenario, outages []time.Duration) ([]DegradedOutcome, error) {
+	sys, err := core.Build(d)
+	if err != nil {
+		return nil, err
+	}
+	healthy, err := sys.Assess(sc)
+	if err != nil {
+		return nil, err
+	}
+	var out []DegradedOutcome
+	for _, tech := range d.Levels {
+		for _, outage := range outages {
+			a, err := sys.AssessDegraded(sc, tech.Name(), outage)
+			if err != nil {
+				return nil, fmt.Errorf("whatif: degraded %s: %w", tech.Name(), err)
+			}
+			out = append(out, DegradedOutcome{
+				Level:        tech.Name(),
+				Outage:       outage,
+				Healthy:      healthy.DataLoss,
+				Degraded:     a.DataLoss,
+				ExtraPenalty: a.Cost.Penalties.Loss - healthy.Cost.Penalties.Loss,
+			})
+		}
+	}
+	return out, nil
+}

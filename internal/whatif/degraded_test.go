@@ -1,0 +1,86 @@
+package whatif
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"stordep/internal/casestudy"
+	"stordep/internal/failure"
+	"stordep/internal/units"
+)
+
+func TestDegradedStudyArrayFailure(t *testing.T) {
+	outages := []time.Duration{units.Day, units.Week}
+	rows, err := DegradedStudy(casestudy.Baseline(),
+		failure.Scenario{Scope: failure.ScopeArray}, outages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three levels x two outages.
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKey := map[string]DegradedOutcome{}
+	for _, r := range rows {
+		byKey[r.Level+"/"+units.FormatDuration(r.Outage)] = r
+		if r.Healthy != 217*time.Hour {
+			t.Errorf("healthy loss = %v", r.Healthy)
+		}
+	}
+	// A week-long backup outage adds exactly a week to the array-failure
+	// loss (recovery still comes from the backup level, a week staler).
+	wk := byKey["backup/1wk"]
+	if wk.Degraded != 217*time.Hour+units.Week {
+		t.Errorf("degraded backup loss = %v, want 385h", wk.Degraded)
+	}
+	// Extra penalty = one week at $50k/hr.
+	if want := 168 * 50_000.0; math.Abs(float64(wk.ExtraPenalty)-want) > 1 {
+		t.Errorf("extra penalty = %v, want $8.4M", wk.ExtraPenalty)
+	}
+	// A degraded split mirror stalls everything downstream of it: backups
+	// read their consistent copy from the mirrors, so the backup-served
+	// recovery is a week staler too.
+	if sm := byKey["split-mirror/1wk"]; sm.Degraded != sm.Healthy+units.Week {
+		t.Errorf("mirror outage should stall the backups: %+v", sm)
+	}
+	// A degraded vault does not matter either: backup still serves.
+	if v := byKey["vaulting/1wk"]; v.Degraded != v.Healthy {
+		t.Errorf("vault outage should not affect array-failure loss: %+v", v)
+	}
+}
+
+func TestDegradedStudySiteDisaster(t *testing.T) {
+	rows, err := DegradedStudy(casestudy.Baseline(),
+		failure.Scenario{Scope: failure.ScopeSite}, []time.Duration{4 * units.Week})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		switch r.Level {
+		case "vaulting", "backup", "split-mirror":
+			// Any level feeding the vault being down for a month makes the
+			// only surviving copy a month staler: each level sources its
+			// RPs from the one below it.
+			if r.Degraded != r.Healthy+4*units.Week {
+				t.Errorf("%s: degraded = %v, want +4wk over %v", r.Level, r.Degraded, r.Healthy)
+			}
+		}
+	}
+}
+
+func TestDegradedStudyErrors(t *testing.T) {
+	bad := casestudy.Baseline()
+	big, err := bad.Workload.Scale(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Workload = big
+	if _, err := DegradedStudy(bad, failure.Scenario{Scope: failure.ScopeArray}, nil); err == nil {
+		t.Error("overloaded design accepted")
+	}
+	if _, err := DegradedStudy(casestudy.Baseline(), failure.Scenario{Scope: 0},
+		[]time.Duration{time.Hour}); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}

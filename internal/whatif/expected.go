@@ -1,0 +1,81 @@
+package whatif
+
+import (
+	"math"
+	"sort"
+
+	"stordep/internal/failure"
+	"stordep/internal/units"
+)
+
+// Frequencies gives each failure scope's expected occurrences per year.
+// The paper's §5 notes its automated-design work "allows us to incorporate
+// failure frequencies and prioritizations, thus permitting the concurrent
+// consideration of multiple failures"; this is that weighting.
+type Frequencies map[failure.Scope]float64
+
+// TypicalFrequencies returns a plausible enterprise prior: object
+// corruption monthly, an array failure every three years, a building loss
+// every thirty, a site disaster every fifty, a regional disaster every
+// two hundred.
+func TypicalFrequencies() Frequencies {
+	return Frequencies{
+		failure.ScopeObject:   12,
+		failure.ScopeArray:    1.0 / 3,
+		failure.ScopeBuilding: 1.0 / 30,
+		failure.ScopeSite:     1.0 / 50,
+		failure.ScopeRegion:   1.0 / 200,
+	}
+}
+
+// ExpectedAnnualCost returns outlays plus the frequency-weighted expected
+// penalties across the result's scenarios: outlay + sum(freq_s x
+// penalty_s). Scopes missing from the frequency table contribute nothing;
+// an unrecoverable outcome with non-zero frequency yields +Inf (designing
+// for that failure is mandatory, whatever its rarity — unless its
+// frequency is set to zero, declaring it out of scope).
+func ExpectedAnnualCost(r Result, freqs Frequencies) units.Money {
+	if r.Err != nil || len(r.Outcomes) == 0 {
+		return units.Money(math.Inf(1))
+	}
+	total := r.Outlays
+	for _, o := range r.Outcomes {
+		freq := freqs[o.Scenario.Scope]
+		if freq == 0 {
+			continue
+		}
+		if o.Lost {
+			return units.Money(math.Inf(1))
+		}
+		total += units.Money(freq) * o.Penalties
+	}
+	return total
+}
+
+// ExpectedRanking pairs a design with its expected annual cost.
+type ExpectedRanking struct {
+	Design   string
+	Expected units.Money
+}
+
+// RankExpected orders designs by ascending expected annual cost under the
+// given failure frequencies — the risk-weighted alternative to Rank's
+// design-for-the-worst criterion. The two can disagree: a cheap design
+// with a terrible but rare worst case wins on expectation and loses on
+// worst case.
+func RankExpected(results []Result, freqs Frequencies) []ExpectedRanking {
+	out := make([]ExpectedRanking, 0, len(results))
+	for _, r := range results {
+		out = append(out, ExpectedRanking{
+			Design:   r.Design,
+			Expected: ExpectedAnnualCost(r, freqs),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Expected != out[j].Expected {
+			return out[i].Expected < out[j].Expected
+		}
+		return out[i].Design < out[j].Design
+	})
+	return out
+}

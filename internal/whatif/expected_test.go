@@ -1,0 +1,130 @@
+package whatif
+
+import (
+	"math"
+	"testing"
+
+	"stordep/internal/casestudy"
+	"stordep/internal/core"
+	"stordep/internal/failure"
+	"stordep/internal/units"
+)
+
+func TestExpectedAnnualCostArithmetic(t *testing.T) {
+	r := Result{
+		Design:  "x",
+		Outlays: 1_000_000,
+		Outcomes: []Outcome{
+			{Scenario: failure.Scenario{Scope: failure.ScopeArray}, Penalties: 3_000_000},
+			{Scenario: failure.Scenario{Scope: failure.ScopeSite}, Penalties: 50_000_000},
+		},
+	}
+	freqs := Frequencies{failure.ScopeArray: 1.0 / 3, failure.ScopeSite: 1.0 / 50}
+	got := ExpectedAnnualCost(r, freqs)
+	want := units.Money(1_000_000 + 1_000_000 + 1_000_000)
+	if math.Abs(float64(got-want)) > 1 {
+		t.Errorf("expected cost = %v, want %v", got, want)
+	}
+	// Scope missing from the table contributes nothing.
+	got = ExpectedAnnualCost(r, Frequencies{failure.ScopeArray: 1})
+	if math.Abs(float64(got-4_000_000)) > 1 {
+		t.Errorf("partial table = %v", got)
+	}
+}
+
+func TestExpectedAnnualCostEdgeCases(t *testing.T) {
+	if !math.IsInf(float64(ExpectedAnnualCost(Result{}, nil)), 1) {
+		t.Error("empty result should be infinite")
+	}
+	lost := Result{
+		Outlays: 1,
+		Outcomes: []Outcome{
+			{Scenario: failure.Scenario{Scope: failure.ScopeSite}, Lost: true},
+		},
+	}
+	if !math.IsInf(float64(ExpectedAnnualCost(lost, TypicalFrequencies())), 1) {
+		t.Error("lost outcome with non-zero frequency should be infinite")
+	}
+	// Declaring the scope out of scope (freq 0) ignores the loss.
+	if got := ExpectedAnnualCost(lost, Frequencies{}); got != 1 {
+		t.Errorf("zero-frequency loss = %v, want outlays only", got)
+	}
+}
+
+// TestRankExpectedVsWorstCase shows the two criteria disagreeing on the
+// case-study family: on worst case the 1-link mirror wins outright, but
+// on expectation (site disasters once in 50 years) the cheap snapshot
+// design beats both mirrors.
+func TestRankExpectedVsWorstCase(t *testing.T) {
+	results, err := Evaluate(casestudy.WhatIfDesigns(), []failure.Scenario{
+		{Scope: failure.ScopeArray},
+		{Scope: failure.ScopeSite},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := Rank(results)
+	if worst[0].Design != "AsyncB mirror, 1 link(s)" {
+		t.Fatalf("worst-case winner = %s", worst[0].Design)
+	}
+	// On worst case the 10-link mirror is the runner-up ($5.66M vs the
+	// snapshot design's $12.89M); on expectation the order inverts: site
+	// disasters once in 50 years shrink the snapshot design's penalties
+	// to ~$0.9M/yr while the 10-link mirror still pays $5.1M of links.
+	if worst[1].Design != "AsyncB mirror, 10 link(s)" {
+		t.Fatalf("worst-case runner-up = %s", worst[1].Design)
+	}
+	expected := RankExpected(results, TypicalFrequencies())
+	if len(expected) != len(results) {
+		t.Fatalf("rankings = %d", len(expected))
+	}
+	if expected[0].Design != "AsyncB mirror, 1 link(s)" {
+		t.Errorf("expected-cost winner = %s", expected[0].Design)
+	}
+	if expected[1].Design != "Weekly vault, daily F, snapshot" {
+		for _, e := range expected {
+			t.Logf("%-34s %v", e.Design, e.Expected)
+		}
+		t.Errorf("expected-cost runner-up = %s, want the snapshot design", expected[1].Design)
+	}
+	// Expected costs are finite and ordered.
+	for i := 1; i < len(expected); i++ {
+		if expected[i].Expected < expected[i-1].Expected {
+			t.Error("ranking not sorted")
+		}
+	}
+}
+
+func TestRankExpectedUnbuildableSinks(t *testing.T) {
+	broken := casestudy.Baseline()
+	big, err := broken.Workload.Scale(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken.Workload = big
+	broken.Name = "broken"
+	results, err := Evaluate([]*core.Design{broken, casestudy.Baseline()},
+		[]failure.Scenario{{Scope: failure.ScopeArray}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := RankExpected(results, TypicalFrequencies())
+	if ranked[len(ranked)-1].Design != "broken" {
+		t.Errorf("broken design should rank last: %+v", ranked)
+	}
+}
+
+func TestTypicalFrequencies(t *testing.T) {
+	f := TypicalFrequencies()
+	for scope := failure.ScopeObject; scope <= failure.ScopeRegion; scope++ {
+		if f[scope] <= 0 {
+			t.Errorf("scope %v missing", scope)
+		}
+	}
+	// Frequencies fall with blast radius.
+	if !(f[failure.ScopeObject] > f[failure.ScopeArray] &&
+		f[failure.ScopeArray] > f[failure.ScopeSite] &&
+		f[failure.ScopeSite] > f[failure.ScopeRegion]) {
+		t.Error("frequencies should fall with blast radius")
+	}
+}

@@ -1,0 +1,239 @@
+// Package whatif explores the design space around a storage system
+// configuration: it evaluates families of candidate designs against
+// failure scenarios, ranks them by overall cost, finds Pareto-optimal
+// trade-offs between recovery time, data loss and outlays, and searches
+// for the cheapest design meeting recovery objectives (RTO/RPO).
+//
+// This is the inner loop the paper positions its models for: "provide the
+// inner-most loop of an automated optimization loop to choose the best
+// solution for a given set of business requirements" (§1, building toward
+// the automated design work of [13]).
+package whatif
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"stordep/internal/core"
+	"stordep/internal/failure"
+	"stordep/internal/units"
+)
+
+// Outcome is one design's evaluation under one scenario.
+type Outcome struct {
+	Scenario     failure.Scenario
+	RecoveryTime time.Duration
+	DataLoss     time.Duration
+	Penalties    units.Money
+	Total        units.Money
+	Lost         bool
+}
+
+// Result is one candidate design's full evaluation.
+type Result struct {
+	// Design names the candidate.
+	Design string
+	// Outlays are the annual outlays (scenario-independent).
+	Outlays units.Money
+	// Outcomes has one entry per scenario, in input order.
+	Outcomes []Outcome
+	// Err records designs that failed to build (overloaded devices,
+	// invalid configurations); such results rank last.
+	Err error
+}
+
+// WorstTotal returns the highest total cost across scenarios — the
+// "design for the hypothesized disaster" criterion. Designs that failed
+// to build return +Inf.
+func (r *Result) WorstTotal() units.Money {
+	if r.Err != nil || len(r.Outcomes) == 0 {
+		return units.Money(math.Inf(1))
+	}
+	worst := r.Outcomes[0].Total
+	for _, o := range r.Outcomes[1:] {
+		if o.Total > worst {
+			worst = o.Total
+		}
+	}
+	return worst
+}
+
+// ErrNoScenarios is returned when evaluation is requested without
+// scenarios.
+var ErrNoScenarios = errors.New("whatif: at least one scenario required")
+
+// Evaluate builds every candidate design and assesses it under every
+// scenario. Designs that fail to build are kept in the results with Err
+// set, so a sweep over aggressive parameters reports which points are
+// infeasible rather than aborting.
+func Evaluate(designs []*core.Design, scenarios []failure.Scenario) ([]Result, error) {
+	if len(scenarios) == 0 {
+		return nil, ErrNoScenarios
+	}
+	results := make([]Result, 0, len(designs))
+	for _, d := range designs {
+		res := Result{Design: d.Name}
+		sys, err := core.Build(d)
+		if err != nil {
+			res.Err = err
+			results = append(results, res)
+			continue
+		}
+		res.Outlays = sys.Outlays().Total()
+		for _, sc := range scenarios {
+			a, err := sys.Assess(sc)
+			if err != nil {
+				res.Err = fmt.Errorf("whatif: scenario %s: %w", sc.DisplayName(), err)
+				break
+			}
+			res.Outcomes = append(res.Outcomes, Outcome{
+				Scenario:     sc,
+				RecoveryTime: a.RecoveryTime,
+				DataLoss:     a.DataLoss,
+				Penalties:    a.Cost.Penalties.Total(),
+				Total:        a.Cost.Total(),
+				Lost:         a.WholeObjectLost,
+			})
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// Rank sorts results by ascending worst-scenario total cost (stable on
+// names for determinism). Unbuildable designs sink to the bottom.
+func Rank(results []Result) []Result {
+	out := make([]Result, len(results))
+	copy(out, results)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i].WorstTotal(), out[j].WorstTotal()
+		if a != b {
+			return a < b
+		}
+		return out[i].Design < out[j].Design
+	})
+	return out
+}
+
+// Objectives are recovery objectives for one scenario: the recovery time
+// objective (RTO) bounds worst-case recovery time, and the recovery point
+// objective (RPO) bounds worst-case recent data loss (§1 of the paper).
+type Objectives struct {
+	RTO time.Duration
+	RPO time.Duration
+}
+
+// Meets reports whether an outcome satisfies the objectives.
+func (o Objectives) Meets(out Outcome) bool {
+	return !out.Lost && out.RecoveryTime <= o.RTO && out.DataLoss <= o.RPO
+}
+
+// ErrNoFeasible is returned when no candidate meets the objectives under
+// every scenario.
+var ErrNoFeasible = errors.New("whatif: no design meets the objectives")
+
+// Cheapest returns the lowest-outlay design whose every outcome meets the
+// objectives — the automated-design query: "the cheapest system with RTO
+// <= x and RPO <= y under the hypothesized failures".
+func Cheapest(results []Result, obj Objectives) (Result, error) {
+	best := -1
+	for i, r := range results {
+		if r.Err != nil || len(r.Outcomes) == 0 {
+			continue
+		}
+		ok := true
+		for _, out := range r.Outcomes {
+			if !obj.Meets(out) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if best == -1 || r.Outlays < results[best].Outlays {
+			best = i
+		}
+	}
+	if best == -1 {
+		return Result{}, fmt.Errorf("%w (RTO %v, RPO %v)", ErrNoFeasible, obj.RTO, obj.RPO)
+	}
+	return results[best], nil
+}
+
+// Point is a design's position in the (recovery time, data loss, outlays)
+// trade-off space for one scenario.
+type Point struct {
+	Design       string
+	RecoveryTime time.Duration
+	DataLoss     time.Duration
+	Outlays      units.Money
+}
+
+// dominates reports whether a is at least as good as b on every axis and
+// strictly better on at least one.
+func dominates(a, b Point) bool {
+	if a.RecoveryTime > b.RecoveryTime || a.DataLoss > b.DataLoss || a.Outlays > b.Outlays {
+		return false
+	}
+	return a.RecoveryTime < b.RecoveryTime || a.DataLoss < b.DataLoss || a.Outlays < b.Outlays
+}
+
+// Pareto returns the non-dominated designs for the scenario at the given
+// index, sorted by ascending outlays. Designs that could not recover are
+// excluded.
+func Pareto(results []Result, scenarioIndex int) []Point {
+	var pts []Point
+	for _, r := range results {
+		if r.Err != nil || scenarioIndex < 0 || scenarioIndex >= len(r.Outcomes) {
+			continue
+		}
+		o := r.Outcomes[scenarioIndex]
+		if o.Lost {
+			continue
+		}
+		pts = append(pts, Point{
+			Design:       r.Design,
+			RecoveryTime: o.RecoveryTime,
+			DataLoss:     o.DataLoss,
+			Outlays:      r.Outlays,
+		})
+	}
+	var frontier []Point
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i != j && dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier = append(frontier, p)
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool {
+		if frontier[i].Outlays != frontier[j].Outlays {
+			return frontier[i].Outlays < frontier[j].Outlays
+		}
+		return frontier[i].Design < frontier[j].Design
+	})
+	return frontier
+}
+
+// Sweep generates a family of designs from a parameterized constructor.
+// Each value in values is passed to build; nil results are skipped. It is
+// the scaffolding for link-count sweeps, window sweeps and similar
+// one-dimensional explorations.
+func Sweep[T any](values []T, build func(T) *core.Design) []*core.Design {
+	designs := make([]*core.Design, 0, len(values))
+	for _, v := range values {
+		if d := build(v); d != nil {
+			designs = append(designs, d)
+		}
+	}
+	return designs
+}

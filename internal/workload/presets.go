@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"time"
+
+	"stordep/internal/units"
+)
+
+// This file provides canned workload profiles beyond the paper's cello
+// trace, for what-if studies and examples. The shapes follow the same
+// structure — a decaying unique-update curve — with parameters typical of
+// each application class.
+
+// OLTP returns a transaction-processing profile: a moderate-size database
+// with a high, bursty update rate that coalesces strongly (hot rows are
+// rewritten constantly).
+func OLTP(dataCap units.ByteSize) *Workload {
+	update := units.RateOf(dataCap, 4*units.Week) * 40 // ~40 object turnovers/year of raw writes
+	return &Workload{
+		Name:          "oltp",
+		DataCap:       dataCap,
+		AvgAccessRate: 6 * update,
+		AvgUpdateRate: update,
+		BurstMult:     8,
+		BatchCurve: []BatchPoint{
+			{Window: time.Minute, Rate: 0.85 * update},
+			{Window: time.Hour, Rate: 0.45 * update},
+			{Window: 24 * time.Hour, Rate: 0.2 * update},
+			{Window: units.Week, Rate: 0.1 * update},
+		},
+	}
+}
+
+// FileServer returns a workgroup file-server profile shaped like cello:
+// most writes unique at short windows, moderate coalescing over days.
+func FileServer(dataCap units.ByteSize) *Workload {
+	update := units.RateOf(dataCap, 4*units.Week) * 2
+	return &Workload{
+		Name:          "file-server",
+		DataCap:       dataCap,
+		AvgAccessRate: 1.3 * update,
+		AvgUpdateRate: update,
+		BurstMult:     10,
+		BatchCurve: []BatchPoint{
+			{Window: time.Minute, Rate: 0.91 * update},
+			{Window: 12 * time.Hour, Rate: 0.44 * update},
+			{Window: 24 * time.Hour, Rate: 0.4 * update},
+			{Window: units.Week, Rate: 0.4 * update},
+		},
+	}
+}
+
+// Warehouse returns a data-warehouse profile: large capacity, batch-load
+// writes (bursty, append-mostly so almost no coalescing), heavy reads.
+func Warehouse(dataCap units.ByteSize) *Workload {
+	update := units.RateOf(dataCap, 26*units.Week)
+	return &Workload{
+		Name:          "warehouse",
+		DataCap:       dataCap,
+		AvgAccessRate: 20 * update,
+		AvgUpdateRate: update,
+		BurstMult:     25,
+		BatchCurve: []BatchPoint{
+			{Window: time.Minute, Rate: 0.99 * update},
+			{Window: 24 * time.Hour, Rate: 0.95 * update},
+			{Window: units.Week, Rate: 0.9 * update},
+		},
+	}
+}

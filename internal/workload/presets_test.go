@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"stordep/internal/units"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	presets := []*Workload{
+		OLTP(500 * units.GB),
+		FileServer(1360 * units.GB),
+		Warehouse(20 * units.TB),
+	}
+	for _, w := range presets {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if w.AvgAccessRate < w.AvgUpdateRate {
+			t.Errorf("%s: reads should not be below writes", w.Name)
+		}
+	}
+}
+
+// TestPresetCharacters verifies each profile's distinguishing shape.
+func TestPresetCharacters(t *testing.T) {
+	cap := units.TB
+	oltp, fs, wh := OLTP(cap), FileServer(cap), Warehouse(cap)
+
+	coalescing := func(w *Workload) float64 {
+		return float64(w.BatchUpdateRate(units.Week) / w.BatchUpdateRate(time.Minute))
+	}
+	// OLTP coalesces hardest; the warehouse barely at all.
+	if !(coalescing(oltp) < coalescing(fs) && coalescing(fs) < coalescing(wh)) {
+		t.Errorf("coalescing order: oltp %.2f, fs %.2f, wh %.2f",
+			coalescing(oltp), coalescing(fs), coalescing(wh))
+	}
+	// The warehouse is the burstiest (batch loads).
+	if !(wh.BurstMult > oltp.BurstMult && wh.BurstMult > fs.BurstMult) {
+		t.Error("warehouse should be burstiest")
+	}
+	// Read-heaviness: warehouse >> oltp > file server.
+	ratio := func(w *Workload) float64 { return float64(w.AvgAccessRate / w.AvgUpdateRate) }
+	if !(ratio(wh) > ratio(oltp) && ratio(oltp) > ratio(fs)) {
+		t.Error("read/write ratio ordering broken")
+	}
+}
+
+// TestPresetsScaleWithCapacity: rates are proportional to the object
+// size, so presets stay valid across scales.
+func TestPresetsScaleWithCapacity(t *testing.T) {
+	small, big := OLTP(100*units.GB), OLTP(1000*units.GB)
+	if big.AvgUpdateRate != 10*small.AvgUpdateRate {
+		t.Errorf("update rate scaling: %v vs %v", small.AvgUpdateRate, big.AvgUpdateRate)
+	}
+	// Mirroring economics stay shape-invariant: the batch-to-average
+	// ratio is scale-free.
+	rSmall := float64(small.BatchUpdateRate(time.Hour) / small.AvgUpdateRate)
+	rBig := float64(big.BatchUpdateRate(time.Hour) / big.AvgUpdateRate)
+	if rSmall != rBig {
+		t.Errorf("batch ratio changed with scale: %v vs %v", rSmall, rBig)
+	}
+}

@@ -1,0 +1,269 @@
+// Package stordep evaluates the dependability of data storage system
+// designs, implementing the modeling framework of Keeton & Merchant,
+// "A Framework for Evaluating Storage System Dependability" (DSN 2004).
+//
+// A design composes data protection techniques — split mirrors, virtual
+// snapshots, inter-array mirroring, tape backup, remote vaulting — over a
+// fleet of modeled devices. Given a workload and business requirements,
+// the framework predicts, for any hypothesized failure scope:
+//
+//   - normal-mode bandwidth and capacity utilization of every device,
+//   - worst-case recovery time (how long until the application runs again),
+//   - worst-case recent data loss (how many recent updates are gone),
+//   - overall cost: annualized outlays plus outage and loss penalties.
+//
+// # Quick start
+//
+//	sys, err := stordep.Baseline().Build()
+//	if err != nil { ... }
+//	a, err := sys.Assess(stordep.Scenario{Scope: stordep.ScopeSite})
+//	fmt.Println(a.RecoveryTime, a.DataLoss, a.Cost.Total())
+//
+// Custom designs are assembled with NewDesign:
+//
+//	sys, err := stordep.NewDesign("my-db").
+//		Workload(stordep.Cello()).
+//		Penalties(50_000, 50_000).
+//		Device(stordep.MidrangeArray(), stordep.Placement{Array: "a1", Site: "hq"}).
+//		Device(stordep.TapeLibrary(), stordep.Placement{Array: "l1", Site: "hq"}).
+//		PrimaryOn(stordep.NameDiskArray).
+//		Protect(&stordep.SplitMirror{Array: stordep.NameDiskArray, Pol: stordep.SplitMirrorPolicy()}).
+//		Protect(&stordep.Backup{SourceArray: stordep.NameDiskArray, Target: stordep.NameTapeLibrary, Pol: stordep.BackupPolicy()}).
+//		Build()
+//
+// The subpackages under internal/ hold the component models; this package
+// re-exports the stable surface.
+package stordep
+
+import (
+	"time"
+
+	"stordep/internal/casestudy"
+	"stordep/internal/core"
+	"stordep/internal/cost"
+	"stordep/internal/device"
+	"stordep/internal/failure"
+	"stordep/internal/hierarchy"
+	"stordep/internal/protect"
+	"stordep/internal/units"
+	"stordep/internal/workload"
+)
+
+// Core composition types.
+type (
+	// Design is a complete storage system design.
+	Design = core.Design
+	// System is a built design ready for assessment.
+	System = core.System
+	// Assessment is the evaluation under one failure scenario.
+	Assessment = core.Assessment
+	// Utilization is the normal-mode utilization report.
+	Utilization = core.Utilization
+	// PlacedDevice binds a device spec to a location.
+	PlacedDevice = core.PlacedDevice
+	// Facility is a shared recovery facility.
+	Facility = core.Facility
+)
+
+// Workload types.
+type (
+	// Workload summarizes the foreground workload (Table 2 of the paper).
+	Workload = workload.Workload
+	// BatchPoint is one breakpoint of the unique-update-rate curve.
+	BatchPoint = workload.BatchPoint
+)
+
+// Device types.
+type (
+	// DeviceSpec describes a storage, interconnect or transport device.
+	DeviceSpec = device.Spec
+	// CostModel prices a device (fixed / per-GB / per-MBps / per-shipment).
+	CostModel = device.CostModel
+	// Spare describes a device's spare resources.
+	Spare = device.Spare
+)
+
+// Hierarchy and policy types.
+type (
+	// Policy configures one protection level's retrieval-point management.
+	Policy = hierarchy.Policy
+	// WindowSet groups accumulation/propagation/hold windows.
+	WindowSet = hierarchy.WindowSet
+	// Chain is the ordered list of protection levels.
+	Chain = hierarchy.Chain
+)
+
+// Technique types.
+type (
+	// Technique is a configured data protection technique.
+	Technique = protect.Technique
+	// Primary is the level-0 copy.
+	Primary = protect.Primary
+	// SplitMirror maintains split-mirror PiT copies.
+	SplitMirror = protect.SplitMirror
+	// Snapshot maintains copy-on-write virtual snapshots.
+	Snapshot = protect.Snapshot
+	// Mirror is inter-array mirroring (sync, async or batched async).
+	Mirror = protect.Mirror
+	// Backup copies RPs to a backup device in full/incremental cycles.
+	Backup = protect.Backup
+	// Vaulting ships expiring backups to an off-site vault.
+	Vaulting = protect.Vaulting
+	// ErasureCode spreads coded fragments across sites (extension).
+	ErasureCode = protect.ErasureCode
+)
+
+// Failure-scenario types.
+type (
+	// Scenario is a failure scope plus recovery target.
+	Scenario = failure.Scenario
+	// Placement locates a device in the physical world.
+	Placement = failure.Placement
+)
+
+// Cost types.
+type (
+	// Requirements are the business penalty rates.
+	Requirements = cost.Requirements
+	// Money is an amount of US dollars.
+	Money = units.Money
+	// ByteSize is a data size in bytes.
+	ByteSize = units.ByteSize
+	// Rate is a transfer rate in bytes per second.
+	Rate = units.Rate
+)
+
+// Failure scopes.
+const (
+	ScopeObject   = failure.ScopeObject
+	ScopeArray    = failure.ScopeArray
+	ScopeBuilding = failure.ScopeBuilding
+	ScopeSite     = failure.ScopeSite
+	ScopeRegion   = failure.ScopeRegion
+)
+
+// Mirroring protocols.
+const (
+	MirrorSync       = protect.MirrorSync
+	MirrorAsync      = protect.MirrorAsync
+	MirrorAsyncBatch = protect.MirrorAsyncBatch
+)
+
+// Retrieval-point representations.
+const (
+	RepFull    = hierarchy.RepFull
+	RepPartial = hierarchy.RepPartial
+)
+
+// Size and rate units.
+const (
+	KB = units.KB
+	MB = units.MB
+	GB = units.GB
+	TB = units.TB
+
+	KBPerSec = units.KBPerSec
+	MBPerSec = units.MBPerSec
+	GBPerSec = units.GBPerSec
+
+	// Day, Week and Year are the calendar durations of policy windows.
+	Day  = units.Day
+	Week = units.Week
+	Year = units.Year
+
+	// Forever marks unbounded recovery time or loss.
+	Forever = units.Forever
+)
+
+// Catalog device names.
+const (
+	NameDiskArray   = device.NameDiskArray
+	NameMirrorArray = device.NameMirrorArray
+	NameTapeLibrary = device.NameTapeLibrary
+	NameTapeVault   = device.NameTapeVault
+	NameAirShipment = device.NameAirShipment
+	NameWANLinks    = device.NameWANLinks
+)
+
+// Build validates a design, applies its normal-mode demands and returns a
+// System ready for assessment.
+func Build(d *Design) (*System, error) { return core.Build(d) }
+
+// Cello returns the paper's measured workgroup file-server workload.
+func Cello() *Workload { return workload.Cello() }
+
+// Workload presets for what-if studies (rates scale with the object size).
+func OLTPWorkload(dataCap ByteSize) *Workload       { return workload.OLTP(dataCap) }
+func FileServerWorkload(dataCap ByteSize) *Workload { return workload.FileServer(dataCap) }
+func WarehouseWorkload(dataCap ByteSize) *Workload  { return workload.Warehouse(dataCap) }
+
+// MergeWorkloads combines workloads that will share one protected object
+// (consolidation studies).
+func MergeWorkloads(name string, workloads ...*Workload) (*Workload, error) {
+	return workload.Merge(name, workloads...)
+}
+
+// CaseStudyScenarios returns the paper's three failure scenarios: object
+// corruption, array failure and site disaster.
+func CaseStudyScenarios() []Scenario { return failure.CaseStudyScenarios() }
+
+// Catalog devices (Table 4 of the paper).
+func MidrangeArray() DeviceSpec       { return device.MidrangeArray() }
+func TapeLibrary() DeviceSpec         { return device.TapeLibrary() }
+func TapeVault() DeviceSpec           { return device.TapeVault() }
+func AirShipment() DeviceSpec         { return device.AirShipment() }
+func WANLinks(n int) DeviceSpec       { return device.WANLinks(n) }
+func RemoteMirrorArray() DeviceSpec   { return device.RemoteMirrorArray() }
+func SharedRecoveryArray() DeviceSpec { return device.SharedRecoveryArray() }
+
+// Extended catalog (beyond the paper's Table 4).
+func VirtualTapeLibrary() DeviceSpec { return device.VirtualTapeLibrary() }
+func GigELinks(n int) DeviceSpec     { return device.GigELinks(n) }
+func EconomyArray() DeviceSpec       { return device.EconomyArray() }
+
+// Case-study designs (§4 of the paper).
+func Baseline() *DesignBuilder { return wrap(casestudy.Baseline()) }
+
+// WhatIfDesigns returns the paper's Table 7 designs, baseline first.
+func WhatIfDesigns() []*Design { return casestudy.WhatIfDesigns() }
+
+// Case-study policies (Table 3).
+func SplitMirrorPolicy() Policy      { return casestudy.SplitMirrorPolicy() }
+func BackupPolicy() Policy           { return casestudy.BackupPolicy() }
+func VaultPolicy() Policy            { return casestudy.VaultPolicy() }
+func AsyncBatchMirrorPolicy() Policy { return casestudy.AsyncBatchMirrorPolicy() }
+
+// SimplePolicy builds a single-stream policy: accumulate every accW, hold
+// holdW, propagate over propW, retain retCnt RPs for retW, all full
+// copies.
+func SimplePolicy(accW, propW, holdW time.Duration, retCnt int, retW time.Duration) Policy {
+	return Policy{
+		Primary: WindowSet{AccW: accW, PropW: propW, HoldW: holdW, Rep: RepFull},
+		RetCnt:  retCnt,
+		RetW:    retW,
+		CopyRep: RepFull,
+	}
+}
+
+// CyclicPolicy builds a full+incremental policy: the full window set fires
+// once per cycle, the incremental set cycleCnt times.
+func CyclicPolicy(full, incr WindowSet, cycleCnt, retCnt int, retW time.Duration) Policy {
+	if full.Rep == 0 {
+		full.Rep = RepFull
+	}
+	if incr.Rep == 0 {
+		incr.Rep = RepPartial
+	}
+	return Policy{
+		Primary:   full,
+		Secondary: &incr,
+		CycleCnt:  cycleCnt,
+		RetCnt:    retCnt,
+		RetW:      retW,
+		CopyRep:   RepFull,
+	}
+}
+
+// PerHour converts a dollars-per-hour penalty figure into the framework's
+// penalty rate.
+func PerHour(dollars float64) units.PenaltyRate { return units.PerHour(dollars) }

@@ -1,0 +1,163 @@
+package stordep_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"stordep"
+)
+
+func TestBaselineQuickstart(t *testing.T) {
+	sys, err := stordep.Baseline().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sys.Assess(stordep.Scenario{Scope: stordep.ScopeSite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DataLoss != 1429*time.Hour {
+		t.Errorf("site loss = %v, want 1429h", a.DataLoss)
+	}
+	if a.RecoveryTime < 25*time.Hour || a.RecoveryTime > 26*time.Hour {
+		t.Errorf("site RT = %v, want ~25.6h", a.RecoveryTime)
+	}
+}
+
+func TestNewDesignBuilder(t *testing.T) {
+	hq := stordep.Placement{Array: "a1", Building: "b1", Site: "hq", Region: "west"}
+	lib := stordep.Placement{Array: "l1", Building: "b1", Site: "hq", Region: "west"}
+
+	sys, err := stordep.NewDesign("builder-test").
+		Workload(stordep.Cello()).
+		Penalties(50_000, 50_000).
+		Device(stordep.MidrangeArray(), hq).
+		Device(stordep.TapeLibrary(), lib).
+		PrimaryOn(stordep.NameDiskArray).
+		Protect(&stordep.SplitMirror{Array: stordep.NameDiskArray, Pol: stordep.SplitMirrorPolicy()}).
+		Protect(&stordep.Backup{
+			SourceArray: stordep.NameDiskArray,
+			Target:      stordep.NameTapeLibrary,
+			Pol:         stordep.BackupPolicy(),
+		}).
+		RecoveryFacility(stordep.Placement{Site: "dr-site", Region: "east"}, 9*time.Hour, 0.2).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sys.Assess(stordep.Scenario{Scope: stordep.ScopeArray})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Plan.SourceName != "backup" {
+		t.Errorf("source = %s", a.Plan.SourceName)
+	}
+	if a.DataLoss != 217*time.Hour {
+		t.Errorf("loss = %v", a.DataLoss)
+	}
+}
+
+func TestBuilderValidationSurfaceAtBuild(t *testing.T) {
+	_, err := stordep.NewDesign("broken").Build()
+	if err == nil {
+		t.Fatal("empty design should not build")
+	}
+}
+
+func TestDeviceWithSpare(t *testing.T) {
+	hq := stordep.Placement{Array: "a1", Building: "b1", Site: "hq", Region: "west"}
+	bunker := stordep.Placement{Array: "a1-dr", Building: "bunker", Site: "dr", Region: "west"}
+	d := stordep.NewDesign("spared").
+		Workload(stordep.Cello()).
+		Penalties(1, 1).
+		DeviceWithSpare(stordep.MidrangeArray(), hq, bunker).
+		Device(stordep.TapeLibrary(), stordep.Placement{Array: "l1", Building: "bunker", Site: "dr", Region: "west"}).
+		PrimaryOn(stordep.NameDiskArray).
+		Protect(&stordep.Backup{
+			SourceArray: stordep.NameDiskArray,
+			Target:      stordep.NameTapeLibrary,
+			Pol:         stordep.BackupPolicy(),
+		}).
+		Design()
+	if d.Devices[0].SparePlacement != bunker {
+		t.Error("spare placement lost")
+	}
+	sys, err := stordep.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Site disaster at hq: the array's spare at "dr" survives, so recovery
+	// provisioning uses the 0.02h hot spare, not a facility.
+	a, err := sys.Assess(stordep.Scenario{Scope: stordep.ScopeSite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WholeObjectLost {
+		t.Fatal("should recover via off-site spare")
+	}
+	if a.RecoveryTime > 3*time.Hour {
+		t.Errorf("RT = %v; off-site hot spare should beat facility provisioning", a.RecoveryTime)
+	}
+}
+
+func TestSimplePolicy(t *testing.T) {
+	p := stordep.SimplePolicy(24*time.Hour, 12*time.Hour, time.Hour, 7, stordep.Week)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.CyclePeriod() != 24*time.Hour || p.RetCnt != 7 {
+		t.Errorf("policy = %+v", p)
+	}
+}
+
+func TestCyclicPolicy(t *testing.T) {
+	p := stordep.CyclicPolicy(
+		stordep.WindowSet{AccW: 48 * time.Hour, PropW: 48 * time.Hour, HoldW: time.Hour},
+		stordep.WindowSet{AccW: 24 * time.Hour, PropW: 12 * time.Hour, HoldW: time.Hour},
+		5, 4, 4*stordep.Week)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.CyclePeriod() != stordep.Week {
+		t.Errorf("cycle = %v", p.CyclePeriod())
+	}
+	if p.Primary.Rep != stordep.RepFull || p.Secondary.Rep != stordep.RepPartial {
+		t.Error("representation defaults not applied")
+	}
+}
+
+func TestWhatIfDesignsExposed(t *testing.T) {
+	ds := stordep.WhatIfDesigns()
+	if len(ds) != 7 {
+		t.Fatalf("designs = %d, want 7", len(ds))
+	}
+	for _, d := range ds {
+		if _, err := stordep.Build(d); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestCatalogReexports(t *testing.T) {
+	specs := []stordep.DeviceSpec{
+		stordep.MidrangeArray(), stordep.TapeLibrary(), stordep.TapeVault(),
+		stordep.AirShipment(), stordep.WANLinks(3), stordep.RemoteMirrorArray(),
+		stordep.SharedRecoveryArray(),
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	links := stordep.WANLinks(3)
+	if links.MaxBandwidth() != 3*19.375*stordep.MBPerSec {
+		t.Error("link bandwidth")
+	}
+}
+
+func TestPerHour(t *testing.T) {
+	if got := stordep.PerHour(3600).Over(time.Second); math.Abs(float64(got)-1) > 1e-9 {
+		t.Errorf("PerHour(3600) over 1s = %v, want $1", got)
+	}
+}
