@@ -1,0 +1,78 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stordep/internal/casestudy"
+	"stordep/internal/chaos"
+	"stordep/internal/failure"
+	"stordep/internal/units"
+)
+
+func TestRunCampaign(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 1, 10, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"chaos campaign: seed 1, 10 runs", "violations:        0", "case digest:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDeterministicOutput(t *testing.T) {
+	var a, b strings.Builder
+	if err := run(&a, 4, 6, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, 4, 6, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same seed, different output:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+func TestRunRejectsBadRuns(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 1, 0, "", ""); err == nil {
+		t.Error("zero runs accepted")
+	}
+	if err := run(&buf, 1, -5, "", ""); err == nil {
+		t.Error("negative runs accepted")
+	}
+}
+
+func TestReplayCleanRepro(t *testing.T) {
+	// A hand-written repro around the case-study baseline replays with no
+	// violations and reports that.
+	cs := &chaos.Case{
+		Design:   casestudy.Baseline(),
+		Scenario: failure.Scenario{Scope: failure.ScopeArray},
+		Horizon:  40 * units.Week,
+	}
+	path := filepath.Join(t.TempDir(), "repro.json")
+	meta := chaos.ReproMeta{Invariant: "loss-bound", Detail: "synthetic", Seed: 9, Run: 2}
+	if err := chaos.SaveRepro(path, cs, meta); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run(&buf, 0, 0, "", path); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "replaying") || !strings.Contains(out, "no violations reproduced") {
+		t.Errorf("replay output:\n%s", out)
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 0, 0, "", filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing replay file accepted")
+	}
+}

@@ -10,6 +10,7 @@
 //	simulate -design baseline.json -scope array
 //	simulate -design baseline.json -scope site -weeks 40 -step 30m
 //	simulate -design baseline.json -scope array -outage backup=1wk
+//	simulate -design baseline.json -scope array -outage backup=1wk,vault=2d
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"stordep/internal/config"
 	"stordep/internal/core"
 	"stordep/internal/failure"
+	"stordep/internal/hierarchy"
 	"stordep/internal/sim"
 	"stordep/internal/units"
 )
@@ -38,7 +40,7 @@ func main() {
 		target     = flag.String("target", "0h", "recovery target age")
 		weeks      = flag.Int("weeks", 30, "simulation horizon in weeks")
 		step       = flag.String("step", "1h", "failure sampling step")
-		outage     = flag.String("outage", "", "degrade one level before sampling, e.g. backup=1wk")
+		outage     = flag.String("outage", "", "degrade levels before sampling, comma-separated, e.g. backup=1wk or backup=1wk,vault=2d")
 		rt         = flag.Bool("rt", false, "also study restore volumes/times per failure instant")
 	)
 	flag.Parse()
@@ -77,41 +79,38 @@ func run(w io.Writer, designPath, scope, target string, weeks int, step, outage 
 		return err
 	}
 
+	if weeks <= 0 {
+		return fmt.Errorf("-weeks must be positive, got %d", weeks)
+	}
 	horizon := time.Duration(weeks) * units.Week
 	stepDur, err := units.ParseDuration(step)
 	if err != nil {
 		return fmt.Errorf("bad -step: %w", err)
 	}
+	if stepDur <= 0 {
+		return fmt.Errorf("-step must be positive, got %s", step)
+	}
 
 	// Analytic bound: the loss at the level source selection would pick,
-	// shifted if an outage is requested.
-	analytic := time.Duration(-1)
-	var outageLevel int
-	var outageDur time.Duration
-	if outage != "" {
-		name, durStr, ok := strings.Cut(outage, "=")
-		if !ok {
-			return fmt.Errorf("bad -outage %q, want level=duration", outage)
-		}
-		outageLevel = chain.Index(name)
-		if outageLevel == 0 {
-			return fmt.Errorf("unknown level %q", name)
-		}
-		if outageDur, err = units.ParseDuration(durStr); err != nil {
-			return fmt.Errorf("bad -outage duration: %w", err)
-		}
-		// The outage ends two thirds into the horizon; sampling begins
-		// right after it, when the exposure peaks.
-		from := horizon * 2 / 3
-		if err := simulator.AddOutage(sim.Outage{Level: outageLevel, From: from - outageDur, To: from}); err != nil {
+	// shifted if outages are requested. Several comma-separated outages
+	// degrade their levels simultaneously: all end two thirds into the
+	// horizon, so sampling begins right after them, when exposure peaks.
+	outages, err := parseOutages(chain, outage)
+	if err != nil {
+		return err
+	}
+	from := horizon * 2 / 3
+	for _, o := range outages {
+		if err := simulator.AddOutage(sim.Outage{Level: o.Level, From: from - o.Outage, To: from}); err != nil {
 			return err
 		}
 	}
+	analytic := time.Duration(-1)
 	for _, j := range surviving {
 		var loss time.Duration
 		var ok bool
-		if outageLevel > 0 {
-			loss, ok = chain.DegradedLoss(j, outageLevel, outageDur, sc.TargetAge)
+		if len(outages) > 0 {
+			loss, ok = chain.CompoundDegradedLoss(j, outages, sc.TargetAge)
 		} else {
 			loss, ok = chain.WorstCaseLoss(j, sc.TargetAge)
 		}
@@ -126,7 +125,6 @@ func run(w io.Writer, designPath, scope, target string, weeks int, step, outage 
 		return err
 	}
 
-	from := horizon * 2 / 3
 	to := horizon - units.Week
 	st, err := simulator.LossStudy(surviving, sc.TargetAge, from, to, stepDur)
 	if err != nil {
@@ -178,6 +176,34 @@ func run(w io.Writer, designPath, scope, target string, weeks int, step, outage 
 			a.RecoveryTime.Hours())
 	}
 	return nil
+}
+
+// parseOutages parses a comma-separated list of level=duration pairs
+// against the chain's level names.
+func parseOutages(chain hierarchy.Chain, spec string) ([]hierarchy.LevelOutage, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []hierarchy.LevelOutage
+	for _, part := range strings.Split(spec, ",") {
+		name, durStr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -outage %q, want level=duration", part)
+		}
+		level := chain.Index(name)
+		if level == 0 {
+			return nil, fmt.Errorf("unknown level %q", name)
+		}
+		dur, err := units.ParseDuration(durStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad -outage duration: %w", err)
+		}
+		if dur <= 0 {
+			return nil, fmt.Errorf("-outage duration must be positive, got %q", part)
+		}
+		out = append(out, hierarchy.LevelOutage{Level: level, Outage: dur})
+	}
+	return out, nil
 }
 
 func parseScenario(scope, target string) (failure.Scenario, error) {

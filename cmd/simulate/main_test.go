@@ -60,6 +60,40 @@ func TestRunWithOutage(t *testing.T) {
 	}
 }
 
+func TestRunWithCompoundOutage(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, writeBaseline(t), "array", "0h", 30, "2h", "split-mirror=12h,backup=1wk", false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "analytic worst-case loss: 397.0 hr") {
+		t.Errorf("compound degraded bound missing:\n%s", out)
+	}
+	if strings.Contains(out, "BOUND VIOLATED") {
+		t.Errorf("compound degraded bound violated:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadHorizonAndStep(t *testing.T) {
+	path := writeBaseline(t)
+	for _, tc := range []struct {
+		weeks int
+		step  string
+		want  string
+	}{
+		{0, "1h", "-weeks must be positive"},
+		{-3, "1h", "-weeks must be positive"},
+		{10, "0h", "-step must be positive"},
+		{10, "-1h", "-step must be positive"},
+	} {
+		var buf strings.Builder
+		err := run(&buf, path, "array", "0h", tc.weeks, tc.step, "", false)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("weeks=%d step=%q: got error %v, want %q", tc.weeks, tc.step, err, tc.want)
+		}
+	}
+}
+
 func TestRunNoSurvivors(t *testing.T) {
 	d := casestudy.Baseline()
 	d.Levels = d.Levels[:2] // drop the vault: nothing survives a site loss
@@ -102,6 +136,15 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(&buf, path, "array", "0h", 10, "1h", "backup=zzz", false); err == nil {
 		t.Error("bad outage duration accepted")
+	}
+	if err := run(&buf, path, "array", "0h", 10, "1h", "backup=1wk,ghost=2d", false); err == nil {
+		t.Error("unknown level in outage list accepted")
+	}
+	if err := run(&buf, path, "array", "0h", 10, "1h", "backup=1wk,vaulting", false); err == nil {
+		t.Error("malformed pair in outage list accepted")
+	}
+	if err := run(&buf, path, "array", "0h", 10, "1h", "backup=0h", false); err == nil {
+		t.Error("zero outage duration accepted")
 	}
 	// Corrupt design file.
 	bad := filepath.Join(t.TempDir(), "bad.json")

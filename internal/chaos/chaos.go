@@ -1,0 +1,191 @@
+// Package chaos is a randomized fault-injection campaign engine for the
+// dependability framework. Each campaign run draws a random-but-valid
+// design (a random protection hierarchy over a random workload and
+// device fleet), injects a compound failure schedule into the simulator
+// (overlapping per-level outages, transfers aborted mid-propagation),
+// and cross-checks the analytic model against the simulator on a battery
+// of invariants: simulated loss never exceeds the analytic worst case,
+// analytic loss is monotone in recovery-target age, restore volumes and
+// times are sane, degraded mode never beats normal mode, and cost
+// components sum to reported totals.
+//
+// A single seed drives every random choice, so campaigns replay
+// deterministically. On a violation, the engine shrinks the case to a
+// minimal counterexample (dropping outages, truncating the hierarchy,
+// shortening the horizon, simplifying policies) and writes a repro JSON
+// file that round-trips through internal/config.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"stordep/internal/core"
+	"stordep/internal/failure"
+	"stordep/internal/sim"
+)
+
+// Case is one chaos trial: a generated design plus the fault schedule
+// injected into its simulation and the failure scenario assessed against
+// the analytic model.
+type Case struct {
+	// Design is the complete generated storage system design.
+	Design *core.Design
+	// Scenario is the hardware-failure scenario assessed analytically.
+	Scenario failure.Scenario
+	// Horizon is how long the simulation runs.
+	Horizon time.Duration
+	// Outages is the compound fault schedule injected into the simulator.
+	// Entries may overlap in time and repeat levels.
+	Outages []sim.Outage
+}
+
+// Violation records one failed invariant check.
+type Violation struct {
+	// Run is the campaign run index the violation surfaced in.
+	Run int
+	// Invariant names the failed check (see invariants.go).
+	Invariant string
+	// Detail is a human-readable account of the failing comparison.
+	Detail string
+	// ReproPath is the minimal-counterexample JSON written for the
+	// violation (empty when no repro directory was configured).
+	ReproPath string
+}
+
+// Campaign configures a chaos run.
+type Campaign struct {
+	// Seed drives every random choice. The same seed and run count
+	// reproduce the identical summary.
+	Seed int64
+	// Runs is how many cases to generate and check.
+	Runs int
+	// ReproDir, when non-empty, receives one minimal-counterexample JSON
+	// file per violating run.
+	ReproDir string
+	// MaxShrinkSteps bounds the shrinker's candidate evaluations per
+	// violation (default 64).
+	MaxShrinkSteps int
+	// DesignAttempts bounds rejection sampling per run when generated
+	// designs fail to build (default 40).
+	DesignAttempts int
+}
+
+// Summary aggregates a campaign's results.
+type Summary struct {
+	Seed int64
+	Runs int
+	// Resamples counts generated designs rejected before checking
+	// (device over-utilization, horizon cap).
+	Resamples int
+	// Checks counts executed comparisons per invariant name.
+	Checks map[string]int
+	// SkippedBounds counts loss-bound comparisons skipped because the
+	// analytic model declined to bound the configuration.
+	SkippedBounds int
+	// Violations lists every failed check, in run order.
+	Violations []Violation
+	// Digest fingerprints the whole campaign (designs, schedules and
+	// per-run observations); identical seeds must reproduce it exactly.
+	Digest uint64
+}
+
+// String renders the summary in a fixed, seed-deterministic format.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos campaign: seed %d, %d runs\n", s.Seed, s.Runs)
+	fmt.Fprintf(&b, "  design resamples:  %d\n", s.Resamples)
+	names := make([]string, 0, len(s.Checks))
+	for name := range s.Checks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, s.Checks[name]))
+	}
+	fmt.Fprintf(&b, "  invariant checks:  %s\n", strings.Join(parts, " "))
+	fmt.Fprintf(&b, "  bounds skipped:    %d\n", s.SkippedBounds)
+	fmt.Fprintf(&b, "  violations:        %d\n", len(s.Violations))
+	for _, v := range s.Violations {
+		fmt.Fprintf(&b, "    run %d [%s]: %s", v.Run, v.Invariant, v.Detail)
+		if v.ReproPath != "" {
+			fmt.Fprintf(&b, " (repro: %s)", filepath.Base(v.ReproPath))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  case digest:       %#016x\n", s.Digest)
+	return b.String()
+}
+
+// Run executes the campaign.
+func (c *Campaign) Run() (*Summary, error) {
+	if c.Runs <= 0 {
+		return nil, fmt.Errorf("chaos: runs must be positive, got %d", c.Runs)
+	}
+	maxShrink := c.MaxShrinkSteps
+	if maxShrink <= 0 {
+		maxShrink = 64
+	}
+	attempts := c.DesignAttempts
+	if attempts <= 0 {
+		attempts = 40
+	}
+	sum := &Summary{
+		Seed:   c.Seed,
+		Runs:   c.Runs,
+		Checks: make(map[string]int),
+	}
+	digest := fnv.New64a()
+	for run := 0; run < c.Runs; run++ {
+		cs, resamples := genCase(runRNG(c.Seed, run), run, attempts)
+		sum.Resamples += resamples
+		res, err := checkCase(cs)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: run %d (%s): %w", run, cs.Design.Name, err)
+		}
+		for name, n := range res.counts {
+			sum.Checks[name] += n
+		}
+		sum.SkippedBounds += res.skipped
+		fmt.Fprintf(digest, "run %d %s\n", run, res.digest)
+		if len(res.violations) == 0 {
+			continue
+		}
+		reproPath := ""
+		if c.ReproDir != "" {
+			shrunk := shrinkCase(cs, res.violations[0].Invariant, maxShrink)
+			reproPath = filepath.Join(c.ReproDir, fmt.Sprintf("repro-seed%d-run%d.json", c.Seed, run))
+			if err := SaveRepro(reproPath, shrunk, ReproMeta{
+				Invariant: res.violations[0].Invariant,
+				Detail:    res.violations[0].Detail,
+				Seed:      c.Seed,
+				Run:       run,
+			}); err != nil {
+				return nil, fmt.Errorf("chaos: run %d: writing repro: %w", run, err)
+			}
+		}
+		for i, v := range res.violations {
+			v.Run = run
+			if i == 0 {
+				v.ReproPath = reproPath
+			}
+			sum.Violations = append(sum.Violations, v)
+		}
+	}
+	sum.Digest = digest.Sum64()
+	return sum, nil
+}
+
+// splitmix64 is the SplitMix64 mixer; it decorrelates per-run seeds so
+// adjacent run indices draw unrelated streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

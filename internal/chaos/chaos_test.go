@@ -1,0 +1,252 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCampaignDeterministic(t *testing.T) {
+	runOnce := func() *Summary {
+		t.Helper()
+		c := &Campaign{Seed: 42, Runs: 8}
+		sum, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	a, b := runOnce(), runOnce()
+	if a.Digest != b.Digest {
+		t.Errorf("digests differ: %#x vs %#x", a.Digest, b.Digest)
+	}
+	if a.String() != b.String() {
+		t.Errorf("summaries differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+	c, err := (&Campaign{Seed: 43, Runs: 8}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Digest == a.Digest {
+		t.Error("different seeds produced the same campaign digest")
+	}
+}
+
+func TestCampaignClean(t *testing.T) {
+	sum, err := (&Campaign{Seed: 1, Runs: 15}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Violations) != 0 {
+		t.Fatalf("violations in clean campaign:\n%s", sum.String())
+	}
+	for _, name := range invariantNames() {
+		if sum.Checks[name] == 0 {
+			t.Errorf("invariant %q never checked", name)
+		}
+	}
+	out := sum.String()
+	for _, want := range []string{"chaos campaign: seed 1, 15 runs", "violations:        0", "case digest:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCampaignRejectsBadRuns(t *testing.T) {
+	if _, err := (&Campaign{Seed: 1, Runs: 0}).Run(); err == nil {
+		t.Error("zero runs accepted")
+	}
+}
+
+func TestSummaryStringRendersViolations(t *testing.T) {
+	sum := &Summary{
+		Seed: 7, Runs: 1,
+		Checks: map[string]int{"loss-bound": 3},
+		Violations: []Violation{{
+			Run: 0, Invariant: "loss-bound", Detail: "boom",
+			ReproPath: "/tmp/x/repro-seed7-run0.json",
+		}},
+	}
+	out := sum.String()
+	for _, want := range []string{"violations:        1", "run 0 [loss-bound]: boom", "(repro: repro-seed7-run0.json)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenCaseAlwaysViable(t *testing.T) {
+	for run := 0; run < 25; run++ {
+		cs, _ := genCase(runRNG(5, run), run, 40)
+		if err := cs.Design.Validate(); err != nil {
+			t.Fatalf("run %d: generated design invalid: %v", run, err)
+		}
+		if cs.Horizon <= 0 || cs.Horizon > horizonCap {
+			t.Fatalf("run %d: horizon %v outside (0, %v]", run, cs.Horizon, horizonCap)
+		}
+		levels := len(cs.Design.Levels)
+		for _, o := range cs.Outages {
+			if o.Level < 1 || o.Level > levels {
+				t.Fatalf("run %d: outage level %d outside [1,%d]", run, o.Level, levels)
+			}
+			if o.From < 0 || o.To <= o.From || o.To >= cs.Horizon {
+				t.Fatalf("run %d: outage window [%v,%v) outside horizon %v", run, o.From, o.To, cs.Horizon)
+			}
+		}
+		if !cs.Scenario.Scope.Valid() {
+			t.Fatalf("run %d: invalid scope %v", run, cs.Scenario.Scope)
+		}
+		if cs.Scenario.TargetAge < 0 {
+			t.Fatalf("run %d: negative target age", run)
+		}
+	}
+}
+
+func TestCheckCaseDigestStable(t *testing.T) {
+	cs, _ := genCase(runRNG(9, 3), 3, 40)
+	a, err := checkCase(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := checkCase(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.digest != b.digest {
+		t.Errorf("digest unstable:\n%s\n%s", a.digest, b.digest)
+	}
+	if a.digest == "" {
+		t.Error("empty case digest")
+	}
+}
+
+// TestShrinkWith drives the reducer with a synthetic predicate ("the case
+// still has at least one outage") and checks it reaches the minimal shape
+// instead of stopping at the first local simplification.
+func TestShrinkWith(t *testing.T) {
+	var cs *Case
+	for run := 0; run < 40; run++ {
+		c, _ := genCase(runRNG(11, run), run, 40)
+		if len(c.Outages) >= 2 && len(c.Design.Levels) >= 2 {
+			cs = c
+			break
+		}
+	}
+	if cs == nil {
+		t.Fatal("no generated case with >=2 outages and >=2 levels")
+	}
+	fails := func(c *Case) bool { return len(c.Outages) >= 1 }
+	shrunk := shrinkWith(cs, 200, fails)
+	if !fails(shrunk) {
+		t.Fatal("shrinker returned a passing case")
+	}
+	if len(shrunk.Outages) != 1 {
+		t.Errorf("shrunk to %d outages, want 1", len(shrunk.Outages))
+	}
+	if !viable(shrunk) {
+		t.Error("shrunk case not viable")
+	}
+	if len(shrunk.Design.Levels) > len(cs.Design.Levels) {
+		t.Error("shrinking grew the hierarchy")
+	}
+	// The original case is never mutated.
+	if len(cs.Outages) < 2 {
+		t.Error("shrinker mutated the original case")
+	}
+}
+
+func TestShrinkKeepsOriginalWhenNothingReproduces(t *testing.T) {
+	cs, _ := genCase(runRNG(13, 0), 0, 40)
+	shrunk := shrinkWith(cs, 50, func(*Case) bool { return false })
+	if shrunk != cs {
+		t.Error("shrinker replaced the case although no mutation failed")
+	}
+}
+
+func TestReproRoundTrip(t *testing.T) {
+	var cs *Case
+	for run := 0; run < 40; run++ {
+		c, _ := genCase(runRNG(17, run), run, 40)
+		if len(c.Outages) >= 1 {
+			cs = c
+			break
+		}
+	}
+	if cs == nil {
+		t.Fatal("no generated case with outages")
+	}
+	meta := ReproMeta{Invariant: "loss-bound", Detail: "synthetic", Seed: 17, Run: 4}
+	path := filepath.Join(t.TempDir(), "repro.json")
+	if err := SaveRepro(path, cs, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, gotMeta, err := LoadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Errorf("meta round-trip: %+v != %+v", gotMeta, meta)
+	}
+	if got.Design.Name != cs.Design.Name {
+		t.Errorf("design name %q != %q", got.Design.Name, cs.Design.Name)
+	}
+	if got.Horizon != cs.Horizon || got.Scenario != cs.Scenario {
+		t.Errorf("case round-trip mismatch: %+v vs %+v", got, cs)
+	}
+	if len(got.Outages) != len(cs.Outages) {
+		t.Fatalf("outages %d != %d", len(got.Outages), len(cs.Outages))
+	}
+	for i := range got.Outages {
+		if got.Outages[i] != cs.Outages[i] {
+			t.Errorf("outage %d: %+v != %+v", i, got.Outages[i], cs.Outages[i])
+		}
+	}
+	// A replay of the loaded case runs the full battery cleanly.
+	violations, err := Replay(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Errorf("replay violations: %+v", violations)
+	}
+}
+
+func TestLoadReproErrors(t *testing.T) {
+	if _, _, err := LoadRepro(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("absent file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadRepro(bad); err == nil {
+		t.Error("corrupt file accepted")
+	}
+}
+
+func TestRunRNGDeterministic(t *testing.T) {
+	a, b := runRNG(3, 7), runRNG(3, 7)
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("runRNG not deterministic")
+		}
+	}
+	if runRNG(3, 7).Int63() == runRNG(3, 8).Int63() && runRNG(3, 7).Int63() == runRNG(4, 7).Int63() {
+		t.Error("adjacent run streams look correlated")
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	if got := quantize(90*time.Second + 300*time.Millisecond); got != time.Minute {
+		t.Errorf("quantize(90.3s) = %v, want 1m", got)
+	}
+	if got := quantize(10 * time.Second); got != time.Minute {
+		t.Errorf("quantize floors to one minute, got %v", got)
+	}
+	if got := ceilMinute(61 * time.Second); got != 2*time.Minute {
+		t.Errorf("ceilMinute(61s) = %v, want 2m", got)
+	}
+}

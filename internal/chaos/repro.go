@@ -1,0 +1,183 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"stordep/internal/config"
+	"stordep/internal/failure"
+	"stordep/internal/sim"
+	"stordep/internal/units"
+)
+
+// Repro files make a violating case replayable: the full design (the
+// internal/config JSON schema, embedded verbatim) plus the fault schedule
+// and scenario. Loading one reconstructs the exact Case; Replay re-runs
+// the invariant battery on it.
+
+// ReproMeta records why a repro was written.
+type ReproMeta struct {
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+	Seed      int64  `json:"seed"`
+	Run       int    `json:"run"`
+}
+
+type reproOutage struct {
+	Level         int    `json:"level"`
+	From          string `json:"from"`
+	To            string `json:"to"`
+	AbortInFlight bool   `json:"abortInFlight,omitempty"`
+}
+
+type reproFile struct {
+	ReproMeta
+	Scope       string          `json:"scope"`
+	TargetAge   string          `json:"targetAge"`
+	RecoverSize int64           `json:"recoverSizeBytes,omitempty"`
+	Horizon     string          `json:"horizon"`
+	Outages     []reproOutage   `json:"outages,omitempty"`
+	Design      json.RawMessage `json:"design"`
+}
+
+// EncodeRepro serializes a case and its violation metadata to JSON. The
+// design round-trips through internal/config, so durations must be whole
+// seconds (the generator emits whole minutes).
+func EncodeRepro(cs *Case, meta ReproMeta) ([]byte, error) {
+	design, err := config.Marshal(cs.Design)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: marshaling design: %w", err)
+	}
+	rf := reproFile{
+		ReproMeta:   meta,
+		Scope:       cs.Scenario.Scope.String(),
+		TargetAge:   units.FormatDuration(cs.Scenario.TargetAge),
+		RecoverSize: int64(cs.Scenario.RecoverSize),
+		Horizon:     units.FormatDuration(cs.Horizon),
+		Design:      design,
+	}
+	for _, o := range cs.Outages {
+		rf.Outages = append(rf.Outages, reproOutage{
+			Level:         o.Level,
+			From:          units.FormatDuration(o.From),
+			To:            units.FormatDuration(o.To),
+			AbortInFlight: o.AbortInFlight,
+		})
+	}
+	return json.MarshalIndent(rf, "", "  ")
+}
+
+// DecodeRepro reconstructs a case (and its metadata) from repro JSON.
+func DecodeRepro(data []byte) (*Case, ReproMeta, error) {
+	var rf reproFile
+	if err := json.Unmarshal(data, &rf); err != nil {
+		return nil, ReproMeta{}, fmt.Errorf("chaos: parsing repro: %w", err)
+	}
+	d, err := config.Unmarshal(rf.Design)
+	if err != nil {
+		return nil, ReproMeta{}, fmt.Errorf("chaos: repro design: %w", err)
+	}
+	scope, err := failure.ParseScope(rf.Scope)
+	if err != nil {
+		return nil, ReproMeta{}, fmt.Errorf("chaos: repro scenario: %w", err)
+	}
+	age, err := units.ParseDuration(rf.TargetAge)
+	if err != nil {
+		return nil, ReproMeta{}, fmt.Errorf("chaos: repro target age: %w", err)
+	}
+	horizon, err := units.ParseDuration(rf.Horizon)
+	if err != nil {
+		return nil, ReproMeta{}, fmt.Errorf("chaos: repro horizon: %w", err)
+	}
+	cs := &Case{
+		Design: d,
+		Scenario: failure.Scenario{
+			Scope:       scope,
+			TargetAge:   age,
+			RecoverSize: units.ByteSize(rf.RecoverSize),
+		},
+		Horizon: horizon,
+	}
+	for _, o := range rf.Outages {
+		from, err := units.ParseDuration(o.From)
+		if err != nil {
+			return nil, ReproMeta{}, fmt.Errorf("chaos: repro outage: %w", err)
+		}
+		to, err := units.ParseDuration(o.To)
+		if err != nil {
+			return nil, ReproMeta{}, fmt.Errorf("chaos: repro outage: %w", err)
+		}
+		cs.Outages = append(cs.Outages, sim.Outage{
+			Level: o.Level, From: from, To: to, AbortInFlight: o.AbortInFlight,
+		})
+	}
+	return cs, rf.ReproMeta, nil
+}
+
+// SaveRepro writes a repro file, creating the directory if needed.
+func SaveRepro(path string, cs *Case, meta ReproMeta) error {
+	data, err := EncodeRepro(cs, meta)
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("chaos: %w", err)
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadRepro reads a repro file back into a replayable case.
+func LoadRepro(path string) (*Case, ReproMeta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, ReproMeta{}, fmt.Errorf("chaos: %w", err)
+	}
+	return DecodeRepro(data)
+}
+
+// Replay re-runs the invariant battery on a case and returns any
+// violations (with Run left zero).
+func Replay(cs *Case) ([]Violation, error) {
+	res, err := checkCase(cs)
+	if err != nil {
+		return nil, err
+	}
+	return res.violations, nil
+}
+
+// copyCase deep-copies a case by round-tripping it through the repro
+// encoding, guaranteeing the shrinker never aliases the original.
+func copyCase(cs *Case) (*Case, error) {
+	data, err := EncodeRepro(cs, ReproMeta{})
+	if err != nil {
+		return nil, err
+	}
+	out, _, err := DecodeRepro(data)
+	return out, err
+}
+
+// horizonFloor is the smallest horizon a case may shrink to while keeping
+// the sampling window meaningful: past warm-up and past every outage,
+// with a cycle of slack.
+func horizonFloor(cs *Case) (time.Duration, error) {
+	sys, err := coreBuild(cs)
+	if err != nil {
+		return 0, err
+	}
+	sm, err := sim.New(sys.Chain())
+	if err != nil {
+		return 0, err
+	}
+	floor := sm.WarmUp()
+	for _, o := range cs.Outages {
+		if o.To > floor {
+			floor = o.To
+		}
+	}
+	return floor + 2*chainMaxCycle(sys.Chain()), nil
+}

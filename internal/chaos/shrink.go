@@ -1,0 +1,180 @@
+package chaos
+
+import (
+	"stordep/internal/core"
+	"stordep/internal/hierarchy"
+	"stordep/internal/protect"
+)
+
+// The shrinker reduces a violating case to a minimal counterexample by
+// greedy mutation: a candidate simplification is kept only if the design
+// still validates and builds AND the same invariant still fails. The
+// mutation order drops whole dimensions first (outages, hierarchy levels)
+// before fine-grained simplifications (horizon, facility, secondary
+// windows, hold windows).
+
+func coreBuild(cs *Case) (*core.System, error) { return core.Build(cs.Design) }
+
+// shrinkCase returns the smallest case it can find (within maxSteps
+// battery evaluations) that still violates the named invariant. The
+// original case is returned unchanged if nothing smaller reproduces it.
+func shrinkCase(cs *Case, invariant string, maxSteps int) *Case {
+	return shrinkWith(cs, maxSteps, func(c *Case) bool {
+		res, err := checkCase(c)
+		if err != nil {
+			return false
+		}
+		for _, v := range res.violations {
+			if v.Invariant == invariant {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// shrinkWith runs the greedy reduction against an arbitrary
+// still-failing predicate.
+func shrinkWith(cs *Case, maxSteps int, fails func(*Case) bool) *Case {
+	best := cs
+	steps := 0
+	for steps < maxSteps {
+		improved := false
+		for _, cand := range mutations(best) {
+			if steps >= maxSteps {
+				break
+			}
+			if cand == nil || !viable(cand) {
+				continue
+			}
+			steps++
+			if fails(cand) {
+				best = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return best
+}
+
+// viable reports whether a mutated case is still well-formed: the design
+// validates and builds, and the horizon leaves a sampling window past
+// warm-up and every outage.
+func viable(cs *Case) bool {
+	if cs.Design.Validate() != nil {
+		return false
+	}
+	floor, err := horizonFloor(cs)
+	if err != nil {
+		return false
+	}
+	return cs.Horizon > floor
+}
+
+// mutations builds the ordered candidate simplifications of a case.
+func mutations(cs *Case) []*Case {
+	var out []*Case
+	// Drop each outage in turn.
+	for i := range cs.Outages {
+		if c, err := copyCase(cs); err == nil {
+			c.Outages = append(c.Outages[:i], c.Outages[i+1:]...)
+			out = append(out, c)
+		}
+	}
+	// Truncate the hierarchy from the end (dependencies point backward).
+	if len(cs.Design.Levels) > 1 {
+		if c, err := copyCase(cs); err == nil {
+			c.Design.Levels = c.Design.Levels[:len(c.Design.Levels)-1]
+			kept := c.Outages[:0]
+			for _, o := range c.Outages {
+				if o.Level <= len(c.Design.Levels) {
+					kept = append(kept, o)
+				}
+			}
+			c.Outages = kept
+			dropUnusedDevices(c)
+			out = append(out, c)
+		}
+	}
+	// Shorten the horizon.
+	if c, err := copyCase(cs); err == nil {
+		c.Horizon = quantize(c.Horizon * 3 / 4)
+		out = append(out, c)
+	}
+	// Drop the recovery facility.
+	if cs.Design.Facility != nil {
+		if c, err := copyCase(cs); err == nil {
+			c.Design.Facility = nil
+			out = append(out, c)
+		}
+	}
+	// Drop secondary (incremental) windows per level.
+	for i := range cs.Design.Levels {
+		if pol := levelPolicy(cs.Design.Levels[i]); pol == nil || pol.Secondary == nil {
+			continue
+		}
+		if c, err := copyCase(cs); err == nil {
+			pol := levelPolicy(c.Design.Levels[i])
+			pol.Secondary = nil
+			pol.CycleCnt = 0
+			out = append(out, c)
+		}
+	}
+	// Zero hold windows per level.
+	for i := range cs.Design.Levels {
+		if pol := levelPolicy(cs.Design.Levels[i]); pol == nil || pol.Primary.HoldW == 0 {
+			continue
+		}
+		if c, err := copyCase(cs); err == nil {
+			pol := levelPolicy(c.Design.Levels[i])
+			pol.Primary.HoldW = 0
+			if pol.Secondary != nil {
+				pol.Secondary.HoldW = 0
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// levelPolicy exposes a technique's RP policy for mutation.
+func levelPolicy(t protect.Technique) *hierarchy.Policy {
+	switch v := t.(type) {
+	case *protect.SplitMirror:
+		return &v.Pol
+	case *protect.Snapshot:
+		return &v.Pol
+	case *protect.Mirror:
+		return &v.Pol
+	case *protect.Backup:
+		return &v.Pol
+	case *protect.Vaulting:
+		return &v.Pol
+	case *protect.ErasureCode:
+		return &v.Pol
+	}
+	return nil
+}
+
+// dropUnusedDevices removes devices no remaining level references.
+func dropUnusedDevices(cs *Case) {
+	used := map[string]bool{cs.Design.Primary.Array: true}
+	for _, t := range cs.Design.Levels {
+		used[t.CopyDevice()] = true
+		used[t.ReadDevice()] = true
+		if n := t.TransportDevice(); n != "" {
+			used[n] = true
+		}
+	}
+	kept := cs.Design.Devices[:0]
+	for _, pd := range cs.Design.Devices {
+		if used[pd.Spec.Name] {
+			kept = append(kept, pd)
+		}
+	}
+	cs.Design.Devices = kept
+}

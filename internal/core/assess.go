@@ -129,6 +129,18 @@ func (s *System) AssessDegraded(sc failure.Scenario, levelName string, outage ti
 	return s.assessWithChain(sc, chain)
 }
 
+// AssessDegradedCompound evaluates the scenario while several protection
+// levels are degraded at once (e.g. the backup service down while the
+// vault courier is also unavailable). Each named level has been out of
+// service for its outage duration when the failure strikes.
+func (s *System) AssessDegradedCompound(sc failure.Scenario, outages []hierarchy.LevelOutage) (*Assessment, error) {
+	chain, err := s.chain.DegradedCompound(outages)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return s.assessWithChain(sc, chain)
+}
+
 func (s *System) assessWithChain(sc failure.Scenario, chain hierarchy.Chain) (*Assessment, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err

@@ -11,6 +11,7 @@ import (
 	"stordep/internal/cost"
 	"stordep/internal/device"
 	"stordep/internal/failure"
+	"stordep/internal/hierarchy"
 	"stordep/internal/protect"
 	"stordep/internal/units"
 	"stordep/internal/workload"
@@ -467,4 +468,45 @@ func TestMirrorSiteRecoveryUsesFacility(t *testing.T) {
 	arr := assess(t, sys, failure.Scenario{Scope: failure.ScopeArray})
 	// Hot spare (72s) + ~2h transfer.
 	approx(t, arr.RecoveryTime.Hours(), 2.0, 0.1, "10-link array RT")
+}
+
+func TestAssessDegradedCompound(t *testing.T) {
+	sys := build(t, casestudy.Baseline())
+	sc := failure.Scenario{Scope: failure.ScopeArray}
+	healthy := assess(t, sys, sc)
+
+	// A compound outage covering the recovery path shifts the loss by the
+	// recovery level's accumulated outage, like AssessDegraded does for a
+	// single level.
+	chain := sys.Chain()
+	backup := chain.Index("backup")
+	vault := len(chain)
+	a, err := sys.AssessDegradedCompound(sc, []hierarchy.LevelOutage{
+		{Level: backup, Outage: 2 * units.Week},
+		{Level: vault, Outage: units.Week},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WholeObjectLost {
+		t.Fatal("compound degraded assessment lost the object")
+	}
+	if a.DataLoss < healthy.DataLoss {
+		t.Errorf("compound degraded loss %v below healthy %v", a.DataLoss, healthy.DataLoss)
+	}
+	single, err := sys.AssessDegraded(sc, "backup", 2*units.Week)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DataLoss < single.DataLoss {
+		t.Errorf("compound loss %v below single backup-outage loss %v", a.DataLoss, single.DataLoss)
+	}
+
+	// Invalid outage lists surface as errors.
+	if _, err := sys.AssessDegradedCompound(sc, []hierarchy.LevelOutage{{Level: 0, Outage: time.Hour}}); err == nil {
+		t.Error("level 0 accepted")
+	}
+	if _, err := sys.AssessDegradedCompound(sc, []hierarchy.LevelOutage{{Level: 1, Outage: -time.Hour}}); err == nil {
+		t.Error("negative outage accepted")
+	}
 }

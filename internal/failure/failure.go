@@ -55,6 +55,12 @@ func (s Scope) String() string {
 // Valid reports whether the scope is one of the defined constants.
 func (s Scope) Valid() bool { return s >= ScopeObject && s <= ScopeRegion }
 
+// Scopes returns every defined failure scope in blast-radius order, for
+// callers that enumerate or sample hypothesized disasters.
+func Scopes() []Scope {
+	return []Scope{ScopeObject, ScopeArray, ScopeBuilding, ScopeSite, ScopeRegion}
+}
+
 // Placement locates a device or data copy in the physical world. Empty
 // strings mean "unspecified", which never matches a failure footprint —
 // e.g. a courier service has no fixed site.

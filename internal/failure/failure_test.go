@@ -155,3 +155,23 @@ func TestParseScope(t *testing.T) {
 		t.Errorf("ParseScope(alien) = %v", err)
 	}
 }
+
+func TestScopes(t *testing.T) {
+	scopes := Scopes()
+	if len(scopes) != 5 {
+		t.Fatalf("Scopes() = %d entries, want 5", len(scopes))
+	}
+	for i, s := range scopes {
+		if !s.Valid() {
+			t.Errorf("Scopes()[%d] = %v invalid", i, s)
+		}
+		if i > 0 && scopes[i-1] >= s {
+			t.Errorf("Scopes() not ascending at %d: %v then %v", i, scopes[i-1], s)
+		}
+		// Every enumerated scope round-trips through its name.
+		parsed, err := ParseScope(s.String())
+		if err != nil || parsed != s {
+			t.Errorf("ParseScope(%q) = %v, %v", s.String(), parsed, err)
+		}
+	}
+}

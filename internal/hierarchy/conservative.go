@@ -1,0 +1,108 @@
+package hierarchy
+
+import "time"
+
+// This file extends the worst-case loss model of §3.3.2–3.3.3 to
+// hierarchies that violate the paper's schedule-alignment construction.
+//
+// The closed-form MaxLag (Σ transfer lags + one accumulation window)
+// assumes each level's windows close just after fresh data lands from
+// below — the Figure 2 construction, which requires every window grid to
+// be an integer multiple of the cycle beneath it. Randomized hierarchies
+// (the chaos campaign's input) need not satisfy that: a level whose
+// window closes just *before* an RP arrives from below snapshots data up
+// to one full lower-level accumulation window staler. The conservative
+// bounds here account for that misalignment by charging every lower
+// level's accumulation window as well, by the induction
+//
+//	S_j <= transferLag_j + accW_j + S_{j-1}
+//
+// where S_j is the worst steady-state staleness of the newest RP
+// available at level j.
+
+// Aligned reports whether the chain satisfies the paper's alignment
+// construction: every level's accumulation windows (primary and, for
+// cyclic policies, secondary) are integer multiples of the cycle period
+// of the level below it, and cyclic grids are even (full and incremental
+// windows the same width — EffectiveAccW's "an RP every secondary
+// window" steady state only exists then; an uneven grid leaves a gap of
+// the full's window with no RP creations at all). Aligned chains achieve
+// the tight MaxLag bound; others only guarantee ConservativeMaxLag.
+func (c Chain) Aligned() bool {
+	for j := 1; j <= len(c); j++ {
+		pol := c[j-1].Policy
+		if pol.Secondary != nil && pol.Secondary.AccW != pol.Primary.AccW {
+			return false
+		}
+		if j == 1 {
+			continue
+		}
+		below := c[j-2].Policy.CyclePeriod()
+		if below <= 0 {
+			return false
+		}
+		if pol.Primary.AccW%below != 0 {
+			return false
+		}
+		if pol.Secondary != nil && pol.Secondary.AccW%below != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// maxCreationGap is the worst spacing between consecutive RP creations at
+// one level, with no evenness assumption: the wider of the two stream
+// windows (between the last incremental of a cycle and the next full,
+// nothing is cut for a whole primary accW).
+func maxCreationGap(p Policy) time.Duration {
+	g := p.Primary.AccW
+	if p.Secondary != nil && p.Secondary.AccW > g {
+		g = p.Secondary.AccW
+	}
+	return g
+}
+
+// ConservativeMaxLag returns the worst-case out-of-dateness of level j
+// without any alignment or grid-evenness assumption:
+// Σ_{i<=j}(transferLag_i + maxCreationGap_i). It always dominates MaxLag
+// and coincides with it for a single non-cyclic level.
+func (c Chain) ConservativeMaxLag(j int) time.Duration {
+	if j < 1 || j > len(c) {
+		return 0
+	}
+	var sum time.Duration
+	for i := 1; i <= j; i++ {
+		sum += c[i-1].Policy.TransferLag() + maxCreationGap(c[i-1].Policy)
+	}
+	return sum
+}
+
+// conservativeCoveredLoss bounds the gap between consecutive RP cuts at
+// level j on a misaligned grid: the level's own worst creation gap plus
+// the cut jitter accumulated below (Σ_{i<j} maxCreationGap_i).
+func (c Chain) conservativeCoveredLoss(j int) time.Duration {
+	var sum time.Duration
+	for i := 1; i <= j; i++ {
+		sum += maxCreationGap(c[i-1].Policy)
+	}
+	return sum
+}
+
+// ConservativeWorstCaseLoss mirrors WorstCaseLoss for chains that may be
+// misaligned. A target younger than the conservative lag pays the full
+// ConservativeMaxLag; a covered target pays the conservative cut spacing;
+// a target older than retention cannot be served (ok=false).
+func (c Chain) ConservativeWorstCaseLoss(j int, targetAge time.Duration) (loss time.Duration, ok bool) {
+	if j < 1 || j > len(c) {
+		return 0, false
+	}
+	r := c.GuaranteedRange(j)
+	if r.Empty() || targetAge > r.Oldest {
+		return 0, false
+	}
+	if targetAge < c.ConservativeMaxLag(j) {
+		return c.ConservativeMaxLag(j), true
+	}
+	return c.conservativeCoveredLoss(j), true
+}

@@ -1,0 +1,127 @@
+package hierarchy
+
+import (
+	"testing"
+	"time"
+
+	"stordep/internal/units"
+)
+
+// cyclicChain is a two-level hierarchy whose backup runs the paper's
+// uneven full+incremental grid (48h fulls, 24h incrementals).
+func cyclicChain() Chain {
+	return Chain{
+		{
+			Name: "split-mirror",
+			Policy: Policy{
+				Primary: WindowSet{AccW: 12 * time.Hour, Rep: RepFull},
+				RetCnt:  4,
+				RetW:    2 * units.Day,
+				CopyRep: RepFull,
+			},
+		},
+		{
+			Name: "backup",
+			Policy: Policy{
+				Primary:   WindowSet{AccW: 48 * time.Hour, PropW: 48 * time.Hour, Rep: RepFull},
+				Secondary: &WindowSet{AccW: 24 * time.Hour, PropW: 12 * time.Hour, Rep: RepPartial},
+				CycleCnt:  5,
+				RetCnt:    4,
+				RetW:      8 * units.Week,
+				CopyRep:   RepFull,
+			},
+		},
+	}
+}
+
+func TestAligned(t *testing.T) {
+	if !baselineChain().Aligned() {
+		t.Error("Table 3 chain should be aligned")
+	}
+
+	// Accumulation window not a multiple of the cycle below.
+	c := baselineChain()
+	c[1].Policy.Primary.AccW = units.Week + time.Hour
+	if c.Aligned() {
+		t.Error("misaligned accW reported aligned")
+	}
+
+	// Uneven cyclic grid: the full's window leaves a creation gap no
+	// EffectiveAccW steady state covers.
+	if cyclicChain().Aligned() {
+		t.Error("uneven full+incremental grid reported aligned")
+	}
+
+	// An even cyclic grid on a compatible schedule is aligned.
+	c = cyclicChain()
+	c[1].Policy.Primary.AccW = 24 * time.Hour
+	c[1].Policy.Primary.PropW = 24 * time.Hour
+	if !c.Aligned() {
+		t.Error("even cyclic grid reported misaligned")
+	}
+}
+
+func TestConservativeMaxLagDominates(t *testing.T) {
+	for _, c := range []Chain{baselineChain(), cyclicChain()} {
+		for j := 1; j <= len(c); j++ {
+			if c.ConservativeMaxLag(j) < c.MaxLag(j) {
+				t.Errorf("%s level %d: conservative lag %v below tight %v",
+					c, j, c.ConservativeMaxLag(j), c.MaxLag(j))
+			}
+		}
+	}
+	if got := baselineChain().ConservativeMaxLag(0); got != 0 {
+		t.Errorf("out-of-range level: %v", got)
+	}
+}
+
+func TestConservativeMaxLagSingleNonCyclic(t *testing.T) {
+	// For one non-cyclic level the conservative and tight lags coincide.
+	c := baselineChain()[:1]
+	if c.ConservativeMaxLag(1) != c.MaxLag(1) {
+		t.Errorf("conservative %v != tight %v", c.ConservativeMaxLag(1), c.MaxLag(1))
+	}
+}
+
+func TestConservativeWorstCaseLoss(t *testing.T) {
+	for _, c := range []Chain{baselineChain(), cyclicChain()} {
+		for j := 1; j <= len(c); j++ {
+			r := c.GuaranteedRange(j)
+			ages := []time.Duration{0, r.Newest, r.Newest + time.Hour, r.Oldest}
+			for _, age := range ages {
+				tight, okT := c.WorstCaseLoss(j, age)
+				cons, okC := c.ConservativeWorstCaseLoss(j, age)
+				if okT != okC {
+					t.Errorf("%s level %d age %v: ok mismatch tight=%v cons=%v",
+						c, j, age, okT, okC)
+					continue
+				}
+				if okT && cons < tight {
+					t.Errorf("%s level %d age %v: conservative loss %v below tight %v",
+						c, j, age, cons, tight)
+				}
+			}
+			// Past retention neither bound serves the target.
+			if _, ok := c.ConservativeWorstCaseLoss(j, r.Oldest+time.Hour); ok {
+				t.Errorf("%s level %d: target beyond retention served", c, j)
+			}
+		}
+	}
+	if _, ok := baselineChain().ConservativeWorstCaseLoss(0, 0); ok {
+		t.Error("out-of-range level served")
+	}
+}
+
+// TestUnevenCyclicCreationGap pins the motivating case for the
+// conservative bounds: on an uneven full+incremental grid, nothing is cut
+// during the full's 48h window, so the worst creation gap is the full's
+// window, not the incremental cadence EffectiveAccW assumes.
+func TestUnevenCyclicCreationGap(t *testing.T) {
+	pol := cyclicChain()[1].Policy
+	if got := maxCreationGap(pol); got != 48*time.Hour {
+		t.Errorf("maxCreationGap = %v, want 48h", got)
+	}
+	if got := pol.EffectiveAccW(); got != 24*time.Hour {
+		t.Errorf("EffectiveAccW = %v, want 24h", got)
+	}
+}

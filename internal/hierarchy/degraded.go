@@ -54,3 +54,56 @@ func (c Chain) DegradedLoss(j, failedLevel int, outage time.Duration, targetAge 
 	}
 	return deg.WorstCaseLoss(j, targetAge)
 }
+
+// LevelOutage pairs a 1-based hierarchy level with how long its technique
+// has been out of service. Compound failure scenarios (an operator takes
+// the backup service down while the vault courier is also unavailable)
+// are lists of LevelOutages.
+type LevelOutage struct {
+	Level  int
+	Outage time.Duration
+}
+
+// DegradedCompound generalizes Degraded to several simultaneously
+// degraded levels: each listed level's hold windows grow by its outage,
+// staling everything downstream of it. Outages naming the same level
+// accumulate.
+func (c Chain) DegradedCompound(outages []LevelOutage) (Chain, error) {
+	total := make([]time.Duration, len(c))
+	for _, o := range outages {
+		if o.Level < 1 || o.Level > len(c) {
+			return nil, fmt.Errorf("hierarchy: degraded level %d out of range [1,%d]", o.Level, len(c))
+		}
+		if o.Outage < 0 {
+			return nil, fmt.Errorf("hierarchy: outage must be non-negative, got %v", o.Outage)
+		}
+		total[o.Level-1] += o.Outage
+	}
+	out := make(Chain, len(c))
+	copy(out, c)
+	for i, extra := range total {
+		if extra == 0 {
+			continue
+		}
+		pol := out[i].Policy // copies the struct
+		pol.Primary.HoldW += extra
+		if pol.Secondary != nil {
+			sec := *pol.Secondary
+			sec.HoldW += extra
+			pol.Secondary = &sec
+		}
+		out[i].Policy = pol
+	}
+	return out, nil
+}
+
+// CompoundDegradedLoss returns the worst-case recent data loss at level j
+// for a recovery target of the given age while every listed level is
+// degraded at once. With a single outage it agrees with DegradedLoss.
+func (c Chain) CompoundDegradedLoss(j int, outages []LevelOutage, targetAge time.Duration) (time.Duration, bool) {
+	deg, err := c.DegradedCompound(outages)
+	if err != nil {
+		return 0, false
+	}
+	return deg.WorstCaseLoss(j, targetAge)
+}

@@ -158,3 +158,80 @@ func TestExplainCyclic(t *testing.T) {
 		t.Errorf("cyclic explanation missing:\n%s", out)
 	}
 }
+
+func TestDegradedCompoundValidation(t *testing.T) {
+	c := baselineChain()
+	if _, err := c.DegradedCompound([]LevelOutage{{Level: 0, Outage: time.Hour}}); err == nil {
+		t.Error("level 0 accepted")
+	}
+	if _, err := c.DegradedCompound([]LevelOutage{{Level: 4, Outage: time.Hour}}); err == nil {
+		t.Error("out-of-range level accepted")
+	}
+	if _, err := c.DegradedCompound([]LevelOutage{{Level: 1, Outage: -time.Hour}}); err == nil {
+		t.Error("negative outage accepted")
+	}
+	if _, ok := c.CompoundDegradedLoss(1, []LevelOutage{{Level: 9, Outage: time.Hour}}, 0); ok {
+		t.Error("compound loss with bad outage reported ok")
+	}
+}
+
+func TestDegradedCompoundMatchesSingle(t *testing.T) {
+	c := baselineChain()
+	single, err := c.Degraded(2, units.Week)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compound, err := c.DegradedCompound([]LevelOutage{{Level: 2, Outage: units.Week}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j <= len(c); j++ {
+		if single.MaxLag(j) != compound.MaxLag(j) {
+			t.Errorf("level %d: single lag %v != compound lag %v",
+				j, single.MaxLag(j), compound.MaxLag(j))
+		}
+	}
+	// Repeated mentions of one level accumulate.
+	twice, err := c.DegradedCompound([]LevelOutage{
+		{Level: 2, Outage: 3 * units.Day},
+		{Level: 2, Outage: 4 * units.Day},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twice.MaxLag(2) != single.MaxLag(2) {
+		t.Errorf("accumulated lag %v != one-week lag %v", twice.MaxLag(2), single.MaxLag(2))
+	}
+}
+
+func TestDegradedCompoundDominatesSingles(t *testing.T) {
+	c := baselineChain()
+	outages := []LevelOutage{
+		{Level: 2, Outage: 2 * units.Week},
+		{Level: 3, Outage: 5 * units.Week},
+	}
+	compound, ok := c.CompoundDegradedLoss(3, outages, 0)
+	if !ok {
+		t.Fatal("no compound loss")
+	}
+	for _, o := range outages {
+		single, ok := c.DegradedLoss(3, o.Level, o.Outage, 0)
+		if !ok {
+			t.Fatalf("no single loss for level %d", o.Level)
+		}
+		if compound < single {
+			t.Errorf("compound loss %v below single level-%d loss %v", compound, o.Level, single)
+		}
+	}
+}
+
+func TestDegradedCompoundDoesNotMutate(t *testing.T) {
+	c := baselineChain()
+	origHold := c[1].Policy.Primary.HoldW
+	if _, err := c.DegradedCompound([]LevelOutage{{Level: 2, Outage: units.Week}}); err != nil {
+		t.Fatal(err)
+	}
+	if c[1].Policy.Primary.HoldW != origHold {
+		t.Error("DegradedCompound mutated the receiver")
+	}
+}

@@ -1,0 +1,75 @@
+package hierarchy
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzPolicyValidate checks that Validate never panics on arbitrary
+// policies and that every policy it accepts yields sane derived
+// quantities: positive cycle period, non-negative lags and spans, and a
+// single-level chain whose conservative bounds dominate the tight ones.
+func FuzzPolicyValidate(f *testing.F) {
+	// accW, propW, holdW, retW in minutes; sAccW/sPropW/sHoldW likewise;
+	// hasSecondary toggles the cyclic stream.
+	f.Add(int64(48*60), int64(48*60), int64(0), int64(4*7*24*60), int64(24*60), int64(12*60), int64(60), true, 5, 4, uint8(0), uint8(0), uint8(1))
+	f.Add(int64(12*60), int64(60), int64(0), int64(24*60), int64(0), int64(0), int64(0), false, 0, 2, uint8(0), uint8(0), uint8(0))
+	f.Add(int64(-60), int64(0), int64(0), int64(0), int64(0), int64(0), int64(0), false, 0, 1, uint8(0), uint8(0), uint8(0))
+	f.Add(int64(60), int64(120), int64(0), int64(60), int64(0), int64(0), int64(0), false, 0, 1, uint8(1), uint8(1), uint8(1))
+
+	f.Fuzz(func(t *testing.T, accW, propW, holdW, retW, sAccW, sPropW, sHoldW int64, hasSec bool, cycleCnt, retCnt int, copyRep, primRep, secRep uint8) {
+		min := int64(time.Minute)
+		p := Policy{
+			Primary: WindowSet{
+				AccW:  time.Duration(accW * min),
+				PropW: time.Duration(propW * min),
+				HoldW: time.Duration(holdW * min),
+				Rep:   Representation(primRep % 3),
+			},
+			CycleCnt: cycleCnt,
+			RetCnt:   retCnt,
+			RetW:     time.Duration(retW * min),
+			CopyRep:  Representation(copyRep % 3),
+		}
+		if hasSec {
+			p.Secondary = &WindowSet{
+				AccW:  time.Duration(sAccW * min),
+				PropW: time.Duration(sPropW * min),
+				HoldW: time.Duration(sHoldW * min),
+				Rep:   Representation(secRep % 3),
+			}
+		}
+		if err := p.Validate(); err != nil {
+			return
+		}
+		if cp := p.CyclePeriod(); cp <= 0 {
+			t.Fatalf("valid policy with non-positive cycle period %v: %+v", cp, p)
+		}
+		if p.EffectiveAccW() <= 0 {
+			t.Fatalf("valid policy with non-positive effective accW: %+v", p)
+		}
+		if p.TransferLag() < 0 || p.RetentionSpan() < 0 {
+			t.Fatalf("negative lag or span: %+v", p)
+		}
+
+		c := Chain{{Name: "fuzz", Policy: p}}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("valid policy rejected in chain: %v", err)
+		}
+		if c.ConservativeMaxLag(1) < c.MaxLag(1) {
+			t.Fatalf("conservative lag %v below tight lag %v: %+v",
+				c.ConservativeMaxLag(1), c.MaxLag(1), p)
+		}
+		for _, age := range []time.Duration{0, p.CyclePeriod(), p.RetentionSpan(), p.RetentionSpan() + time.Hour} {
+			tight, okT := c.WorstCaseLoss(1, age)
+			cons, okC := c.ConservativeWorstCaseLoss(1, age)
+			if okT && tight < 0 || okC && cons < 0 {
+				t.Fatalf("negative worst-case loss at age %v: %+v", age, p)
+			}
+			if okT && okC && cons < tight {
+				t.Fatalf("conservative loss %v below tight loss %v at age %v: %+v",
+					cons, tight, age, p)
+			}
+		}
+	})
+}

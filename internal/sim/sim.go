@@ -71,10 +71,19 @@ func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q
 
 // Outage suspends one level's RP propagation for a time span: windows
 // that close inside [From, To) produce no RP (the technique is out of
-// service). Used to validate the analytic degraded-mode model.
+// service). Multiple outages may be registered, including overlapping
+// windows on distinct levels (compound failures) or on the same level.
+// Used to validate the analytic degraded-mode model.
 type Outage struct {
 	Level    int // 1-based
 	From, To time.Duration
+	// AbortInFlight additionally destroys RPs whose hold+propagation span
+	// overlaps the outage: a failure landing mid-propagation aborts the
+	// transfer instead of letting it complete. The corresponding analytic
+	// bound must then charge the level's transfer lag on top of the
+	// outage duration (the newest surviving RP finished propagating
+	// before the outage began).
+	AbortInFlight bool
 }
 
 // contains reports whether the instant falls inside the outage.
@@ -176,15 +185,22 @@ func (s *Simulator) Run(until time.Duration) error {
 // fire executes one propagation: the level snapshots the newest content
 // available below it and the RP becomes available after hold+prop.
 func (s *Simulator) fire(e event) {
-	for _, o := range s.outages {
-		if o.Level == e.level && o.contains(e.at) {
-			return // technique out of service: the window produces nothing
-		}
-	}
 	pol := s.chain[e.level-1].Policy
 	win := pol.Primary
 	if e.secondary {
 		win = *pol.Secondary
+	}
+	avail := e.at + win.HoldW + win.PropW
+	for _, o := range s.outages {
+		if o.Level != e.level {
+			continue
+		}
+		if o.contains(e.at) {
+			return // technique out of service: the window produces nothing
+		}
+		if o.AbortInFlight && e.at < o.To && avail > o.From {
+			return // the transfer was in flight when the outage struck
+		}
 	}
 	// What does this RP reflect? Level 1 draws from the always-current
 	// primary copy: the RP covers updates through the window close (now).
@@ -197,7 +213,6 @@ func (s *Simulator) fire(e event) {
 		}
 		cut = below.Cut
 	}
-	avail := e.at + win.HoldW + win.PropW
 	s.levels[e.level-1] = append(s.levels[e.level-1], RP{
 		Cut:         cut,
 		AvailableAt: avail,
@@ -357,3 +372,22 @@ func (s *Simulator) WarmUp() time.Duration {
 
 // Chain returns the simulated chain.
 func (s *Simulator) Chain() hierarchy.Chain { return s.chain }
+
+// Outages returns a copy of the registered outages.
+func (s *Simulator) Outages() []Outage {
+	return append([]Outage(nil), s.outages...)
+}
+
+// RPs returns a copy of every RP the level produced during Run, retained
+// or expired, in window-close order. Callers use it to probe edge
+// instants (availability and expiry boundaries) without re-deriving the
+// schedule.
+func (s *Simulator) RPs(level int) ([]RP, error) {
+	if s.ran == 0 {
+		return nil, ErrNotRun
+	}
+	if level < 1 || level > len(s.chain) {
+		return nil, fmt.Errorf("sim: level %d out of range", level)
+	}
+	return append([]RP(nil), s.levels[level-1]...), nil
+}

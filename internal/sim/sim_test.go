@@ -372,3 +372,94 @@ func TestAddOutageValidation(t *testing.T) {
 		t.Error("outage after Run accepted")
 	}
 }
+
+// TestOverlappingCompoundOutages injects two overlapping outages on
+// distinct levels and checks the measured loss against the compound
+// analytic bound, exceeding what either single outage predicts alone.
+func TestOverlappingCompoundOutages(t *testing.T) {
+	c := baselineChain()
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backupOutage := 2 * units.Week
+	vaultOutage := 5 * units.Week
+	outageEnd := 24 * units.Week
+	// The vault outage fully contains the backup outage: both levels are
+	// down together for the final two weeks.
+	if err := s.AddOutage(Outage{Level: 2, From: outageEnd - backupOutage, To: outageEnd}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddOutage(Outage{Level: 3, From: outageEnd - vaultOutage, To: outageEnd}); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Outages()) != 2 {
+		t.Fatalf("Outages() = %d, want 2", len(s.Outages()))
+	}
+	if err := s.Run(30 * units.Week); err != nil {
+		t.Fatal(err)
+	}
+	outages := []hierarchy.LevelOutage{
+		{Level: 2, Outage: backupOutage},
+		{Level: 3, Outage: vaultOutage},
+	}
+	compound, ok := c.CompoundDegradedLoss(3, outages, 0)
+	if !ok {
+		t.Fatal("no compound bound")
+	}
+	single, ok := c.DegradedLoss(3, 3, vaultOutage, 0)
+	if !ok {
+		t.Fatal("no single-outage bound")
+	}
+	// Sample the vault's loss right at the end of the joint outage, when
+	// exposure peaks: the compound bound must hold where the single-level
+	// bound need not.
+	loss, lvl, ok := s.Loss([]int{3}, outageEnd, 0)
+	if !ok || lvl != 3 {
+		t.Fatalf("loss = %v/%d/%v", loss, lvl, ok)
+	}
+	if loss > compound {
+		t.Errorf("compound outage loss %v exceeds compound bound %v", loss, compound)
+	}
+	if compound <= single {
+		t.Errorf("compound bound %v should exceed single-outage bound %v", compound, single)
+	}
+}
+
+// TestAbortInFlightDropsPropagation checks that an outage flagged
+// AbortInFlight destroys an RP whose hold+propagation span crosses the
+// outage, while a plain outage starting after the copy fired leaves it
+// intact.
+func TestAbortInFlightDropsPropagation(t *testing.T) {
+	// tape-backup (level 2): cuts at k*1wk, available 49h later.
+	cut := 4 * units.Week
+	for _, abort := range []bool{false, true} {
+		s, err := New(baselineChain())
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := Outage{Level: 2, From: cut + time.Hour, To: cut + 60*time.Hour, AbortInFlight: abort}
+		if err := s.AddOutage(o); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(8 * units.Week); err != nil {
+			t.Fatal(err)
+		}
+		rps, err := s.RPs(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, rp := range rps {
+			if rp.Cut == cut {
+				found = true
+			}
+		}
+		if abort && found {
+			t.Error("in-flight RP survived an aborting outage")
+		}
+		if !abort && !found {
+			t.Error("RP fired before a non-aborting outage was dropped")
+		}
+	}
+}

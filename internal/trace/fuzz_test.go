@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"stordep/internal/units"
+)
+
+// FuzzTraceConfigValidate checks that Validate never panics on arbitrary
+// configs and that every config it accepts (when small enough to run)
+// generates a trace whose analysis is self-consistent: batch rates never
+// exceed the raw update rate and decay with window length.
+func FuzzTraceConfigValidate(f *testing.F) {
+	f.Add(int64(1), int64(time.Hour), int64(4096), int64(1<<20), int64(700_000), 10.0, 0.05, int64(0), 0.1, 0.9)
+	f.Add(int64(7), int64(24*time.Hour), int64(8192), int64(1<<18), int64(50_000), 1.0, 0.5, int64(time.Hour), 0.5, 0.5)
+	f.Add(int64(0), int64(-1), int64(0), int64(-5), int64(0), 0.0, 1.5, int64(-1), 2.0, -0.1)
+
+	f.Fuzz(func(t *testing.T, seed, dur, blockSize, blocks, rate int64, burstMult, burstFrac float64, burstPeriod int64, hotFrac, hotWeight float64) {
+		cfg := Config{
+			Seed:          seed,
+			Duration:      time.Duration(dur),
+			BlockSize:     units.ByteSize(blockSize),
+			Blocks:        blocks,
+			AvgUpdateRate: units.Rate(rate),
+			BurstMult:     burstMult,
+			BurstFraction: burstFrac,
+			BurstPeriod:   time.Duration(burstPeriod),
+			HotFraction:   hotFrac,
+			HotWeight:     hotWeight,
+		}
+		if err := cfg.Validate(); err != nil {
+			return
+		}
+		// Only exercise generation on configs small enough for a fuzz
+		// iteration; Validate's own record cap is far above that.
+		expected := float64(cfg.AvgUpdateRate) * cfg.Duration.Seconds() / float64(cfg.BlockSize)
+		if expected > 50_000 {
+			return
+		}
+		tr, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("validated config failed to generate: %v", err)
+		}
+		if tr.DataCap() <= 0 {
+			t.Fatalf("generated trace with non-positive data cap: %+v", cfg)
+		}
+		wins := []time.Duration{cfg.Duration / 4, cfg.Duration / 2, cfg.Duration}
+		a, err := Analyze(tr, cfg.Duration/8, wins)
+		if err != nil {
+			t.Fatalf("generated trace failed to analyze: %v", err)
+		}
+		for _, b := range a.BatchCurve {
+			if b.Rate < 0 {
+				t.Fatalf("negative batch rate at window %v", b.Window)
+			}
+		}
+		// The assembled workload (if one validates) must carry the
+		// framework's monotone, avg-capped batch curve.
+		w, err := a.Workload("fuzz", units.MBPerSec)
+		if err != nil {
+			return
+		}
+		for i, b := range w.BatchCurve {
+			if b.Rate > a.AvgUpdateRate {
+				t.Fatalf("workload batch rate %v above average %v", b.Rate, a.AvgUpdateRate)
+			}
+			if i > 0 && b.Rate > w.BatchCurve[i-1].Rate {
+				t.Fatalf("workload batch rate grew with window: %v then %v",
+					w.BatchCurve[i-1].Rate, b.Rate)
+			}
+		}
+	})
+}
