@@ -1,0 +1,64 @@
+// Command bench runs the performance-trajectory suite (internal/bench)
+// and snapshots the results to a BENCH_<date>.json file, so the repo
+// accumulates comparable before/after evidence commit over commit.
+//
+// Usage:
+//
+//	bench                       # full suite -> BENCH_<today>.json
+//	bench -filter exhaustive    # only the optimizer-search cases
+//	bench -out /tmp/b.json      # explicit snapshot path
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"stordep/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+
+	out := flag.String("out", "", "snapshot path (default BENCH_<date>.json)")
+	filter := flag.String("filter", "", "run only cases whose name contains this substring")
+	flag.Parse()
+
+	if err := run(os.Stdout, *out, *filter, time.Now()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, out, filter string, now time.Time) error {
+	date := now.Format("2006-01-02")
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s.json", date)
+	}
+
+	results := bench.Run(filter, func(r bench.Result) {
+		fmt.Fprintln(w, r.Format())
+	})
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark matches filter %q", filter)
+	}
+
+	snap := bench.NewSnapshot(date, results)
+	names := make([]string, 0, len(snap.Speedups))
+	for name := range snap.Speedups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%-40s %6.1fx\n", name, snap.Speedups[name])
+	}
+	if err := snap.Write(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "snapshot written to %s\n", out)
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"stordep/internal/bench"
+)
+
+func TestRunWritesSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	var buf strings.Builder
+	// clone cases only: the fastest slice of the suite keeps this a unit
+	// test rather than a benchmark session.
+	if err := run(&buf, path, "clone/", time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"clone/json", "clone/structural", "clone_structural_vs_json", "snapshot written"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bench.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Date != "2026-08-05" || len(snap.Results) != 2 || snap.NumCPU < 1 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if snap.Speedups["clone_structural_vs_json"] <= 0 {
+		t.Errorf("missing clone speedup: %v", snap.Speedups)
+	}
+}
+
+func TestRunDefaultOutName(t *testing.T) {
+	dir := t.TempDir()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+	var buf strings.Builder
+	if err := run(&buf, "", "clone/structural", time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_2026-08-05.json")); err != nil {
+		t.Errorf("default snapshot missing: %v", err)
+	}
+}
+
+func TestRunRejectsUnmatchedFilter(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, filepath.Join(t.TempDir(), "x.json"), "no-such-case", time.Now()); err == nil {
+		t.Error("unmatched filter accepted")
+	}
+}

@@ -24,9 +24,10 @@ func main() {
 	runs := flag.Int("runs", 100, "number of randomized cases to generate and check")
 	reproDir := flag.String("repro-dir", "", "directory for minimal-counterexample repro files")
 	replay := flag.String("replay", "", "replay a repro JSON file instead of running a campaign")
+	workers := flag.Int("workers", 0, "concurrent campaign runs (0 = all CPUs); any worker count replays the same digest")
 	flag.Parse()
 
-	if err := run(os.Stdout, *seed, *runs, *reproDir, *replay); err != nil {
+	if err := run(os.Stdout, *seed, *runs, *reproDir, *replay, *workers); err != nil {
 		// Package errors already carry the "chaos:" prefix; flag errors
 		// name their flag.
 		fmt.Fprintln(os.Stderr, err)
@@ -38,14 +39,17 @@ func main() {
 // summary has been printed.
 var errViolations = errors.New("invariant violations found")
 
-func run(w io.Writer, seed int64, runs int, reproDir, replay string) error {
+func run(w io.Writer, seed int64, runs int, reproDir, replay string, workers int) error {
 	if replay != "" {
 		return replayFile(w, replay)
 	}
 	if runs <= 0 {
 		return fmt.Errorf("-runs must be positive, got %d", runs)
 	}
-	c := &chaos.Campaign{Seed: seed, Runs: runs, ReproDir: reproDir}
+	if workers < 0 {
+		return fmt.Errorf("-workers must be non-negative, got %d", workers)
+	}
+	c := &chaos.Campaign{Seed: seed, Runs: runs, ReproDir: reproDir, Workers: workers}
 	sum, err := c.Run()
 	if err != nil {
 		return err

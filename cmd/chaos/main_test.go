@@ -13,7 +13,7 @@ import (
 
 func TestRunCampaign(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, 1, 10, "", ""); err != nil {
+	if err := run(&buf, 1, 10, "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -26,10 +26,10 @@ func TestRunCampaign(t *testing.T) {
 
 func TestRunDeterministicOutput(t *testing.T) {
 	var a, b strings.Builder
-	if err := run(&a, 4, 6, "", ""); err != nil {
+	if err := run(&a, 4, 6, "", "", 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, 4, 6, "", ""); err != nil {
+	if err := run(&b, 4, 6, "", "", 8); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {
@@ -39,11 +39,19 @@ func TestRunDeterministicOutput(t *testing.T) {
 
 func TestRunRejectsBadRuns(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, 1, 0, "", ""); err == nil {
+	if err := run(&buf, 1, 0, "", "", 0); err == nil {
 		t.Error("zero runs accepted")
 	}
-	if err := run(&buf, 1, -5, "", ""); err == nil {
+	if err := run(&buf, 1, -5, "", "", 0); err == nil {
 		t.Error("negative runs accepted")
+	}
+}
+
+func TestRunRejectsNegativeWorkers(t *testing.T) {
+	var buf strings.Builder
+	err := run(&buf, 1, 10, "", "", -2)
+	if err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Errorf("negative workers: err = %v", err)
 	}
 }
 
@@ -61,7 +69,7 @@ func TestReplayCleanRepro(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf strings.Builder
-	if err := run(&buf, 0, 0, "", path); err != nil {
+	if err := run(&buf, 0, 0, "", path, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -72,7 +80,7 @@ func TestReplayCleanRepro(t *testing.T) {
 
 func TestReplayMissingFile(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, 0, 0, "", filepath.Join(t.TempDir(), "nope.json")); err == nil {
+	if err := run(&buf, 0, 0, "", filepath.Join(t.TempDir(), "nope.json"), 0); err == nil {
 		t.Error("missing replay file accepted")
 	}
 }

@@ -37,15 +37,19 @@ func main() {
 		links     = flag.Bool("links", false, "tune the asyncB mirror link count instead of the tape design")
 		rto       = flag.String("rto", "", "constrain to designs meeting this recovery time objective")
 		rpo       = flag.String("rpo", "", "constrain to designs meeting this recovery point objective")
+		workers   = flag.Int("workers", 0, "concurrent candidate evaluations (0 = all CPUs); any worker count returns the same solution")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *objective, *links, *rto, *rpo); err != nil {
+	if err := run(os.Stdout, *objective, *links, *rto, *rpo, *workers); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(w io.Writer, objectiveName string, links bool, rto, rpo string) error {
+func run(w io.Writer, objectiveName string, links bool, rto, rpo string, workers int) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be non-negative, got %d", workers)
+	}
 	scenarios := []failure.Scenario{
 		{Scope: failure.ScopeArray},
 		{Scope: failure.ScopeSite},
@@ -64,7 +68,7 @@ func run(w io.Writer, objectiveName string, links bool, rto, rpo string) error {
 	}
 
 	fmt.Fprintf(w, "Tuning %q over %d knobs, objective: %s\n\n", base.Name, len(knobs), objLabel)
-	sol, err := opt.Tune(base, knobs, scenarios, objective)
+	sol, err := opt.TuneWorkers(base, knobs, scenarios, objective, workers)
 	if err != nil {
 		return err
 	}

@@ -7,7 +7,7 @@ import (
 
 func TestRunWorstObjective(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, "worst", false, "", ""); err != nil {
+	if err := run(&buf, "worst", false, "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -26,7 +26,7 @@ func TestRunWorstObjective(t *testing.T) {
 
 func TestRunExpectedObjective(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, "expected", false, "", ""); err != nil {
+	if err := run(&buf, "expected", false, "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "expected annual cost") {
@@ -36,7 +36,7 @@ func TestRunExpectedObjective(t *testing.T) {
 
 func TestRunLinkTuning(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, "worst", true, "", ""); err != nil {
+	if err := run(&buf, "worst", true, "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "wan-links count") {
@@ -46,7 +46,7 @@ func TestRunLinkTuning(t *testing.T) {
 
 func TestRunConstrained(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, "worst", true, "12h", "1h"); err != nil {
+	if err := run(&buf, "worst", true, "12h", "1h", 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "8 links") {
@@ -56,17 +56,35 @@ func TestRunConstrained(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, "alien", false, "", ""); err == nil {
+	if err := run(&buf, "alien", false, "", "", 0); err == nil {
 		t.Error("unknown objective accepted")
 	}
-	if err := run(&buf, "worst", false, "zzz", ""); err == nil {
+	if err := run(&buf, "worst", false, "zzz", "", 0); err == nil {
 		t.Error("bad rto accepted")
 	}
-	if err := run(&buf, "worst", false, "", "zzz"); err == nil {
+	if err := run(&buf, "worst", false, "", "zzz", 0); err == nil {
 		t.Error("bad rpo accepted")
 	}
 	// Infeasible constraints surface opt.ErrNoFeasible.
-	if err := run(&buf, "worst", true, "1m", "1m"); err == nil {
+	if err := run(&buf, "worst", true, "1m", "1m", 0); err == nil {
 		t.Error("infeasible constraints accepted")
+	}
+	if err := run(&buf, "worst", false, "", "", -1); err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Errorf("negative workers: err = %v", err)
+	}
+}
+
+// TestRunWorkerCountsAgree: the CLI prints the identical report for any
+// worker count.
+func TestRunWorkerCountsAgree(t *testing.T) {
+	var serial, par strings.Builder
+	if err := run(&serial, "worst", false, "", "", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&par, "worst", false, "", "", 8); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != par.String() {
+		t.Errorf("worker counts disagree:\n%s\n---\n%s", serial.String(), par.String())
 	}
 }

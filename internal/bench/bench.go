@@ -1,0 +1,332 @@
+// Package bench is the performance-trajectory harness: a fixed suite of
+// named benchmarks over the framework's hot loops (what-if fan-out,
+// optimizer searches, chaos campaigns, candidate cloning), runnable both
+// from `go test -bench` and from cmd/bench, which snapshots results to a
+// BENCH_<date>.json file so successive commits leave a comparable record.
+//
+// The suite deliberately includes a frozen re-implementation of the
+// first optimizer inner loop (a config-JSON round trip per candidate,
+// each evaluated through a one-element Evaluate slice, serially) so the
+// snapshot carries its own before/after evidence: the seed-baseline case
+// is the "before", the exhaustive cases are the "after" on the same knob
+// space.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"stordep/internal/casestudy"
+	"stordep/internal/chaos"
+	"stordep/internal/config"
+	"stordep/internal/core"
+	"stordep/internal/failure"
+	"stordep/internal/hierarchy"
+	"stordep/internal/opt"
+	"stordep/internal/units"
+	"stordep/internal/whatif"
+)
+
+// Case is one named benchmark in the trajectory suite.
+type Case struct {
+	// Name identifies the case in snapshots ("exhaustive/parallel4").
+	Name string
+	// Bench is the benchmark body, written exactly as a testing
+	// benchmark function.
+	Bench func(b *testing.B)
+}
+
+func scenarios() []failure.Scenario {
+	return []failure.Scenario{
+		{Scope: failure.ScopeArray},
+		{Scope: failure.ScopeSite},
+	}
+}
+
+// searchKnobs is the Table 7 knob space (2 x 3 x 2 = 12 combinations) —
+// the same shape cmd/optimize tunes, reused as the standard multi-knob
+// search workload.
+func searchKnobs() []opt.Knob {
+	weeklyVault := casestudy.VaultPolicy()
+	weeklyVault.Primary.AccW = units.Week
+	weeklyVault.Primary.HoldW = 12 * time.Hour
+	weeklyVault.RetCnt = 156
+
+	dailyF := casestudy.BackupPolicy()
+	dailyF.Primary.AccW = 24 * time.Hour
+	dailyF.Primary.PropW = 12 * time.Hour
+	dailyF.RetCnt = 28
+
+	fi := casestudy.BackupPolicy()
+	fi.Primary.AccW = 48 * time.Hour
+	fi.Primary.PropW = 48 * time.Hour
+	fi.Secondary = &hierarchy.WindowSet{
+		AccW: 24 * time.Hour, PropW: 12 * time.Hour, HoldW: time.Hour,
+		Rep: hierarchy.RepPartial,
+	}
+	fi.CycleCnt = 5
+
+	return []opt.Knob{
+		opt.PolicyKnob("vaulting",
+			[]string{"4-weekly", "weekly"},
+			[]hierarchy.Policy{casestudy.VaultPolicy(), weeklyVault}),
+		opt.PolicyKnob("backup",
+			[]string{"weekly full", "F+I", "daily full"},
+			[]hierarchy.Policy{casestudy.BackupPolicy(), fi, dailyF}),
+		opt.PiTKnob("split-mirror"),
+	}
+}
+
+// jsonClone is the seed implementation's candidate copy: a config-JSON
+// round trip. Kept verbatim as the baseline the structural clone is
+// measured against.
+func jsonClone(d *core.Design) (*core.Design, error) {
+	data, err := config.Marshal(d)
+	if err != nil {
+		return nil, err
+	}
+	return config.Unmarshal(data)
+}
+
+// seedExhaustive replays the seed optimizer's inner loop on the full
+// knob product: one JSON round trip per candidate, scored through a
+// one-element Evaluate slice, serially.
+func seedExhaustive(base *core.Design, knobs []opt.Knob, scs []failure.Scenario) (units.Money, error) {
+	objective := opt.WorstTotalObjective()
+	best := units.Money(0)
+	first := true
+	choice := make([]int, len(knobs))
+	for {
+		d, err := jsonClone(base)
+		if err != nil {
+			return 0, err
+		}
+		for i, k := range knobs {
+			if err := k.Apply(d, choice[i]); err != nil {
+				return 0, err
+			}
+		}
+		results, err := whatif.Evaluate([]*core.Design{d}, scs)
+		if err != nil {
+			return 0, err
+		}
+		if s := objective(results[0]); first || s < best {
+			best, first = s, false
+		}
+		i := len(knobs) - 1
+		for ; i >= 0; i-- {
+			choice[i]++
+			if choice[i] < len(knobs[i].Options) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i < 0 {
+			return best, nil
+		}
+	}
+}
+
+func sweepDesigns() []*core.Design {
+	counts := make([]int, 20)
+	for i := range counts {
+		counts[i] = i + 1
+	}
+	return whatif.Sweep(counts, casestudy.AsyncBMirror)
+}
+
+func whatIfCase(name string, workers int) Case {
+	return Case{Name: name, Bench: func(b *testing.B) {
+		designs := sweepDesigns()
+		scs := scenarios()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := whatif.EvaluateWorkers(designs, scs, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}}
+}
+
+func exhaustiveCase(name string, workers int) Case {
+	return Case{Name: name, Bench: func(b *testing.B) {
+		base := casestudy.Baseline()
+		knobs := searchKnobs()
+		scs := scenarios()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := opt.ExhaustiveWorkers(base, knobs, scs, nil, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}}
+}
+
+func tuneCase(name string, workers int) Case {
+	return Case{Name: name, Bench: func(b *testing.B) {
+		base := casestudy.Baseline()
+		knobs := searchKnobs()
+		scs := scenarios()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := opt.TuneWorkers(base, knobs, scs, nil, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}}
+}
+
+func chaosCase(name string, workers, runs int) Case {
+	return Case{Name: name, Bench: func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := &chaos.Campaign{Seed: 1, Runs: runs, Workers: workers}
+			if _, err := c.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}}
+}
+
+// Suite returns the full trajectory suite in report order.
+func Suite() []Case {
+	return []Case{
+		{Name: "clone/json", Bench: func(b *testing.B) {
+			d := casestudy.Baseline()
+			for i := 0; i < b.N; i++ {
+				if _, err := jsonClone(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{Name: "clone/structural", Bench: func(b *testing.B) {
+			d := casestudy.Baseline()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Clone(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{Name: "exhaustive/seed-baseline", Bench: func(b *testing.B) {
+			base := casestudy.Baseline()
+			knobs := searchKnobs()
+			scs := scenarios()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := seedExhaustive(base, knobs, scs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		exhaustiveCase("exhaustive/serial", 1),
+		exhaustiveCase("exhaustive/parallel4", 4),
+		tuneCase("tune/serial", 1),
+		tuneCase("tune/parallel4", 4),
+		whatIfCase("whatif/serial", 1),
+		whatIfCase("whatif/parallel4", 4),
+		chaosCase("chaos/serial", 1, 10),
+		chaosCase("chaos/parallel4", 4, 10),
+	}
+}
+
+// Result is one case's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Snapshot is one benchmark run's record, written as BENCH_<date>.json.
+type Snapshot struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Results   []Result `json:"results"`
+	// Speedups derives the headline ratios from Results: the parallel
+	// clone-free exhaustive search against the seed inner loop, and the
+	// structural clone against the JSON round trip.
+	Speedups map[string]float64 `json:"speedups,omitempty"`
+}
+
+// Run executes every case whose name contains filter (empty matches all)
+// and reports each result as it lands via report (which may be nil).
+func Run(filter string, report func(Result)) []Result {
+	var results []Result
+	for _, c := range Suite() {
+		if filter != "" && !strings.Contains(c.Name, filter) {
+			continue
+		}
+		r := testing.Benchmark(c.Bench)
+		res := Result{
+			Name:        c.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		results = append(results, res)
+		if report != nil {
+			report(res)
+		}
+	}
+	return results
+}
+
+// NewSnapshot assembles a snapshot (with derived speedups) for results
+// measured on this machine. date is the caller's clock, formatted
+// 2006-01-02.
+func NewSnapshot(date string, results []Result) *Snapshot {
+	s := &Snapshot{
+		Date:      date,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Results:   results,
+		Speedups:  map[string]float64{},
+	}
+	ns := func(name string) float64 {
+		for _, r := range results {
+			if r.Name == name {
+				return r.NsPerOp
+			}
+		}
+		return 0
+	}
+	if a, b := ns("exhaustive/seed-baseline"), ns("exhaustive/parallel4"); a > 0 && b > 0 {
+		s.Speedups["exhaustive_parallel4_vs_seed"] = a / b
+	}
+	if a, b := ns("exhaustive/seed-baseline"), ns("exhaustive/serial"); a > 0 && b > 0 {
+		s.Speedups["exhaustive_serial_vs_seed"] = a / b
+	}
+	if a, b := ns("clone/json"), ns("clone/structural"); a > 0 && b > 0 {
+		s.Speedups["clone_structural_vs_json"] = a / b
+	}
+	if len(s.Speedups) == 0 {
+		s.Speedups = nil
+	}
+	return s
+}
+
+// Write saves the snapshot as indented JSON.
+func (s *Snapshot) Write(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Format renders one result as a fixed-width report line.
+func (r Result) Format() string {
+	return fmt.Sprintf("%-26s %12.0f ns/op %10d B/op %8d allocs/op %8d iters",
+		r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Iterations)
+}

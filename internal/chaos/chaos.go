@@ -26,6 +26,7 @@ import (
 
 	"stordep/internal/core"
 	"stordep/internal/failure"
+	"stordep/internal/parallel"
 	"stordep/internal/sim"
 )
 
@@ -73,6 +74,11 @@ type Campaign struct {
 	// DesignAttempts bounds rejection sampling per run when generated
 	// designs fail to build (default 40).
 	DesignAttempts int
+	// Workers bounds how many runs execute concurrently; anything < 1
+	// means runtime.NumCPU(). Each run draws from its own SplitMix64
+	// stream and results are merged in run order, so the Summary —
+	// including its Digest — is identical for every worker count.
+	Workers int
 }
 
 // Summary aggregates a campaign's results.
@@ -140,14 +146,33 @@ func (c *Campaign) Run() (*Summary, error) {
 		Runs:   c.Runs,
 		Checks: make(map[string]int),
 	}
-	digest := fnv.New64a()
-	for run := 0; run < c.Runs; run++ {
+
+	// Each run is independent: its RNG stream is derived from (seed, run)
+	// alone, so runs can generate and check concurrently. All aggregation
+	// — check counts, the FNV digest, violation shrinking and repro
+	// writing — happens in the serial merge below, in run order, keeping
+	// the Summary byte-identical to a serial campaign.
+	type runOutcome struct {
+		cs        *Case
+		res       *runResult
+		resamples int
+	}
+	outcomes, err := parallel.Map(c.Workers, c.Runs, func(run int) (runOutcome, error) {
 		cs, resamples := genCase(runRNG(c.Seed, run), run, attempts)
-		sum.Resamples += resamples
 		res, err := checkCase(cs)
 		if err != nil {
-			return nil, fmt.Errorf("chaos: run %d (%s): %w", run, cs.Design.Name, err)
+			return runOutcome{}, fmt.Errorf("chaos: run %d (%s): %w", run, cs.Design.Name, err)
 		}
+		return runOutcome{cs: cs, res: res, resamples: resamples}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	digest := fnv.New64a()
+	for run, out := range outcomes {
+		cs, res := out.cs, out.res
+		sum.Resamples += out.resamples
 		for name, n := range res.counts {
 			sum.Checks[name] += n
 		}

@@ -1,0 +1,53 @@
+package chaos
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"stordep/internal/config"
+)
+
+// TestStructuralCloneMatchesConfigRoundTrip is the property test backing
+// the optimizer's clone-path swap: on randomized valid designs (the
+// chaos generator's full variety — mirrors, cyclic backups, vaulting,
+// facilities, misaligned schedules), the hand-written structural
+// core.Design.Clone must produce exactly the design the former
+// config-JSON round-trip clone produced.
+func TestStructuralCloneMatchesConfigRoundTrip(t *testing.T) {
+	for run := 0; run < 300; run++ {
+		r := runRNG(42, run)
+		d := genDesign(r, run)
+		if d.Validate() != nil {
+			continue // the generator rejection-samples these too
+		}
+
+		structural, err := d.Clone()
+		if err != nil {
+			t.Fatalf("run %d (%s): structural clone: %v", run, d.Name, err)
+		}
+
+		data, err := config.Marshal(d)
+		if err != nil {
+			t.Fatalf("run %d (%s): marshal: %v", run, d.Name, err)
+		}
+		roundTrip, err := config.Unmarshal(data)
+		if err != nil {
+			t.Fatalf("run %d (%s): unmarshal: %v", run, d.Name, err)
+		}
+
+		// The clones must agree structurally and re-encode to identical
+		// config JSON (the stronger, canonical comparison).
+		if !reflect.DeepEqual(structural, roundTrip) {
+			t.Fatalf("run %d (%s): structural clone differs from config round trip\nstructural: %+v\nround trip: %+v",
+				run, d.Name, structural, roundTrip)
+		}
+		reData, err := config.Marshal(structural)
+		if err != nil {
+			t.Fatalf("run %d (%s): re-marshal structural clone: %v", run, d.Name, err)
+		}
+		if !bytes.Equal(data, reData) {
+			t.Fatalf("run %d (%s): structural clone re-encodes differently", run, d.Name)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCampaignWorkersDeterminism: a seeded campaign produces the
+// identical Summary — digest, check counts, resamples, violations — for
+// every worker count, so `-seed` replay is byte-for-byte regardless of
+// parallelism.
+func TestCampaignWorkersDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker campaign replay is slow")
+	}
+	run := func(workers int) *Summary {
+		t.Helper()
+		c := &Campaign{Seed: 7, Runs: 20, Workers: workers}
+		sum, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	serial := run(1)
+	for _, workers := range []int{0, 2, 8} {
+		par := run(workers)
+		if par.Digest != serial.Digest {
+			t.Errorf("workers=%d: digest %#016x, want %#016x", workers, par.Digest, serial.Digest)
+		}
+		if par.Resamples != serial.Resamples || par.SkippedBounds != serial.SkippedBounds {
+			t.Errorf("workers=%d: resamples/skips %d/%d, want %d/%d",
+				workers, par.Resamples, par.SkippedBounds, serial.Resamples, serial.SkippedBounds)
+		}
+		if !reflect.DeepEqual(par.Checks, serial.Checks) {
+			t.Errorf("workers=%d: checks %v, want %v", workers, par.Checks, serial.Checks)
+		}
+		if !reflect.DeepEqual(par.Violations, serial.Violations) {
+			t.Errorf("workers=%d: violations diverged", workers)
+		}
+		if par.String() != serial.String() {
+			t.Errorf("workers=%d: rendered summaries diverged", workers)
+		}
+	}
+}

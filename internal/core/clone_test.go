@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"stordep/internal/cost"
+	"stordep/internal/device"
+	"stordep/internal/failure"
+	"stordep/internal/hierarchy"
+	"stordep/internal/protect"
+	"stordep/internal/units"
+	"stordep/internal/workload"
+)
+
+// cloneFixture is a design touching every reference field Clone must
+// deep-copy: workload curve, device slice, primary, a cyclic-policy
+// technique (Secondary pointer), a multi-site technique (Sites slice)
+// and a facility.
+func cloneFixture() *Design {
+	pol := hierarchy.Policy{
+		Primary: hierarchy.WindowSet{AccW: 48 * time.Hour, PropW: 24 * time.Hour, Rep: hierarchy.RepFull},
+		Secondary: &hierarchy.WindowSet{
+			AccW: 12 * time.Hour, PropW: 6 * time.Hour, Rep: hierarchy.RepPartial,
+		},
+		CycleCnt: 3,
+		RetCnt:   4, RetW: 6 * units.Week,
+		CopyRep: hierarchy.RepFull,
+	}
+	ecPol := hierarchy.Policy{
+		Primary: hierarchy.WindowSet{AccW: time.Hour, Rep: hierarchy.RepFull},
+		RetCnt:  1, RetW: units.Day, CopyRep: hierarchy.RepFull,
+	}
+	return &Design{
+		Name:         "clone-fixture",
+		Workload:     workload.Cello(),
+		Requirements: cost.CaseStudyRequirements(),
+		Devices: []PlacedDevice{
+			{Spec: device.MidrangeArray(), Placement: failure.Placement{Array: "a", Site: "s1"}},
+			{Spec: device.TapeLibrary(), Placement: failure.Placement{Array: "lib", Site: "s1"}},
+		},
+		Primary: &protect.Primary{Array: device.NameDiskArray},
+		Levels: []protect.Technique{
+			&protect.Backup{SourceArray: device.NameDiskArray, Target: device.NameTapeLibrary, Pol: pol},
+			&protect.ErasureCode{
+				Fragments: 2, Threshold: 1,
+				Sites: []string{device.NameDiskArray, device.NameTapeLibrary},
+				Links: device.NameDiskArray, Pol: ecPol,
+			},
+		},
+		Facility: &Facility{ProvisionTime: 9 * time.Hour, CostFactor: 0.2},
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	base := cloneFixture()
+	clone, err := base.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate every reference field of the clone.
+	clone.Workload.BatchCurve[0].Rate = 0
+	clone.Devices[0].Spec.MaxCapSlots = 1
+	clone.Primary.Array = "elsewhere"
+	clone.Levels[0].(*protect.Backup).Pol.Secondary.AccW = time.Minute
+	clone.Levels[1].(*protect.ErasureCode).Sites[0] = "mutated"
+	clone.Facility.CostFactor = 99
+
+	if base.Workload.BatchCurve[0].Rate == 0 {
+		t.Error("workload curve aliased")
+	}
+	if base.Devices[0].Spec.MaxCapSlots == 1 {
+		t.Error("devices aliased")
+	}
+	if base.Primary.Array != device.NameDiskArray {
+		t.Error("primary aliased")
+	}
+	if base.Levels[0].(*protect.Backup).Pol.Secondary.AccW == time.Minute {
+		t.Error("policy secondary window aliased")
+	}
+	if base.Levels[1].(*protect.ErasureCode).Sites[0] == "mutated" {
+		t.Error("erasure sites aliased")
+	}
+	if base.Facility.CostFactor == 99 {
+		t.Error("facility aliased")
+	}
+}
+
+func TestCloneEmptyAndNilFields(t *testing.T) {
+	clone, err := (&Design{Name: "empty"}).Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.Name != "empty" || clone.Workload != nil || clone.Primary != nil ||
+		clone.Devices != nil || clone.Levels != nil || clone.Facility != nil {
+		t.Errorf("empty clone = %+v", clone)
+	}
+}
+
+// uncloneable is a Technique without CloneTechnique.
+type uncloneable struct{ protect.Technique }
+
+func TestCloneRejectsUnknownTechnique(t *testing.T) {
+	d := cloneFixture()
+	d.Levels = append(d.Levels, uncloneable{})
+	if _, err := d.Clone(); !errors.Is(err, ErrNotCloneable) {
+		t.Errorf("err = %v, want ErrNotCloneable", err)
+	}
+}
+
+// TestCloneBuildsIdentically: the clone assesses exactly like the
+// original under a scenario battery.
+func TestCloneBuildsIdentically(t *testing.T) {
+	base := cloneFixture()
+	base.Levels = base.Levels[:1] // the erasure fixture reuses devices; keep it simple
+	clone, err := base.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysA, errA := Build(base)
+	sysB, errB := Build(clone)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("build divergence: %v vs %v", errA, errB)
+	}
+	if errA != nil {
+		return
+	}
+	for _, sc := range []failure.Scenario{{Scope: failure.ScopeArray}, {Scope: failure.ScopeSite}} {
+		a, errA := sysA.Assess(sc)
+		b, errB := sysB.Assess(sc)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("assess divergence: %v vs %v", errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if a.RecoveryTime != b.RecoveryTime || a.DataLoss != b.DataLoss || a.Cost.Total() != b.Cost.Total() {
+			t.Errorf("scenario %s: clone assessed differently", sc.DisplayName())
+		}
+	}
+}

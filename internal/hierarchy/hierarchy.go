@@ -84,6 +84,17 @@ type Policy struct {
 	CopyRep Representation
 }
 
+// Clone returns a deep copy of the policy. The Secondary window set is
+// the only pointer field; everything else is value-copied.
+func (p Policy) Clone() Policy {
+	out := p
+	if p.Secondary != nil {
+		s := *p.Secondary
+		out.Secondary = &s
+	}
+	return out
+}
+
 // CyclePeriod returns cyclePer: the length of one complete policy cycle.
 // For a simple policy this is the primary accumulation window; for a
 // cyclic policy it is the primary window plus CycleCnt secondary windows.
@@ -137,6 +148,7 @@ var (
 	ErrBadRep       = errors.New("hierarchy: unknown representation")
 	ErrEmptyChain   = errors.New("hierarchy: chain needs at least one level")
 	ErrDupLevelName = errors.New("hierarchy: duplicate level name")
+	ErrRetWShort    = errors.New("hierarchy: retW shorter than the span implied by retCnt x cyclePer")
 )
 
 func validRep(r Representation) bool { return r == RepFull || r == RepPartial }
@@ -169,6 +181,14 @@ func (p Policy) Validate() error {
 	}
 	if p.RetW < 0 {
 		return fmt.Errorf("%w (retW %v)", ErrBadWindows, p.RetW)
+	}
+	// A time-based retention window shorter than the count-based span is
+	// self-contradictory: the level cannot hold retCnt cycles if RPs
+	// expire before the span elapses. RetW == 0 means "count-based only"
+	// and is always consistent.
+	if p.RetW > 0 && p.RetW < p.RetentionSpan() {
+		return fmt.Errorf("%w (retW %v < span %v, retCnt %d x cyclePer %v)",
+			ErrRetWShort, p.RetW, p.RetentionSpan(), p.RetCnt, p.CyclePeriod())
 	}
 	return nil
 }

@@ -80,6 +80,13 @@ func TestPolicyValidateErrors(t *testing.T) {
 			p.Secondary = &WindowSet{AccW: time.Minute, PropW: time.Hour, Rep: RepPartial}
 			p.CycleCnt = 2
 		}, ErrPropExceeds},
+		// retW of one day cannot retain 26 hourly cycles (span 25h).
+		{"retW below retention span", func(p *Policy) { p.RetCnt = 26 }, ErrRetWShort},
+		{"retW far below retention span", func(p *Policy) {
+			p.RetCnt = 10
+			p.RetW = units.Week
+			p.Primary.AccW = units.Day
+		}, ErrRetWShort},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -92,6 +99,19 @@ func TestPolicyValidateErrors(t *testing.T) {
 	}
 	if err := valid.Validate(); err != nil {
 		t.Errorf("valid policy rejected: %v", err)
+	}
+	// Boundary cases of the retW cross-check: retW exactly equal to the
+	// span, and retW == 0 (count-based retention only) are consistent.
+	exact := valid
+	exact.RetCnt = 25 // span = 24h == retW
+	if err := exact.Validate(); err != nil {
+		t.Errorf("retW == span rejected: %v", err)
+	}
+	countOnly := valid
+	countOnly.RetW = 0
+	countOnly.RetCnt = 1000
+	if err := countOnly.Validate(); err != nil {
+		t.Errorf("count-based retention rejected: %v", err)
 	}
 }
 

@@ -6,8 +6,8 @@ import (
 
 	"stordep/internal/core"
 	"stordep/internal/failure"
+	"stordep/internal/parallel"
 	"stordep/internal/units"
-	"stordep/internal/whatif"
 )
 
 // maxExhaustive bounds full enumeration; beyond this use Tune.
@@ -17,83 +17,82 @@ const maxExhaustive = 4096
 // exhaustive-search budget.
 var ErrSpaceTooLarge = fmt.Errorf("opt: knob space exceeds %d combinations; use Tune", maxExhaustive)
 
-// Exhaustive evaluates every knob combination and returns the global
-// optimum. Coordinate descent (Tune) can stall on interacting knobs;
-// exhaustive search cannot, at the price of evaluating the full product
-// space (bounded at 4096 combinations — at ~20 µs per evaluation that is
-// well under a second).
+// Exhaustive evaluates every knob combination on all CPUs and returns
+// the global optimum; see ExhaustiveWorkers.
 func Exhaustive(base *core.Design, knobs []Knob, scenarios []failure.Scenario, objective Objective) (*Solution, error) {
-	if len(knobs) == 0 {
-		return nil, ErrNoKnobs
-	}
+	return ExhaustiveWorkers(base, knobs, scenarios, objective, 0)
+}
+
+// ExhaustiveWorkers evaluates every knob combination and returns the
+// global optimum. Coordinate descent (Tune) can stall on interacting
+// knobs; exhaustive search cannot, at the price of evaluating the full
+// product space (bounded at 4096 combinations).
+//
+// Candidates are enumerated in lexicographic choice order and scored
+// concurrently on at most workers goroutines (anything < 1 means
+// runtime.NumCPU()); each is built via the shared scoreCandidate path —
+// one structural clone and one direct evaluation, with none of the
+// per-candidate slice wrapping the first implementation paid. The
+// optimum is the first strict minimum in enumeration order, so parallel
+// and serial searches return byte-identical Solutions (ties break to
+// the lowest choice index).
+func ExhaustiveWorkers(base *core.Design, knobs []Knob, scenarios []failure.Scenario, objective Objective, workers int) (*Solution, error) {
 	space := 1
 	for _, k := range knobs {
 		if k.Name == "" || len(k.Options) == 0 || k.Apply == nil {
-			return nil, fmt.Errorf("%w: %q", ErrBadKnob, k.Name)
+			break // validate reports the precise error
 		}
 		space *= len(k.Options)
 		if space > maxExhaustive {
 			return nil, ErrSpaceTooLarge
 		}
 	}
-	if len(scenarios) == 0 {
-		return nil, ErrNoScenarios
-	}
-	if objective == nil {
-		objective = WorstTotalObjective()
-	}
-
-	sol := &Solution{Passes: 1, Score: units.Money(math.Inf(1))}
-	choice := make([]int, len(knobs))
-	var best []int
-
-	var sweep func(depth int) error
-	sweep = func(depth int) error {
-		if depth == len(knobs) {
-			d, err := Clone(base)
-			if err != nil {
-				return err
-			}
-			for i, k := range knobs {
-				if err := k.Apply(d, choice[i]); err != nil {
-					return fmt.Errorf("opt: knob %q option %d: %w", k.Name, choice[i], err)
-				}
-			}
-			results, err := whatif.Evaluate([]*core.Design{d}, scenarios)
-			if err != nil {
-				return err
-			}
-			sol.Evaluations++
-			if s := objective(results[0]); s < sol.Score {
-				sol.Score = s
-				best = append(best[:0], choice...)
-			}
-			return nil
-		}
-		for i := range knobs[depth].Options {
-			choice[depth] = i
-			if err := sweep(depth + 1); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := sweep(0); err != nil {
+	objective, err := validate(knobs, scenarios, objective)
+	if err != nil {
 		return nil, err
 	}
-	if best == nil || math.IsInf(float64(sol.Score), 1) {
+
+	// Enumerate the knob product in lexicographic order — the order the
+	// serial recursive sweep visited, which the argmin below relies on
+	// for deterministic tie-breaking.
+	combos := make([][]int, space)
+	choice := make([]int, len(knobs))
+	for i := range combos {
+		combos[i] = append([]int(nil), choice...)
+		for d := len(knobs) - 1; d >= 0; d-- {
+			choice[d]++
+			if choice[d] < len(knobs[d].Options) {
+				break
+			}
+			choice[d] = 0
+		}
+	}
+
+	scores, err := parallel.Map(workers, space, func(i int) (units.Money, error) {
+		return scoreCandidate(base, knobs, scenarios, objective, combos[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sol := &Solution{Passes: 1, Evaluations: space, Score: units.Money(math.Inf(1))}
+	best := -1
+	for i, s := range scores {
+		if s < sol.Score {
+			sol.Score = s
+			best = i
+		}
+	}
+	if best < 0 || math.IsInf(float64(sol.Score), 1) {
 		return nil, ErrNoFeasible
 	}
 
-	tuned, err := Clone(base)
+	tuned, err := applyChoice(base, knobs, combos[best])
 	if err != nil {
 		return nil, err
 	}
 	for i, k := range knobs {
-		if err := k.Apply(tuned, best[i]); err != nil {
-			return nil, err
-		}
-		sol.Choices = append(sol.Choices, Choice{Knob: k.Name, Option: k.Options[best[i]]})
+		sol.Choices = append(sol.Choices, Choice{Knob: k.Name, Option: k.Options[combos[best][i]]})
 	}
 	sol.Design = tuned
 	return sol, nil

@@ -10,6 +10,7 @@ import (
 	"stordep/internal/core"
 	"stordep/internal/failure"
 	"stordep/internal/hierarchy"
+	"stordep/internal/protect"
 	"stordep/internal/units"
 	"stordep/internal/whatif"
 )
@@ -33,8 +34,12 @@ func TestClone(t *testing.T) {
 	if len(base.Levels) != 3 || base.Devices[0].Spec.MaxCapSlots != 256 {
 		t.Error("clone aliased the original")
 	}
-	if _, err := Clone(&core.Design{}); err == nil {
-		t.Error("unencodable design accepted")
+	// Designs with techniques outside the structural-clone protocol are
+	// rejected (they cannot be optimized).
+	alien := casestudy.Baseline()
+	alien.Levels = append(alien.Levels, struct{ protect.Technique }{})
+	if _, err := Clone(alien); !errors.Is(err, core.ErrNotCloneable) {
+		t.Errorf("uncloneable technique: err = %v", err)
 	}
 }
 

@@ -1,0 +1,73 @@
+package protect
+
+// Cloner is implemented by techniques that can produce a structural deep
+// copy of themselves. The optimizer's inner loop clones a candidate
+// design per evaluation, so CloneTechnique must be cheap: copy the
+// struct, deep-copy the policy (its secondary window set is a pointer)
+// and any slices, and nothing else. All built-in techniques implement
+// it; core.Design.Clone reports an error for techniques that don't.
+type Cloner interface {
+	// CloneTechnique returns an independent deep copy: mutating the
+	// clone's policy, devices or sites must not affect the original.
+	CloneTechnique() Technique
+}
+
+var (
+	_ Cloner = (*Primary)(nil)
+	_ Cloner = (*SplitMirror)(nil)
+	_ Cloner = (*Snapshot)(nil)
+	_ Cloner = (*Mirror)(nil)
+	_ Cloner = (*Backup)(nil)
+	_ Cloner = (*Vaulting)(nil)
+	_ Cloner = (*ErasureCode)(nil)
+)
+
+// CloneTechnique implements Cloner.
+func (p *Primary) CloneTechnique() Technique {
+	c := *p
+	return &c
+}
+
+// CloneTechnique implements Cloner.
+func (s *SplitMirror) CloneTechnique() Technique {
+	c := *s
+	c.Pol = s.Pol.Clone()
+	return &c
+}
+
+// CloneTechnique implements Cloner.
+func (s *Snapshot) CloneTechnique() Technique {
+	c := *s
+	c.Pol = s.Pol.Clone()
+	return &c
+}
+
+// CloneTechnique implements Cloner.
+func (m *Mirror) CloneTechnique() Technique {
+	c := *m
+	c.Pol = m.Pol.Clone()
+	return &c
+}
+
+// CloneTechnique implements Cloner.
+func (b *Backup) CloneTechnique() Technique {
+	c := *b
+	c.Pol = b.Pol.Clone()
+	return &c
+}
+
+// CloneTechnique implements Cloner.
+func (v *Vaulting) CloneTechnique() Technique {
+	c := *v
+	c.Pol = v.Pol.Clone()
+	return &c
+}
+
+// CloneTechnique implements Cloner.
+func (e *ErasureCode) CloneTechnique() Technique {
+	c := *e
+	c.Pol = e.Pol.Clone()
+	c.Sites = make([]string, len(e.Sites))
+	copy(c.Sites, e.Sites)
+	return &c
+}

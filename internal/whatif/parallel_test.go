@@ -1,0 +1,77 @@
+package whatif
+
+import (
+	"errors"
+	"testing"
+
+	"stordep/internal/casestudy"
+	"stordep/internal/core"
+)
+
+// TestEvaluateWorkersEquivalence: the parallel fan-out returns exactly
+// the serial results, in input order, for every worker count — including
+// a mix of buildable and broken designs.
+func TestEvaluateWorkersEquivalence(t *testing.T) {
+	counts := make([]int, 24)
+	for i := range counts {
+		counts[i] = i + 1
+	}
+	designs := Sweep(counts, casestudy.AsyncBMirror)
+	broken := casestudy.Baseline()
+	broken.Name = "broken"
+	broken.Workload.DataCap *= 1000
+	designs = append(designs[:12], append([]*core.Design{broken}, designs[12:]...)...)
+
+	serial, err := EvaluateWorkers(designs, scenarios(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		par, err := EvaluateWorkers(designs, scenarios(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(par), len(serial))
+		}
+		for i := range serial {
+			a, b := serial[i], par[i]
+			if a.Design != b.Design || a.Outlays != b.Outlays ||
+				(a.Err == nil) != (b.Err == nil) || len(a.Outcomes) != len(b.Outcomes) {
+				t.Fatalf("workers=%d: result %d diverged:\nserial %+v\nparallel %+v", workers, i, a, b)
+			}
+			for j := range a.Outcomes {
+				if a.Outcomes[j] != b.Outcomes[j] {
+					t.Fatalf("workers=%d: result %d outcome %d diverged", workers, i, j)
+				}
+			}
+		}
+	}
+	// The broken design stayed at its input position with Err set.
+	if serial[12].Design != "broken" || serial[12].Err == nil {
+		t.Errorf("broken design misplaced or unbroken: %+v", serial[12])
+	}
+}
+
+func TestEvaluateWorkersNoScenarios(t *testing.T) {
+	if _, err := EvaluateWorkers(casestudy.WhatIfDesigns(), nil, 4); !errors.Is(err, ErrNoScenarios) {
+		t.Errorf("err = %v, want ErrNoScenarios", err)
+	}
+}
+
+func TestEvaluateOneMatchesEvaluate(t *testing.T) {
+	d := casestudy.Baseline()
+	one := EvaluateOne(d, scenarios())
+	many, err := Evaluate([]*core.Design{d}, scenarios())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Design != many[0].Design || one.Outlays != many[0].Outlays || len(one.Outcomes) != len(many[0].Outcomes) {
+		t.Fatalf("EvaluateOne diverged from Evaluate: %+v vs %+v", one, many[0])
+	}
+	for j := range one.Outcomes {
+		if one.Outcomes[j] != many[0].Outcomes[j] {
+			t.Fatalf("outcome %d diverged", j)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"stordep/internal/core"
 	"stordep/internal/failure"
+	"stordep/internal/parallel"
 	"stordep/internal/units"
 )
 
@@ -66,41 +67,55 @@ func (r *Result) WorstTotal() units.Money {
 var ErrNoScenarios = errors.New("whatif: at least one scenario required")
 
 // Evaluate builds every candidate design and assesses it under every
-// scenario. Designs that fail to build are kept in the results with Err
-// set, so a sweep over aggressive parameters reports which points are
-// infeasible rather than aborting.
+// scenario, fanning the designs out over all CPUs. Designs that fail to
+// build are kept in the results with Err set, so a sweep over aggressive
+// parameters reports which points are infeasible rather than aborting.
+// Results come back in input order; parallel and serial evaluation are
+// indistinguishable.
 func Evaluate(designs []*core.Design, scenarios []failure.Scenario) ([]Result, error) {
+	return EvaluateWorkers(designs, scenarios, 0)
+}
+
+// EvaluateWorkers is Evaluate on a bounded worker pool: workers > 0 caps
+// the evaluation goroutines, anything else means runtime.NumCPU().
+func EvaluateWorkers(designs []*core.Design, scenarios []failure.Scenario, workers int) ([]Result, error) {
 	if len(scenarios) == 0 {
 		return nil, ErrNoScenarios
 	}
-	results := make([]Result, 0, len(designs))
-	for _, d := range designs {
-		res := Result{Design: d.Name}
-		sys, err := core.Build(d)
-		if err != nil {
-			res.Err = err
-			results = append(results, res)
-			continue
-		}
-		res.Outlays = sys.Outlays().Total()
-		for _, sc := range scenarios {
-			a, err := sys.Assess(sc)
-			if err != nil {
-				res.Err = fmt.Errorf("whatif: scenario %s: %w", sc.DisplayName(), err)
-				break
-			}
-			res.Outcomes = append(res.Outcomes, Outcome{
-				Scenario:     sc,
-				RecoveryTime: a.RecoveryTime,
-				DataLoss:     a.DataLoss,
-				Penalties:    a.Cost.Penalties.Total(),
-				Total:        a.Cost.Total(),
-				Lost:         a.WholeObjectLost,
-			})
-		}
-		results = append(results, res)
+	return parallel.Map(workers, len(designs), func(i int) (Result, error) {
+		return EvaluateOne(designs[i], scenarios), nil
+	})
+}
+
+// EvaluateOne builds and assesses a single candidate — the shared inner
+// step of Evaluate and the optimizer's per-candidate scoring path (which
+// calls it directly rather than paying a one-element slice round trip
+// per candidate).
+func EvaluateOne(d *core.Design, scenarios []failure.Scenario) Result {
+	res := Result{Design: d.Name}
+	sys, err := core.Build(d)
+	if err != nil {
+		res.Err = err
+		return res
 	}
-	return results, nil
+	res.Outlays = sys.Outlays().Total()
+	res.Outcomes = make([]Outcome, 0, len(scenarios))
+	for _, sc := range scenarios {
+		a, err := sys.Assess(sc)
+		if err != nil {
+			res.Err = fmt.Errorf("whatif: scenario %s: %w", sc.DisplayName(), err)
+			return res
+		}
+		res.Outcomes = append(res.Outcomes, Outcome{
+			Scenario:     sc,
+			RecoveryTime: a.RecoveryTime,
+			DataLoss:     a.DataLoss,
+			Penalties:    a.Cost.Penalties.Total(),
+			Total:        a.Cost.Total(),
+			Lost:         a.WholeObjectLost,
+		})
+	}
+	return res
 }
 
 // Rank sorts results by ascending worst-scenario total cost (stable on

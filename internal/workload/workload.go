@@ -90,6 +90,15 @@ func (w *Workload) Validate() error {
 	return nil
 }
 
+// Clone returns a deep copy of the workload (the batch curve is the only
+// reference field).
+func (w *Workload) Clone() *Workload {
+	out := *w
+	out.BatchCurve = make([]BatchPoint, len(w.BatchCurve))
+	copy(out.BatchCurve, w.BatchCurve)
+	return &out
+}
+
 // sortedCurve returns the breakpoints sorted by ascending window without
 // mutating the workload.
 func (w *Workload) sortedCurve() []BatchPoint {

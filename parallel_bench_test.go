@@ -1,0 +1,37 @@
+// Benchmarks for the parallel-evaluation substrate, delegating to the
+// internal/bench trajectory suite so `go test -bench` and cmd/bench
+// measure identical bodies (cmd/bench additionally snapshots results to
+// a BENCH_<date>.json file; see README "Performance").
+package stordep_test
+
+import (
+	"testing"
+
+	"stordep/internal/bench"
+)
+
+func delegate(b *testing.B, name string) {
+	b.Helper()
+	for _, c := range bench.Suite() {
+		if c.Name == name {
+			c.Bench(b)
+			return
+		}
+	}
+	b.Fatalf("no bench case %q", name)
+}
+
+func BenchmarkCloneJSON(b *testing.B)       { delegate(b, "clone/json") }
+func BenchmarkCloneStructural(b *testing.B) { delegate(b, "clone/structural") }
+
+func BenchmarkExhaustiveSeedBaseline(b *testing.B) { delegate(b, "exhaustive/seed-baseline") }
+func BenchmarkExhaustiveSerial(b *testing.B)       { delegate(b, "exhaustive/serial") }
+func BenchmarkExhaustiveParallel(b *testing.B)     { delegate(b, "exhaustive/parallel4") }
+
+func BenchmarkTuneSerial(b *testing.B)   { delegate(b, "tune/serial") }
+func BenchmarkTuneParallel(b *testing.B) { delegate(b, "tune/parallel4") }
+
+func BenchmarkParallelWhatIf(b *testing.B) { delegate(b, "whatif/parallel4") }
+
+func BenchmarkChaosCampaignSerial(b *testing.B)   { delegate(b, "chaos/serial") }
+func BenchmarkChaosCampaignParallel(b *testing.B) { delegate(b, "chaos/parallel4") }
