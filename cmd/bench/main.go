@@ -1,12 +1,21 @@
 // Command bench runs the performance-trajectory suite (internal/bench)
 // and snapshots the results to a BENCH_<date>.json file, so the repo
-// accumulates comparable before/after evidence commit over commit.
+// accumulates comparable before/after evidence commit over commit. It
+// also diffs two snapshots, failing when a case regressed beyond a
+// threshold — the guard CI or a release checklist can run.
 //
 // Usage:
 //
 //	bench                       # full suite -> BENCH_<today>.json
 //	bench -filter exhaustive    # only the optimizer-search cases
 //	bench -out /tmp/b.json      # explicit snapshot path
+//	bench -cpuprofile b.pprof   # profile the suite (phase labels on)
+//	bench -compare old.json new.json              # diff two snapshots
+//	bench -compare -threshold 0.10 old.json new.json
+//
+// In -compare mode the two positional arguments are snapshot files;
+// cases are matched by name and the command exits nonzero if any case's
+// ns/op or allocs/op grew by more than -threshold (default 0.15 = 15%).
 package main
 
 import (
@@ -15,36 +24,80 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
 	"stordep/internal/bench"
+	"stordep/internal/opt"
 )
+
+// options carries the parsed command line.
+type options struct {
+	out        string
+	filter     string
+	compare    bool
+	threshold  float64
+	cpuProfile string
+	memProfile string
+	args       []string
+	now        time.Time
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
 
-	out := flag.String("out", "", "snapshot path (default BENCH_<date>.json)")
-	filter := flag.String("filter", "", "run only cases whose name contains this substring")
+	var o options
+	flag.StringVar(&o.out, "out", "", "snapshot path (default BENCH_<date>.json)")
+	flag.StringVar(&o.filter, "filter", "", "run only cases whose name contains this substring")
+	flag.BoolVar(&o.compare, "compare", false, "diff two snapshot files (old.json new.json) instead of benchmarking")
+	flag.Float64Var(&o.threshold, "threshold", 0.15, "regression threshold for -compare (fraction: 0.15 = 15%)")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile (with optimizer phase labels) to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	o.args = flag.Args()
+	o.now = time.Now()
 
-	if err := run(os.Stdout, *out, *filter, time.Now()); err != nil {
+	if err := run(os.Stdout, o); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(w io.Writer, out, filter string, now time.Time) error {
-	date := now.Format("2006-01-02")
+func run(w io.Writer, o options) error {
+	if o.compare {
+		return runCompare(w, o)
+	}
+
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		opt.PhaseProfiling(true)
+		defer func() {
+			pprof.StopCPUProfile()
+			opt.PhaseProfiling(false)
+			f.Close()
+		}()
+	}
+
+	date := o.now.Format("2006-01-02")
+	out := o.out
 	if out == "" {
 		out = fmt.Sprintf("BENCH_%s.json", date)
 	}
 
-	results := bench.Run(filter, func(r bench.Result) {
+	results := bench.Run(o.filter, func(r bench.Result) {
 		fmt.Fprintln(w, r.Format())
 	})
 	if len(results) == 0 {
-		return fmt.Errorf("no benchmark matches filter %q", filter)
+		return fmt.Errorf("no benchmark matches filter %q", o.filter)
 	}
 
 	snap := bench.NewSnapshot(date, results)
@@ -60,5 +113,47 @@ func run(w io.Writer, out, filter string, now time.Time) error {
 		return err
 	}
 	fmt.Fprintf(w, "snapshot written to %s\n", out)
+
+	if o.memProfile != "" {
+		f, err := os.Create(o.memProfile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+	}
+	return nil
+}
+
+// runCompare diffs two snapshots and errors (nonzero exit) on any
+// regression beyond the threshold.
+func runCompare(w io.Writer, o options) error {
+	if len(o.args) != 2 {
+		return fmt.Errorf("-compare needs exactly two snapshot paths (old.json new.json), got %d", len(o.args))
+	}
+	oldSnap, err := bench.ReadSnapshot(o.args[0])
+	if err != nil {
+		return err
+	}
+	newSnap, err := bench.ReadSnapshot(o.args[1])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "comparing %s (%s) -> %s (%s), threshold %.0f%%\n",
+		o.args[0], oldSnap.Date, o.args[1], newSnap.Date, 100*o.threshold)
+	regressed := 0
+	for _, c := range bench.Compare(oldSnap, newSnap, o.threshold) {
+		fmt.Fprintln(w, c.Format())
+		if c.Regressed {
+			regressed++
+		}
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d case(s) regressed beyond %.0f%%", regressed, 100*o.threshold)
+	}
+	fmt.Fprintf(w, "no regressions beyond %.0f%%\n", 100*o.threshold)
 	return nil
 }

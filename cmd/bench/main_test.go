@@ -16,7 +16,8 @@ func TestRunWritesSnapshot(t *testing.T) {
 	var buf strings.Builder
 	// clone cases only: the fastest slice of the suite keeps this a unit
 	// test rather than a benchmark session.
-	if err := run(&buf, path, "clone/", time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC)); err != nil {
+	o := options{out: path, filter: "clone/", now: time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC)}
+	if err := run(&buf, o); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -52,7 +53,8 @@ func TestRunDefaultOutName(t *testing.T) {
 	}
 	defer os.Chdir(cwd)
 	var buf strings.Builder
-	if err := run(&buf, "", "clone/structural", time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC)); err != nil {
+	o := options{filter: "clone/structural", now: time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC)}
+	if err := run(&buf, o); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "BENCH_2026-08-05.json")); err != nil {
@@ -62,7 +64,105 @@ func TestRunDefaultOutName(t *testing.T) {
 
 func TestRunRejectsUnmatchedFilter(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, filepath.Join(t.TempDir(), "x.json"), "no-such-case", time.Now()); err == nil {
+	o := options{out: filepath.Join(t.TempDir(), "x.json"), filter: "no-such-case", now: time.Now()}
+	if err := run(&buf, o); err == nil {
 		t.Error("unmatched filter accepted")
+	}
+}
+
+// TestRunProfiles: the profile flags produce non-empty pprof files
+// alongside the snapshot.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	o := options{
+		out:        filepath.Join(dir, "snap.json"),
+		filter:     "clone/structural",
+		cpuProfile: filepath.Join(dir, "cpu.pprof"),
+		memProfile: filepath.Join(dir, "mem.pprof"),
+		now:        time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC),
+	}
+	var buf strings.Builder
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{o.cpuProfile, o.memProfile} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+// writeSnap writes a synthetic snapshot for compare tests.
+func writeSnap(t *testing.T, path, date string, results []bench.Result) {
+	t.Helper()
+	s := &bench.Snapshot{Date: date, Results: results}
+	if err := s.Write(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeSnap(t, oldPath, "2026-08-01", []bench.Result{
+		{Name: "a", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "b", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "gone", NsPerOp: 5, AllocsPerOp: 5},
+	})
+	writeSnap(t, newPath, "2026-08-05", []bench.Result{
+		{Name: "a", NsPerOp: 1100, AllocsPerOp: 90}, // +10% ns: within threshold
+		{Name: "b", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "added", NsPerOp: 7, AllocsPerOp: 7},
+	})
+
+	var buf strings.Builder
+	o := options{compare: true, threshold: 0.15, args: []string{oldPath, newPath}}
+	if err := run(&buf, o); err != nil {
+		t.Fatalf("within-threshold compare failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"no regressions", "only in old snapshot", "only in new snapshot", "+10.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// A 30% slowdown beyond the 15% threshold exits nonzero.
+	writeSnap(t, newPath, "2026-08-05", []bench.Result{
+		{Name: "a", NsPerOp: 1300, AllocsPerOp: 100},
+		{Name: "b", NsPerOp: 1000, AllocsPerOp: 100},
+	})
+	buf.Reset()
+	err := run(&buf, o)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("regression not reported: err = %v", err)
+	}
+	if !strings.Contains(buf.String(), "REGRESSED") {
+		t.Errorf("output missing REGRESSED marker:\n%s", buf.String())
+	}
+
+	// An allocation regression alone also fails.
+	writeSnap(t, newPath, "2026-08-05", []bench.Result{
+		{Name: "a", NsPerOp: 1000, AllocsPerOp: 200},
+		{Name: "b", NsPerOp: 1000, AllocsPerOp: 100},
+	})
+	buf.Reset()
+	if err := run(&buf, o); err == nil {
+		t.Error("allocation regression not reported")
+	}
+}
+
+func TestRunCompareErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, options{compare: true, threshold: 0.15, args: []string{"one.json"}}); err == nil {
+		t.Error("single path accepted")
+	}
+	if err := run(&buf, options{compare: true, threshold: 0.15, args: []string{"/no/such.json", "/no/such2.json"}}); err == nil {
+		t.Error("missing snapshot accepted")
 	}
 }

@@ -9,6 +9,23 @@
 //	optimize -objective expected  # minimize frequency-weighted expected cost
 //	optimize -links               # tune the asyncB mirror's link count
 //	optimize -rto 12h -rpo 1h     # cheapest design meeting objectives
+//	optimize -exhaustive          # streaming full enumeration (no space cap)
+//	optimize -shard 1/4           # run one shard of a sharded enumeration
+//	optimize -cpuprofile opt.pprof
+//
+// Exhaustive enumeration streams: candidates are decoded from their
+// global index on the fly, so memory stays O(workers) however large the
+// knob product is. -budget caps the space size (0 = unbounded); -shard
+// k/m (0-based) evaluates only the k-th of m contiguous slices, so a big
+// space can be split across processes or hosts — each shard prints its
+// winner's global candidate index, and the overall optimum is the lowest
+// score across shards with ties to the lowest candidate index
+// (opt.MergeShards applies the same rule programmatically).
+//
+// -cpuprofile and -memprofile write pprof profiles; the CPU profile is
+// labeled with phase=build|assess|reduce on the optimizer's inner loop,
+// so `go tool pprof -tagfocus phase=assess` isolates model evaluation
+// from candidate construction.
 package main
 
 import (
@@ -17,6 +34,10 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"stordep/internal/casestudy"
@@ -28,55 +49,130 @@ import (
 	"stordep/internal/whatif"
 )
 
+// options carries the parsed command line.
+type options struct {
+	objective  string
+	links      bool
+	rto, rpo   string
+	workers    int
+	exhaustive bool
+	shard      string
+	budget     int
+	cpuProfile string
+	memProfile string
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("optimize: ")
 
-	var (
-		objective = flag.String("objective", "worst", "worst | expected")
-		links     = flag.Bool("links", false, "tune the asyncB mirror link count instead of the tape design")
-		rto       = flag.String("rto", "", "constrain to designs meeting this recovery time objective")
-		rpo       = flag.String("rpo", "", "constrain to designs meeting this recovery point objective")
-		workers   = flag.Int("workers", 0, "concurrent candidate evaluations (0 = all CPUs); any worker count returns the same solution")
-	)
+	var o options
+	flag.StringVar(&o.objective, "objective", "worst", "worst | expected")
+	flag.BoolVar(&o.links, "links", false, "tune the asyncB mirror link count instead of the tape design")
+	flag.StringVar(&o.rto, "rto", "", "constrain to designs meeting this recovery time objective")
+	flag.StringVar(&o.rpo, "rpo", "", "constrain to designs meeting this recovery point objective")
+	flag.IntVar(&o.workers, "workers", 0, "concurrent candidate evaluations (0 = all CPUs); any worker count returns the same solution")
+	flag.BoolVar(&o.exhaustive, "exhaustive", false, "enumerate every knob combination (streaming; no space cap) instead of coordinate descent")
+	flag.StringVar(&o.shard, "shard", "", "evaluate one slice k/m (0-based) of the exhaustive space; implies -exhaustive")
+	flag.IntVar(&o.budget, "budget", 0, "refuse exhaustive spaces larger than this many combinations (0 = unbounded)")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile (with phase=build|assess|reduce labels) to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := run(os.Stdout, *objective, *links, *rto, *rpo, *workers); err != nil {
+	if err := run(os.Stdout, o); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(w io.Writer, objectiveName string, links bool, rto, rpo string, workers int) error {
-	if workers < 0 {
-		return fmt.Errorf("-workers must be non-negative, got %d", workers)
+// parseShard parses "k/m" into an opt.Shard; "" means unsharded.
+func parseShard(s string) (opt.Shard, error) {
+	if s == "" {
+		return opt.Shard{}, nil
 	}
+	ks, ms, ok := strings.Cut(s, "/")
+	if !ok {
+		return opt.Shard{}, fmt.Errorf("bad -shard %q: want k/m (0-based index / shard count)", s)
+	}
+	k, errK := strconv.Atoi(ks)
+	m, errM := strconv.Atoi(ms)
+	if errK != nil || errM != nil {
+		return opt.Shard{}, fmt.Errorf("bad -shard %q: want k/m (0-based index / shard count)", s)
+	}
+	return opt.Shard{Index: k, Count: m}, nil
+}
+
+func run(w io.Writer, o options) error {
+	if o.workers < 0 {
+		return fmt.Errorf("-workers must be non-negative, got %d", o.workers)
+	}
+	shard, err := parseShard(o.shard)
+	if err != nil {
+		return err
+	}
+
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		opt.PhaseProfiling(true)
+		defer func() {
+			pprof.StopCPUProfile()
+			opt.PhaseProfiling(false)
+			f.Close()
+		}()
+	}
+
 	scenarios := []failure.Scenario{
 		{Scope: failure.ScopeArray},
 		{Scope: failure.ScopeSite},
 	}
 
-	objective, objLabel, err := buildObjective(objectiveName, rto, rpo)
+	objective, objLabel, err := buildObjective(o.objective, o.rto, o.rpo)
 	if err != nil {
 		return err
 	}
 
 	base := casestudy.Baseline()
 	knobs := tapeKnobs()
-	if links {
+	if o.links {
 		base = casestudy.AsyncBMirror(1)
 		knobs = []opt.Knob{opt.LinkCountKnob("wan-links", []int{1, 2, 3, 4, 6, 8, 12, 16})}
 	}
 
-	fmt.Fprintf(w, "Tuning %q over %d knobs, objective: %s\n\n", base.Name, len(knobs), objLabel)
-	sol, err := opt.TuneWorkers(base, knobs, scenarios, objective, workers)
+	var sol *opt.Solution
+	if o.exhaustive || o.shard != "" {
+		fmt.Fprintf(w, "Exhaustively searching %q over %d knobs, objective: %s\n", base.Name, len(knobs), objLabel)
+		if o.shard != "" {
+			fmt.Fprintf(w, "Shard %s: merge shard winners by lowest score, ties to lowest candidate index (opt.MergeShards)\n", o.shard)
+		}
+		fmt.Fprintln(w)
+		sol, err = opt.ExhaustiveOpts(base, knobs, scenarios, objective, opt.ExhaustiveOptions{
+			Workers: o.workers,
+			Budget:  o.budget,
+			Shard:   shard,
+		})
+	} else {
+		fmt.Fprintf(w, "Tuning %q over %d knobs, objective: %s\n\n", base.Name, len(knobs), objLabel)
+		sol, err = opt.TuneWorkers(base, knobs, scenarios, objective, o.workers)
+	}
 	if err != nil {
 		return err
 	}
 	for _, c := range sol.Choices {
 		fmt.Fprintf(w, "  %-28s -> %s\n", c.Knob, c.Option)
 	}
-	fmt.Fprintf(w, "\nScore: %v (%d evaluations, %d passes)\n",
-		sol.Score, sol.Evaluations, sol.Passes)
+	if sol.CandidateIndex >= 0 {
+		fmt.Fprintf(w, "\nScore: %v (candidate #%d; %d evaluations, %d passes)\n",
+			sol.Score, sol.CandidateIndex, sol.Evaluations, sol.Passes)
+	} else {
+		fmt.Fprintf(w, "\nScore: %v (%d evaluations, %d passes)\n",
+			sol.Score, sol.Evaluations, sol.Passes)
+	}
 
 	results, err := whatif.Evaluate([]*core.Design{sol.Design}, scenarios)
 	if err != nil {
@@ -86,6 +182,18 @@ func run(w io.Writer, objectiveName string, links bool, rto, rpo string, workers
 		fmt.Fprintf(w, "  %-6s RT %-10v DL %-10v total %v\n",
 			o.Scenario.DisplayName(), o.RecoveryTime.Round(time.Minute),
 			o.DataLoss.Round(time.Minute), o.Total)
+	}
+
+	if o.memProfile != "" {
+		f, err := os.Create(o.memProfile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
 	}
 	return nil
 }

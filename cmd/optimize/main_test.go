@@ -1,13 +1,15 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func TestRunWorstObjective(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, "worst", false, "", "", 0); err != nil {
+	if err := run(&buf, options{objective: "worst"}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -26,7 +28,7 @@ func TestRunWorstObjective(t *testing.T) {
 
 func TestRunExpectedObjective(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, "expected", false, "", "", 0); err != nil {
+	if err := run(&buf, options{objective: "expected"}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "expected annual cost") {
@@ -36,7 +38,7 @@ func TestRunExpectedObjective(t *testing.T) {
 
 func TestRunLinkTuning(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, "worst", true, "", "", 0); err != nil {
+	if err := run(&buf, options{objective: "worst", links: true}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "wan-links count") {
@@ -46,7 +48,7 @@ func TestRunLinkTuning(t *testing.T) {
 
 func TestRunConstrained(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, "worst", true, "12h", "1h", 0); err != nil {
+	if err := run(&buf, options{objective: "worst", links: true, rto: "12h", rpo: "1h"}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "8 links") {
@@ -54,37 +56,130 @@ func TestRunConstrained(t *testing.T) {
 	}
 }
 
+// TestRunExhaustive: streaming enumeration lands on the same Table 7
+// optimum as coordinate descent and reports the winner's global
+// candidate index.
+func TestRunExhaustive(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, options{objective: "worst", exhaustive: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Exhaustively searching",
+		"vaulting policy              -> weekly",
+		"backup policy                -> daily full",
+		"virtual-snapshot",
+		"$12.89M",
+		"candidate #",
+		"12 evaluations",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunSharded: -shard implies exhaustive search, restricts the space,
+// and prints the merge rule for combining shard winners.
+func TestRunSharded(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, options{objective: "worst", shard: "0/2"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Shard 0/2", "lowest candidate index", "6 evaluations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Both halves exist; the global optimum lives in exactly one of them
+	// and carries a global (not shard-local) candidate index.
+	var other strings.Builder
+	if err := run(&other, options{objective: "worst", shard: "1/2"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(other.String(), "6 evaluations") {
+		t.Errorf("second shard output:\n%s", other.String())
+	}
+}
+
+// TestRunBudget: -budget refuses spaces larger than the cap.
+func TestRunBudget(t *testing.T) {
+	var buf strings.Builder
+	err := run(&buf, options{objective: "worst", exhaustive: true, budget: 4})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("budget 4 on a 12-candidate space: err = %v", err)
+	}
+	if err := run(&buf, options{objective: "worst", exhaustive: true, budget: 12}); err != nil {
+		t.Errorf("budget 12 on a 12-candidate space: %v", err)
+	}
+}
+
+// TestRunProfiles: -cpuprofile and -memprofile produce non-empty pprof
+// files.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var buf strings.Builder
+	if err := run(&buf, options{objective: "worst", exhaustive: true, cpuProfile: cpu, memProfile: mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, "alien", false, "", "", 0); err == nil {
+	if err := run(&buf, options{objective: "alien"}); err == nil {
 		t.Error("unknown objective accepted")
 	}
-	if err := run(&buf, "worst", false, "zzz", "", 0); err == nil {
+	if err := run(&buf, options{objective: "worst", rto: "zzz"}); err == nil {
 		t.Error("bad rto accepted")
 	}
-	if err := run(&buf, "worst", false, "", "zzz", 0); err == nil {
+	if err := run(&buf, options{objective: "worst", rpo: "zzz"}); err == nil {
 		t.Error("bad rpo accepted")
 	}
 	// Infeasible constraints surface opt.ErrNoFeasible.
-	if err := run(&buf, "worst", true, "1m", "1m", 0); err == nil {
+	if err := run(&buf, options{objective: "worst", links: true, rto: "1m", rpo: "1m"}); err == nil {
 		t.Error("infeasible constraints accepted")
 	}
-	if err := run(&buf, "worst", false, "", "", -1); err == nil || !strings.Contains(err.Error(), "-workers") {
+	if err := run(&buf, options{objective: "worst", workers: -1}); err == nil || !strings.Contains(err.Error(), "-workers") {
 		t.Errorf("negative workers: err = %v", err)
+	}
+	for _, bad := range []string{"1", "a/b", "1/", "/2", "2/1x"} {
+		if err := run(&buf, options{objective: "worst", shard: bad}); err == nil || !strings.Contains(err.Error(), "-shard") {
+			t.Errorf("shard %q: err = %v", bad, err)
+		}
+	}
+	// Out-of-range shards are rejected by the optimizer.
+	if err := run(&buf, options{objective: "worst", shard: "2/2"}); err == nil {
+		t.Error("out-of-range shard accepted")
 	}
 }
 
 // TestRunWorkerCountsAgree: the CLI prints the identical report for any
-// worker count.
+// worker count, for both search strategies.
 func TestRunWorkerCountsAgree(t *testing.T) {
-	var serial, par strings.Builder
-	if err := run(&serial, "worst", false, "", "", 1); err != nil {
-		t.Fatal(err)
-	}
-	if err := run(&par, "worst", false, "", "", 8); err != nil {
-		t.Fatal(err)
-	}
-	if serial.String() != par.String() {
-		t.Errorf("worker counts disagree:\n%s\n---\n%s", serial.String(), par.String())
+	for _, exhaustive := range []bool{false, true} {
+		var serial, par strings.Builder
+		if err := run(&serial, options{objective: "worst", exhaustive: exhaustive, workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(&par, options{objective: "worst", exhaustive: exhaustive, workers: 8}); err != nil {
+			t.Fatal(err)
+		}
+		if serial.String() != par.String() {
+			t.Errorf("exhaustive=%v: worker counts disagree:\n%s\n---\n%s",
+				exhaustive, serial.String(), par.String())
+		}
 	}
 }

@@ -167,6 +167,32 @@ func exhaustiveCase(name string, workers int) Case {
 	}}
 }
 
+// largeKnobs extends the Table 7 space with a 512-option vault retention
+// sweep: 2 x 3 x 2 x 512 = 6144 combinations — beyond the seed
+// implementation's 4096-combination cap, only enumerable because the
+// streaming search never materializes the space.
+func largeKnobs() []opt.Knob {
+	retOpts := make([]int, 512)
+	for i := range retOpts {
+		retOpts[i] = i + 1
+	}
+	return append(searchKnobs(), opt.RetCntKnob("vaulting", retOpts))
+}
+
+func exhaustiveLargeCase(name string, workers int) Case {
+	return Case{Name: name, Bench: func(b *testing.B) {
+		base := casestudy.Baseline()
+		knobs := largeKnobs()
+		scs := scenarios()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := opt.ExhaustiveOpts(base, knobs, scs, nil, opt.ExhaustiveOptions{Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}}
+}
+
 func tuneCase(name string, workers int) Case {
 	return Case{Name: name, Bench: func(b *testing.B) {
 		base := casestudy.Baseline()
@@ -224,6 +250,8 @@ func Suite() []Case {
 		}},
 		exhaustiveCase("exhaustive/serial", 1),
 		exhaustiveCase("exhaustive/parallel4", 4),
+		exhaustiveLargeCase("exhaustive/large-serial", 1),
+		exhaustiveLargeCase("exhaustive/large-parallel4", 4),
 		tuneCase("tune/serial", 1),
 		tuneCase("tune/parallel4", 4),
 		whatIfCase("whatif/serial", 1),
@@ -309,6 +337,9 @@ func NewSnapshot(date string, results []Result) *Snapshot {
 	}
 	if a, b := ns("clone/json"), ns("clone/structural"); a > 0 && b > 0 {
 		s.Speedups["clone_structural_vs_json"] = a / b
+	}
+	if a, b := ns("exhaustive/large-serial"), ns("exhaustive/large-parallel4"); a > 0 && b > 0 {
+		s.Speedups["exhaustive_large_parallel4_vs_serial"] = a / b
 	}
 	if len(s.Speedups) == 0 {
 		s.Speedups = nil

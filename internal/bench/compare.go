@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ReadSnapshot loads a snapshot previously written by Snapshot.Write
+// (a BENCH_<date>.json file).
+func ReadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Comparison is one case's delta between two snapshots. Deltas are
+// fractional: +0.25 means the new snapshot is 25% worse (slower / more
+// allocations), -0.5 means twice as good.
+type Comparison struct {
+	Name      string
+	OldNs     float64
+	NewNs     float64
+	NsDelta   float64
+	OldAllocs int64
+	NewAllocs int64
+	// AllocsDelta is 0 when both sides allocate nothing.
+	AllocsDelta float64
+	// OnlyIn marks cases present in just one snapshot ("old" or "new");
+	// such rows carry no deltas and never count as regressions.
+	OnlyIn string
+	// Regressed is set when either delta exceeds the compare threshold.
+	Regressed bool
+}
+
+// Compare matches the two snapshots' results by case name and computes
+// per-case deltas. A case regresses when its ns/op or allocs/op grew by
+// more than threshold (fractional: 0.15 = 15%). Rows keep the old
+// snapshot's order, with new-only cases appended in the new snapshot's
+// order — renamed or added cases are reported rather than silently
+// dropped.
+func Compare(old, cur *Snapshot, threshold float64) []Comparison {
+	newByName := make(map[string]Result, len(cur.Results))
+	for _, r := range cur.Results {
+		newByName[r.Name] = r
+	}
+	var out []Comparison
+	seen := make(map[string]bool, len(old.Results))
+	for _, o := range old.Results {
+		seen[o.Name] = true
+		n, ok := newByName[o.Name]
+		if !ok {
+			out = append(out, Comparison{Name: o.Name, OldNs: o.NsPerOp, OldAllocs: o.AllocsPerOp, OnlyIn: "old"})
+			continue
+		}
+		c := Comparison{
+			Name:      o.Name,
+			OldNs:     o.NsPerOp,
+			NewNs:     n.NsPerOp,
+			OldAllocs: o.AllocsPerOp,
+			NewAllocs: n.AllocsPerOp,
+		}
+		if o.NsPerOp > 0 {
+			c.NsDelta = (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		}
+		if o.AllocsPerOp > 0 {
+			c.AllocsDelta = float64(n.AllocsPerOp-o.AllocsPerOp) / float64(o.AllocsPerOp)
+		} else if n.AllocsPerOp > 0 {
+			c.AllocsDelta = 1
+		}
+		c.Regressed = c.NsDelta > threshold || c.AllocsDelta > threshold
+		out = append(out, c)
+	}
+	for _, n := range cur.Results {
+		if !seen[n.Name] {
+			out = append(out, Comparison{Name: n.Name, NewNs: n.NsPerOp, NewAllocs: n.AllocsPerOp, OnlyIn: "new"})
+		}
+	}
+	return out
+}
+
+// Format renders one comparison as a fixed-width report line.
+func (c Comparison) Format() string {
+	if c.OnlyIn != "" {
+		return fmt.Sprintf("%-26s only in %s snapshot", c.Name, c.OnlyIn)
+	}
+	mark := ""
+	if c.Regressed {
+		mark = "  REGRESSED"
+	}
+	return fmt.Sprintf("%-26s %12.0f -> %12.0f ns/op (%+6.1f%%)  %8d -> %8d allocs/op (%+6.1f%%)%s",
+		c.Name, c.OldNs, c.NewNs, 100*c.NsDelta, c.OldAllocs, c.NewAllocs, 100*c.AllocsDelta, mark)
+}

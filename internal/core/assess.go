@@ -66,8 +66,12 @@ var errNoReplacement = errors.New("core: device lost with no surviving replaceme
 // bandwidth (recovery transfers are "limited to the remaining bandwidth
 // after any RP propagation workload demands have been satisfied",
 // §3.3.4); replacements are fresh and offer full device bandwidth after
-// their provisioning delay.
-func (s *System) resolveDevice(name string, sc failure.Scenario) (deviceState, error) {
+// their provisioning delay. named controls the report-only replacement
+// suffixes ("x (spare)", "x (facility)"); without them the raw device
+// name is kept, which is all the timing model compares (device names are
+// unique, and the intra-array special case below only applies to an
+// intact — undecorated — destination).
+func (s *System) resolveDevice(name string, sc failure.Scenario, named bool) (deviceState, error) {
 	pd, ok := s.design.placedDevice(name)
 	if !ok {
 		return deviceState{}, fmt.Errorf("%w: %q", ErrUnknownLevel, name)
@@ -82,10 +86,14 @@ func (s *System) resolveDevice(name string, sc failure.Scenario) (deviceState, e
 			delay:     pd.Spec.Delay,
 		}, nil
 	}
-	if pd.Spec.HasSpare() && pd.effectiveSparePlacement().Survives(sc.Scope, at) {
+	if sp, ok := s.spareAt[name]; ok && sp.Survives(sc.Scope, at) {
+		spare := name
+		if named {
+			spare = name + " (spare)"
+		}
 		return deviceState{
-			name:      name + " (spare)",
-			placement: pd.effectiveSparePlacement(),
+			name:      spare,
+			placement: sp,
 			provision: pd.Spec.Spare.ProvisionTime,
 			avail:     pd.Spec.MaxBandwidth(),
 			delay:     pd.Spec.Delay,
@@ -93,8 +101,12 @@ func (s *System) resolveDevice(name string, sc failure.Scenario) (deviceState, e
 		}, nil
 	}
 	if f := s.design.Facility; f != nil && f.Placement.Survives(sc.Scope, at) {
+		facility := name
+		if named {
+			facility = name + " (facility)"
+		}
 		return deviceState{
-			name:      name + " (facility)",
+			name:      facility,
 			placement: f.Placement,
 			provision: f.ProvisionTime,
 			avail:     pd.Spec.MaxBandwidth(),
@@ -150,38 +162,122 @@ func (s *System) assessWithChain(sc failure.Scenario, chain hierarchy.Chain) (*A
 		Utilization: s.Utilization(),
 		Warnings:    s.Warnings(),
 	}
-	surviving := s.SurvivingLevels(sc)
-	cand, err := recovery.SelectSource(chain, surviving, sc.TargetAge)
+	plan, lost, err := s.resolvePlan(sc, chain, true, nil)
 	if err != nil {
-		if errors.Is(err, recovery.ErrUnrecoverable) {
-			s.finishLost(a)
-			return a, nil
-		}
 		return nil, err
 	}
-	tech := s.design.Levels[cand.Level-1]
-	steps, err := s.recoverySteps(tech, sc)
-	if err != nil {
-		if errors.Is(err, errNoReplacement) {
-			// The data exists but nothing can read or receive it.
-			s.finishLost(a)
-			return a, nil
-		}
-		return nil, err
+	if lost {
+		s.finishLost(a)
+		return a, nil
 	}
-	a.Plan = recovery.Plan{
-		SourceLevel: cand.Level,
-		SourceName:  tech.Name(),
-		Loss:        cand.Loss,
-		Steps:       steps,
-	}
-	a.RecoveryTime = a.Plan.Time()
-	a.DataLoss = cand.Loss
+	a.Plan = plan
+	a.RecoveryTime = plan.Time()
+	a.DataLoss = plan.Loss
 	a.Cost = cost.Summary{
 		Outlays:   s.outlays,
 		Penalties: cost.Assess(s.design.Requirements, a.RecoveryTime, a.DataLoss),
 	}
 	return a, nil
+}
+
+// resolvePlan is the scenario-evaluation core shared by Assess and
+// AssessBrief: pick the recovery source and lay out the timed steps.
+// lost reports the §3.3.3 whole-object-lost case. named controls the
+// report-only step labels; scratch (optional) supplies reusable buffers.
+func (s *System) resolvePlan(sc failure.Scenario, chain hierarchy.Chain, named bool, scratch *Scratch) (plan recovery.Plan, lost bool, err error) {
+	var surviving []int
+	if scratch != nil {
+		surviving = s.appendSurvivingLevels(scratch.surviving[:0], sc)
+		scratch.surviving = surviving
+	} else {
+		surviving = s.SurvivingLevels(sc)
+	}
+	cand, err := recovery.SelectSource(chain, surviving, sc.TargetAge)
+	if err != nil {
+		if errors.Is(err, recovery.ErrUnrecoverable) {
+			return recovery.Plan{}, true, nil
+		}
+		return recovery.Plan{}, false, err
+	}
+	tech := s.design.Levels[cand.Level-1]
+	var buf []recovery.Step
+	if scratch != nil {
+		buf = scratch.steps[:0]
+	}
+	steps, err := s.recoverySteps(buf, tech, sc, named)
+	if scratch != nil && steps != nil {
+		scratch.steps = steps[:0]
+	}
+	if err != nil {
+		if errors.Is(err, errNoReplacement) {
+			// The data exists but nothing can read or receive it.
+			return recovery.Plan{}, true, nil
+		}
+		return recovery.Plan{}, false, err
+	}
+	return recovery.Plan{
+		SourceLevel: cand.Level,
+		SourceName:  tech.Name(),
+		Loss:        cand.Loss,
+		Steps:       steps,
+	}, false, nil
+}
+
+// Brief is the scoring-grade subset of an Assessment: the scenario-
+// dependent output metrics without the report-only fields (utilization
+// breakdown, warnings, named recovery steps). It is what design-space
+// search loops need per candidate, computable without a single
+// allocation when a Scratch is supplied.
+type Brief struct {
+	// RecoveryTime is the worst-case time until the application runs
+	// again (units.Forever when unrecoverable).
+	RecoveryTime time.Duration
+	// DataLoss is the worst-case recent data loss (units.Forever when
+	// the whole object is lost).
+	DataLoss time.Duration
+	// WholeObjectLost reports the §3.3.3 third case.
+	WholeObjectLost bool
+	// Penalties is the total scenario penalty (outage plus loss).
+	Penalties units.Money
+	// Total is the overall cost: annual outlays plus Penalties.
+	Total units.Money
+}
+
+// Scratch holds the reusable per-call buffers of AssessBrief, so
+// streaming evaluation loops assess scenario after scenario without
+// allocating. The zero value is ready to use. A Scratch must not be
+// shared between concurrent calls.
+type Scratch struct {
+	surviving []int
+	steps     []recovery.Step
+}
+
+// AssessBrief evaluates the design under a failure scenario through the
+// same models as Assess, returning only the §3.3 output metrics — it
+// skips the utilization breakdown, the soft-convention warnings and the
+// recovery-plan step labels, which exist for reports, not scoring. The
+// numbers are identical to the corresponding Assess fields. scratch may
+// be nil; passing one reuses its buffers across calls.
+func (s *System) AssessBrief(sc failure.Scenario, scratch *Scratch) (Brief, error) {
+	if err := sc.Validate(); err != nil {
+		return Brief{}, err
+	}
+	plan, lost, err := s.resolvePlan(sc, s.chain, false, scratch)
+	if err != nil {
+		return Brief{}, err
+	}
+	var b Brief
+	if lost {
+		b.WholeObjectLost = true
+		b.RecoveryTime = units.Forever
+		b.DataLoss = units.Forever
+	} else {
+		b.RecoveryTime = plan.Time()
+		b.DataLoss = plan.Loss
+	}
+	b.Penalties = cost.Assess(s.design.Requirements, b.RecoveryTime, b.DataLoss).Total()
+	b.Total = s.outlaysTotal + b.Penalties
+	return b, nil
 }
 
 // finishLost fills an assessment for the whole-object-lost case: both
@@ -201,9 +297,11 @@ func (s *System) finishLost(a *Assessment) {
 // latency (§3.2: the recovery-path optimization). The path has at most two
 // hops: a media-return hop when retained media must travel back to a
 // reader (vault -> tape library), then the data transfer into the
-// (possibly replaced) primary array.
-func (s *System) recoverySteps(tech protect.Technique, sc failure.Scenario) ([]recovery.Step, error) {
-	dest, err := s.resolveDevice(s.design.Primary.Array, sc)
+// (possibly replaced) primary array. Steps are appended to buf (which may
+// be nil); named controls the report-only hop labels — scoring paths skip
+// them, as formatting the labels costs more than the timing model itself.
+func (s *System) recoverySteps(buf []recovery.Step, tech protect.Technique, sc failure.Scenario, named bool) ([]recovery.Step, error) {
+	dest, err := s.resolveDevice(s.design.Primary.Array, sc, named)
 	if err != nil {
 		return nil, err
 	}
@@ -215,12 +313,12 @@ func (s *System) recoverySteps(tech protect.Technique, sc failure.Scenario) ([]r
 			readName = sites[0]
 		}
 	}
-	read, err := s.resolveDevice(readName, sc)
+	read, err := s.resolveDevice(readName, sc, named)
 	if err != nil {
 		return nil, err
 	}
 
-	var steps []recovery.Step
+	steps := buf
 
 	// Media-return hop: retained media live on a different device than the
 	// one that reads them (vaulted tapes -> library). The transport's
@@ -232,10 +330,11 @@ func (s *System) recoverySteps(tech protect.Technique, sc failure.Scenario) ([]r
 		if hasTransport {
 			transit = transport.Delay
 		}
-		steps = append(steps, recovery.Step{
-			Name:   fmt.Sprintf("%s -> %s", tech.CopyDevice(), read.name),
-			SerFix: transit,
-		})
+		hop := recovery.Step{SerFix: transit}
+		if named {
+			hop.Name = fmt.Sprintf("%s -> %s", tech.CopyDevice(), read.name)
+		}
+		steps = append(steps, hop)
 	}
 
 	size := sc.RecoverSize
@@ -244,10 +343,12 @@ func (s *System) recoverySteps(tech protect.Technique, sc failure.Scenario) ([]r
 	}
 
 	xfer := recovery.Step{
-		Name:   fmt.Sprintf("%s -> %s", read.name, dest.name),
 		ParFix: maxDuration(read.provision, dest.provision),
 		SerFix: read.delay,
 		Size:   size,
+	}
+	if named {
+		xfer.Name = fmt.Sprintf("%s -> %s", read.name, dest.name)
 	}
 	switch {
 	case read.name == dest.name && !dest.replaced:

@@ -19,6 +19,12 @@ type System struct {
 	devices protect.DeviceMap
 	chain   hierarchy.Chain
 	outlays cost.Outlays
+	// outlaysTotal caches outlays.Total() for the scoring hot path.
+	outlaysTotal units.Money
+	// spareAt caches each spared device's effective spare placement
+	// (scenario-independent) so per-scenario resolution never rebuilds
+	// the derived placement.
+	spareAt map[string]failure.Placement
 }
 
 // Build validates the design, instantiates its devices, applies every
@@ -57,6 +63,15 @@ func Build(d *Design) (*System, error) {
 		devices: devs,
 		chain:   d.Chain(),
 		outlays: collectOutlays(d, ordered),
+	}
+	sys.outlaysTotal = sys.outlays.Total()
+	for _, pd := range d.Devices {
+		if pd.Spec.HasSpare() {
+			if sys.spareAt == nil {
+				sys.spareAt = make(map[string]failure.Placement)
+			}
+			sys.spareAt[pd.Spec.Name] = pd.effectiveSparePlacement()
+		}
 	}
 	return sys, nil
 }
@@ -164,8 +179,13 @@ func (s *System) Utilization() Utilization {
 // techniques (protect.MultiSited, e.g. erasure coding) survive when at
 // least their threshold of copy devices does.
 func (s *System) SurvivingLevels(sc failure.Scenario) []int {
+	return s.appendSurvivingLevels(nil, sc)
+}
+
+// appendSurvivingLevels is SurvivingLevels appending into a caller
+// buffer, for scoring loops that reuse one across scenarios.
+func (s *System) appendSurvivingLevels(out []int, sc failure.Scenario) []int {
 	at := s.design.PrimaryPlacement()
-	var out []int
 	for i, tech := range s.design.Levels {
 		if ms, ok := tech.(protect.MultiSited); ok {
 			if len(s.survivingCopySites(ms, sc)) >= ms.SurvivalThreshold() {

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -8,92 +9,296 @@ import (
 	"stordep/internal/failure"
 	"stordep/internal/parallel"
 	"stordep/internal/units"
+	"stordep/internal/whatif"
 )
 
-// maxExhaustive bounds full enumeration; beyond this use Tune.
-const maxExhaustive = 4096
+// ErrSpaceTooLarge is returned when the knob product exceeds the caller's
+// evaluation budget (ExhaustiveOptions.Budget), or overflows int. With no
+// budget set the search is unbounded: enumeration is streaming, so memory
+// stays O(workers) regardless of the space size and only time limits how
+// far it can go.
+var ErrSpaceTooLarge = errors.New("opt: knob space exceeds the evaluation budget")
 
-// ErrSpaceTooLarge is returned when the knob product exceeds the
-// exhaustive-search budget.
-var ErrSpaceTooLarge = fmt.Errorf("opt: knob space exceeds %d combinations; use Tune", maxExhaustive)
+// ErrBadShard is returned for an out-of-range shard specification.
+var ErrBadShard = errors.New("opt: invalid shard")
 
-// Exhaustive evaluates every knob combination on all CPUs and returns
-// the global optimum; see ExhaustiveWorkers.
-func Exhaustive(base *core.Design, knobs []Knob, scenarios []failure.Scenario, objective Objective) (*Solution, error) {
-	return ExhaustiveWorkers(base, knobs, scenarios, objective, 0)
+// Shard selects one contiguous slice of the candidate space so an
+// exhaustive search can be split across processes or hosts: shard k of m
+// covers roughly space/m candidates, and every candidate belongs to
+// exactly one shard. The zero value means "the whole space".
+//
+// Each shard's Solution records the winner's global CandidateIndex, so
+// results from independently run shards combine with MergeShards into
+// exactly the Solution an unsharded search returns: lowest score wins,
+// ties break to the lowest global candidate index.
+type Shard struct {
+	// Index is the 0-based shard number, in [0, Count).
+	Index int
+	// Count is the total number of shards; 0 (or 1 with Index 0)
+	// disables sharding.
+	Count int
 }
 
-// ExhaustiveWorkers evaluates every knob combination and returns the
-// global optimum. Coordinate descent (Tune) can stall on interacting
-// knobs; exhaustive search cannot, at the price of evaluating the full
-// product space (bounded at 4096 combinations).
-//
-// Candidates are enumerated in lexicographic choice order and scored
-// concurrently on at most workers goroutines (anything < 1 means
-// runtime.NumCPU()); each is built via the shared scoreCandidate path —
-// one structural clone and one direct evaluation, with none of the
-// per-candidate slice wrapping the first implementation paid. The
-// optimum is the first strict minimum in enumeration order, so parallel
-// and serial searches return byte-identical Solutions (ties break to
-// the lowest choice index).
-func ExhaustiveWorkers(base *core.Design, knobs []Knob, scenarios []failure.Scenario, objective Objective, workers int) (*Solution, error) {
+func (s Shard) validate() error {
+	if s.Count == 0 && s.Index == 0 {
+		return nil
+	}
+	if s.Count < 1 || s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("%w: shard %d/%d", ErrBadShard, s.Index, s.Count)
+	}
+	return nil
+}
+
+// bounds returns the half-open global-index range [lo, hi) this shard
+// covers. Shards are contiguous and balanced: the first space%Count
+// shards get one extra candidate. Computed additively so no intermediate
+// product can overflow even when space is near MaxInt.
+func (s Shard) bounds(space int) (lo, hi int) {
+	if s.Count <= 1 {
+		return 0, space
+	}
+	q, r := space/s.Count, space%s.Count
+	extra := s.Index
+	if extra > r {
+		extra = r
+	}
+	lo = s.Index*q + extra
+	hi = lo + q
+	if s.Index < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// ExhaustiveOptions configures ExhaustiveOpts. The zero value searches
+// the whole space on all CPUs with no budget.
+type ExhaustiveOptions struct {
+	// Workers caps the evaluation goroutines; anything < 1 means
+	// runtime.NumCPU().
+	Workers int
+	// Budget, when > 0, bounds the total space size (not the shard's
+	// slice): a larger knob product returns ErrSpaceTooLarge. 0 means
+	// unbounded.
+	Budget int
+	// Shard restricts the search to one slice of the space; the zero
+	// value searches everything.
+	Shard Shard
+}
+
+// spaceSize returns the knob-option product, refusing (rather than
+// silently wrapping) products that overflow int.
+func spaceSize(knobs []Knob) (int, error) {
 	space := 1
 	for _, k := range knobs {
-		if k.Name == "" || len(k.Options) == 0 || k.Apply == nil {
-			break // validate reports the precise error
+		n := len(k.Options)
+		if space > math.MaxInt/n {
+			return 0, fmt.Errorf("%w: knob-option product overflows int", ErrSpaceTooLarge)
 		}
-		space *= len(k.Options)
-		if space > maxExhaustive {
-			return nil, ErrSpaceTooLarge
+		space *= n
+	}
+	return space, nil
+}
+
+// decodeChoice writes candidate idx's option vector into choice using
+// mixed-radix decoding with the last knob least significant — the same
+// lexicographic order the materialized enumeration used, so global
+// candidate indices (and therefore tie-breaking) are stable across the
+// slice-based, streaming and sharded implementations.
+func decodeChoice(choice []int, knobs []Knob, idx int) {
+	for d := len(knobs) - 1; d >= 0; d-- {
+		n := len(knobs[d].Options)
+		choice[d] = idx % n
+		idx /= n
+	}
+}
+
+func allRevertible(knobs []Knob) bool {
+	for _, k := range knobs {
+		if !k.Revertible {
+			return false
 		}
 	}
+	return true
+}
+
+// exhAcc is one worker's streaming-argmin state: the best (score, global
+// index) seen so far plus the reusable per-worker machinery — the choice
+// decode buffer, the optional scratch design, and the allocation-lean
+// evaluator with its Result buffer.
+type exhAcc struct {
+	bestScore units.Money
+	bestIdx   int // global candidate index; -1 = none yet
+	evals     int
+	choice    []int
+	scratch   *core.Design // reused across candidates when all knobs are revertible
+	eval      whatif.Evaluator
+	res       whatif.Result
+}
+
+// Exhaustive evaluates every knob combination on all CPUs and returns
+// the global optimum; see ExhaustiveOpts.
+func Exhaustive(base *core.Design, knobs []Knob, scenarios []failure.Scenario, objective Objective) (*Solution, error) {
+	return ExhaustiveOpts(base, knobs, scenarios, objective, ExhaustiveOptions{})
+}
+
+// ExhaustiveWorkers is Exhaustive on a bounded worker pool; see
+// ExhaustiveOpts.
+func ExhaustiveWorkers(base *core.Design, knobs []Knob, scenarios []failure.Scenario, objective Objective, workers int) (*Solution, error) {
+	return ExhaustiveOpts(base, knobs, scenarios, objective, ExhaustiveOptions{Workers: workers})
+}
+
+// ExhaustiveOpts evaluates every knob combination (or one Shard of them)
+// and returns the optimum. Coordinate descent (Tune) can stall on
+// interacting knobs; exhaustive search cannot, at the price of evaluating
+// the full product space.
+//
+// Enumeration is streaming: candidate choice vectors are decoded from
+// their global index on the fly (mixed-radix, last knob least
+// significant) and folded into per-worker argmin accumulators, so memory
+// stays O(workers) however large the space is — there is no materialized
+// combination list and no score slice. When every knob declares itself
+// Revertible, each worker also reuses a single cloned design across all
+// its candidates instead of cloning per candidate.
+//
+// The result is byte-identical for every worker count, and across
+// slice-based, streaming and sharded searches: the optimum is the lowest
+// score with ties broken to the lowest global candidate index, a rule
+// that is insensitive to how the index space was partitioned. Candidates
+// scoring +Inf (unbuildable or infeasible) are never selected; if nothing
+// scores below +Inf the search returns ErrNoFeasible.
+func ExhaustiveOpts(base *core.Design, knobs []Knob, scenarios []failure.Scenario, objective Objective, opts ExhaustiveOptions) (*Solution, error) {
 	objective, err := validate(knobs, scenarios, objective)
 	if err != nil {
 		return nil, err
 	}
-
-	// Enumerate the knob product in lexicographic order — the order the
-	// serial recursive sweep visited, which the argmin below relies on
-	// for deterministic tie-breaking.
-	combos := make([][]int, space)
-	choice := make([]int, len(knobs))
-	for i := range combos {
-		combos[i] = append([]int(nil), choice...)
-		for d := len(knobs) - 1; d >= 0; d-- {
-			choice[d]++
-			if choice[d] < len(knobs[d].Options) {
-				break
-			}
-			choice[d] = 0
-		}
+	if err := opts.Shard.validate(); err != nil {
+		return nil, err
 	}
-
-	scores, err := parallel.Map(workers, space, func(i int) (units.Money, error) {
-		return scoreCandidate(base, knobs, scenarios, objective, combos[i])
-	})
+	space, err := spaceSize(knobs)
 	if err != nil {
 		return nil, err
 	}
+	if opts.Budget > 0 && space > opts.Budget {
+		return nil, fmt.Errorf("%w: %d combinations > budget %d; raise the budget, shard the space, or use Tune",
+			ErrSpaceTooLarge, space, opts.Budget)
+	}
+	lo, hi := opts.Shard.bounds(space)
+	reuse := allRevertible(knobs)
 
-	sol := &Solution{Passes: 1, Evaluations: space, Score: units.Money(math.Inf(1))}
-	best := -1
-	for i, s := range scores {
-		if s < sol.Score {
-			sol.Score = s
-			best = i
+	acc := func() *exhAcc {
+		return &exhAcc{
+			bestScore: units.Money(math.Inf(1)),
+			bestIdx:   -1,
+			choice:    make([]int, len(knobs)),
 		}
 	}
-	if best < 0 || math.IsInf(float64(sol.Score), 1) {
+	fold := func(a *exhAcc, i int) (*exhAcc, error) {
+		global := lo + i
+		decodeChoice(a.choice, knobs, global)
+		d := a.scratch
+		if d == nil {
+			fresh, err := Clone(base)
+			if err != nil {
+				return a, err
+			}
+			d = fresh
+			if reuse {
+				a.scratch = fresh
+			}
+		}
+		// The profiled and unprofiled paths are spelled out separately so
+		// the common (disabled) case pays neither closure allocations nor
+		// a pprof.Do call per candidate.
+		if profilingEnabled() {
+			var applyErr error
+			doPhase(labelsBuild, func() { applyErr = applyChoiceTo(d, knobs, a.choice) })
+			if applyErr != nil {
+				return a, applyErr
+			}
+			doPhase(labelsAssess, func() { a.eval.EvaluateInto(d, scenarios, &a.res) })
+		} else {
+			if err := applyChoiceTo(d, knobs, a.choice); err != nil {
+				return a, err
+			}
+			a.eval.EvaluateInto(d, scenarios, &a.res)
+		}
+		s := objective(a.res)
+		a.evals++
+		if s < a.bestScore {
+			a.bestScore = s
+			a.bestIdx = global
+		}
+		return a, nil
+	}
+	merge := func(a, b *exhAcc) *exhAcc {
+		a.evals += b.evals
+		if b.bestIdx >= 0 && (a.bestIdx < 0 || b.bestScore < a.bestScore ||
+			(b.bestScore == a.bestScore && b.bestIdx < a.bestIdx)) {
+			a.bestScore, a.bestIdx = b.bestScore, b.bestIdx
+		}
+		return a
+	}
+	mergePhase := merge
+	if profilingEnabled() {
+		mergePhase = func(a, b *exhAcc) *exhAcc {
+			doPhase(labelsReduce, func() { a = merge(a, b) })
+			return a
+		}
+	}
+
+	final, err := parallel.Reduce(opts.Workers, hi-lo, acc, fold, mergePhase)
+	if err != nil {
+		return nil, err
+	}
+	if final.bestIdx < 0 || math.IsInf(float64(final.bestScore), 1) {
 		return nil, ErrNoFeasible
 	}
 
-	tuned, err := applyChoice(base, knobs, combos[best])
+	choice := make([]int, len(knobs))
+	decodeChoice(choice, knobs, final.bestIdx)
+	tuned, err := applyChoice(base, knobs, choice)
 	if err != nil {
 		return nil, err
 	}
-	for i, k := range knobs {
-		sol.Choices = append(sol.Choices, Choice{Knob: k.Name, Option: k.Options[combos[best][i]]})
+	sol := &Solution{
+		Design:         tuned,
+		Score:          final.bestScore,
+		Evaluations:    final.evals,
+		Passes:         1,
+		CandidateIndex: final.bestIdx,
 	}
-	sol.Design = tuned
+	for i, k := range knobs {
+		sol.Choices = append(sol.Choices, Choice{Knob: k.Name, Option: k.Options[choice[i]]})
+	}
 	return sol, nil
+}
+
+// MergeShards combines the per-shard Solutions of one sharded exhaustive
+// search into the Solution the unsharded search would return: the lowest
+// score wins, ties break to the lowest global CandidateIndex. Shards that
+// found nothing feasible (or covered an empty slice) contribute nil;
+// MergeShards returns ErrNoFeasible only when every entry is nil. The
+// merged Solution shares the winning shard's Design and Choices, with
+// Evaluations and MemoHits summed over the non-nil shards.
+func MergeShards(sols []*Solution) (*Solution, error) {
+	var best *Solution
+	evals, memo := 0, 0
+	for _, s := range sols {
+		if s == nil {
+			continue
+		}
+		evals += s.Evaluations
+		memo += s.MemoHits
+		if best == nil || s.Score < best.Score ||
+			(s.Score == best.Score && s.CandidateIndex < best.CandidateIndex) {
+			best = s
+		}
+	}
+	if best == nil {
+		return nil, ErrNoFeasible
+	}
+	merged := *best
+	merged.Evaluations = evals
+	merged.MemoHits = memo
+	return &merged, nil
 }

@@ -61,6 +61,9 @@ func PolicyKnob(level string, names []string, policies []hierarchy.Policy) Knob 
 			}
 			return setPolicy(d, level, policies[i])
 		},
+		// Overwrites the level's whole policy from the option table —
+		// nothing read from the design survives into the result.
+		Revertible: true,
 	}
 }
 
@@ -68,6 +71,12 @@ func PolicyKnob(level string, names []string, policies []hierarchy.Policy) Knob 
 // retention count to keep the retention window covered (retCnt =
 // ceil(retW / cyclePer), at least 1). Propagation and hold windows are
 // clamped to the new accW to preserve the propW <= accW convention.
+//
+// Not Revertible: the propW clamp reads the design's current propagation
+// window, which a previous application may itself have clamped and
+// nothing restores — re-applying on a reused design can diverge from a
+// fresh clone, so the exhaustive enumerator clones per candidate when
+// this knob is in the set.
 func AccWKnob(level string, options []time.Duration) Knob {
 	names := make([]string, len(options))
 	for i, o := range options {
@@ -121,11 +130,21 @@ func RetCntKnob(level string, options []int) Knob {
 			pol.RetW = time.Duration(options[i]) * pol.CyclePeriod()
 			return setPolicy(d, level, pol)
 		},
+		// Overwrites retCnt and retW unconditionally; the cycle period it
+		// reads is derived from the primary windows, which only knobs
+		// applied earlier in the same vector may set.
+		Revertible: true,
 	}
 }
 
 // PiTKnob chooses between split mirrors and virtual snapshots for the
 // named level (the Table 7 "snapshot" substitution), keeping the policy.
+//
+// Not Revertible: the knob locates its level by the technique's current
+// name, and (unless an InstanceName pins the name) its own swap renames
+// the level — re-applying on a reused design would no longer find it, so
+// the exhaustive enumerator clones per candidate when this knob is in
+// the set.
 func PiTKnob(level string) Knob {
 	return Knob{
 		Name:    level + " PiT technique",
@@ -174,5 +193,7 @@ func LinkCountKnob(deviceName string, options []int) Knob {
 			}
 			return fmt.Errorf("opt: design has no device %q", deviceName)
 		},
+		// Overwrites the slot count from the option table.
+		Revertible: true,
 	}
 }

@@ -50,6 +50,18 @@ type Knob struct {
 	// on distinct designs concurrently (rewrite only the design it is
 	// given — every built-in knob constructor qualifies).
 	Apply func(d *core.Design, i int) error
+	// Revertible declares that Apply fully overwrites the state it
+	// controls without reading anything another application of this
+	// knob set may have changed: applying option j to a design that
+	// previously had any full choice vector applied (all knobs, in knob
+	// order) leaves exactly the state a fresh clone with option j would
+	// have. When every knob in a search declares this, the exhaustive
+	// enumerator reuses one cloned design per worker, re-applying
+	// choices in place, instead of cloning per candidate. Knobs that
+	// read-and-adjust current values (e.g. AccWKnob's propagation-window
+	// clamp) must leave it false; the enumerator then falls back to a
+	// clone per candidate.
+	Revertible bool
 }
 
 // Objective scores one candidate's evaluation; lower is better. Designs
@@ -108,6 +120,12 @@ type Solution struct {
 	MemoHits int
 	// Passes counts full knob sweeps until convergence.
 	Passes int
+	// CandidateIndex is the winning candidate's global index in the
+	// exhaustive enumeration order (mixed-radix over the knob options,
+	// last knob least significant). It is what makes independently run
+	// shards mergeable with a deterministic tie-break (see MergeShards).
+	// Coordinate descent (Tune) does not enumerate, so it records -1.
+	CandidateIndex int
 }
 
 // Optimizer configuration errors.
@@ -164,12 +182,20 @@ func applyChoice(base *core.Design, knobs []Knob, choice []int) (*core.Design, e
 	if err != nil {
 		return nil, err
 	}
-	for i, k := range knobs {
-		if err := k.Apply(d, choice[i]); err != nil {
-			return nil, fmt.Errorf("opt: knob %q option %d: %w", k.Name, choice[i], err)
-		}
+	if err := applyChoiceTo(d, knobs, choice); err != nil {
+		return nil, err
 	}
 	return d, nil
+}
+
+// applyChoiceTo applies every knob's selected option to d in knob order.
+func applyChoiceTo(d *core.Design, knobs []Knob, choice []int) error {
+	for i, k := range knobs {
+		if err := k.Apply(d, choice[i]); err != nil {
+			return fmt.Errorf("opt: knob %q option %d: %w", k.Name, choice[i], err)
+		}
+	}
+	return nil
 }
 
 // scoreCandidate is the shared scoring path of Tune and Exhaustive:
@@ -217,7 +243,7 @@ func TuneWorkers(base *core.Design, knobs []Knob, scenarios []failure.Scenario, 
 		return nil, err
 	}
 
-	sol := &Solution{}
+	sol := &Solution{CandidateIndex: -1}
 	memo := make(map[string]units.Money)
 	current := make([]int, len(knobs)) // incumbent option per knob
 

@@ -2,6 +2,7 @@ package opt
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -285,7 +286,8 @@ func TestExhaustiveValidation(t *testing.T) {
 	if _, err := Exhaustive(base, []Knob{good}, nil, nil); !errors.Is(err, ErrNoScenarios) {
 		t.Errorf("no scenarios: %v", err)
 	}
-	// Space-size guard: 13 knobs of 2 options = 8192 > 4096.
+	// Space-size guard is now opt-in: 13 knobs of 2 options = 8192 trips
+	// a caller-set budget but not the (unbounded) default.
 	var wide []Knob
 	for i := 0; i < 13; i++ {
 		wide = append(wide, Knob{
@@ -294,8 +296,28 @@ func TestExhaustiveValidation(t *testing.T) {
 			Apply:   func(*core.Design, int) error { return nil },
 		})
 	}
-	if _, err := Exhaustive(base, wide, scenarios(), nil); !errors.Is(err, ErrSpaceTooLarge) {
-		t.Errorf("space guard: %v", err)
+	if _, err := ExhaustiveOpts(base, wide, scenarios(), nil, ExhaustiveOptions{Budget: 4096}); !errors.Is(err, ErrSpaceTooLarge) {
+		t.Errorf("budget guard: %v", err)
+	}
+	// Overflow guard: 64 knobs of 2 options = 2^64 overflows int even
+	// with no budget set.
+	var huge []Knob
+	for i := 0; i < 64; i++ {
+		huge = append(huge, Knob{
+			Name:    fmt.Sprintf("k%d", i),
+			Options: []string{"x", "y"},
+			Apply:   func(*core.Design, int) error { return nil },
+		})
+	}
+	if _, err := Exhaustive(base, huge, scenarios(), nil); !errors.Is(err, ErrSpaceTooLarge) {
+		t.Errorf("overflow guard: %v", err)
+	}
+	// Shard guard.
+	good2 := LinkCountKnob("wan-links", []int{1, 2})
+	for _, sh := range []Shard{{Index: -1, Count: 2}, {Index: 2, Count: 2}, {Index: 0, Count: -1}, {Index: 1, Count: 0}} {
+		if _, err := ExhaustiveOpts(base, []Knob{good2}, scenarios(), nil, ExhaustiveOptions{Shard: sh}); !errors.Is(err, ErrBadShard) {
+			t.Errorf("shard %+v accepted: %v", sh, err)
+		}
 	}
 	// Infeasible objective.
 	knob := LinkCountKnob("wan-links", []int{1, 2})

@@ -1,0 +1,37 @@
+package opt
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync/atomic"
+)
+
+// Profiler phase labels for the exhaustive inner loop: "build" covers
+// candidate construction (clone + knob application), "assess" the
+// evaluation of the candidate across scenarios, and "reduce" the argmin
+// merge. With labels on, `go tool pprof -tagfocus phase=assess` isolates
+// where an optimization run actually spends its time.
+var (
+	labelsBuild  = pprof.Labels("phase", "build")
+	labelsAssess = pprof.Labels("phase", "assess")
+	labelsReduce = pprof.Labels("phase", "reduce")
+)
+
+// phaseProfiling gates the per-candidate pprof labeling. Off by default:
+// labeling costs a pprof.Do and two closure allocations per candidate,
+// which the hot loop must not pay when nobody is profiling.
+var phaseProfiling atomic.Bool
+
+// PhaseProfiling toggles pprof phase labels (phase=build|assess|reduce)
+// on the exhaustive search's inner loop. Enable it together with CPU or
+// memory profiling (cmd/optimize -cpuprofile does); it is safe to toggle
+// concurrently with running searches — a search reads the flag at each
+// candidate.
+func PhaseProfiling(on bool) { phaseProfiling.Store(on) }
+
+func profilingEnabled() bool { return phaseProfiling.Load() }
+
+// doPhase runs f under the pprof label set.
+func doPhase(l pprof.LabelSet, f func()) {
+	pprof.Do(context.Background(), l, func(context.Context) { f() })
+}

@@ -1,0 +1,102 @@
+package whatif
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"stordep/internal/casestudy"
+	"stordep/internal/core"
+)
+
+// TestEvaluateSeqMatchesEvaluate: the streaming sweep yields exactly the
+// Results the buffered API returns, in input order, at every worker
+// count — including chunk-boundary cases where n is not a multiple of
+// the internal block size.
+func TestEvaluateSeqMatchesEvaluate(t *testing.T) {
+	counts := make([]int, 17) // prime-ish, straddles chunk boundaries
+	for i := range counts {
+		counts[i] = i + 1
+	}
+	designs := Sweep(counts, casestudy.AsyncBMirror)
+	want, err := Evaluate(designs, scenarios())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		var got []Result
+		err := EvaluateSeq(len(designs), func(i int) *core.Design { return designs[i] },
+			scenarios(), workers, func(i int, r Result) error {
+				if i != len(got) {
+					t.Fatalf("workers=%d: yielded index %d out of order (have %d)", workers, i, len(got))
+				}
+				got = append(got, r)
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: streamed results differ from Evaluate", workers)
+		}
+	}
+}
+
+// TestEvaluateSeqEarlyStop: a yield error stops the sweep and surfaces
+// unchanged.
+func TestEvaluateSeqEarlyStop(t *testing.T) {
+	designs := Sweep([]int{1, 2, 3, 4, 5, 6}, casestudy.AsyncBMirror)
+	stop := errors.New("enough")
+	seen := 0
+	err := EvaluateSeq(len(designs), func(i int) *core.Design { return designs[i] },
+		scenarios(), 2, func(i int, r Result) error {
+			seen++
+			if seen == 3 {
+				return stop
+			}
+			return nil
+		})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want the yield error", err)
+	}
+	if seen != 3 {
+		t.Errorf("yield ran %d times after stop, want 3", seen)
+	}
+}
+
+// TestEvaluateSeqRequiresScenarios mirrors Evaluate's contract.
+func TestEvaluateSeqRequiresScenarios(t *testing.T) {
+	err := EvaluateSeq(1, func(int) *core.Design { return casestudy.Baseline() }, nil, 1,
+		func(int, Result) error { return nil })
+	if !errors.Is(err, ErrNoScenarios) {
+		t.Errorf("err = %v, want ErrNoScenarios", err)
+	}
+}
+
+// TestEvaluatorReuse: repeated EvaluateInto calls on one Evaluator and
+// Result produce the same values as fresh EvaluateOne calls — buffer
+// reuse must not leak state between candidates, including across a
+// build-failure candidate.
+func TestEvaluatorReuse(t *testing.T) {
+	broken := casestudy.Baseline()
+	broken.Workload = nil
+	designs := []*core.Design{
+		casestudy.Baseline(),
+		casestudy.AsyncBMirror(2),
+		broken,
+		casestudy.AsyncBMirror(8),
+	}
+	var e Evaluator
+	var res Result
+	for _, d := range designs {
+		want := EvaluateOne(d, scenarios())
+		e.EvaluateInto(d, scenarios(), &res)
+		if res.Design != want.Design || res.Outlays != want.Outlays ||
+			!reflect.DeepEqual(append([]Outcome{}, res.Outcomes...), append([]Outcome{}, want.Outcomes...)) {
+			t.Errorf("%s: reused evaluation differs: %+v vs %+v", d.Name, res, want)
+		}
+		if (res.Err == nil) != (want.Err == nil) {
+			t.Errorf("%s: Err = %v, want %v", d.Name, res.Err, want.Err)
+		}
+	}
+}

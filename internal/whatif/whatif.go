@@ -77,14 +77,64 @@ func Evaluate(designs []*core.Design, scenarios []failure.Scenario) ([]Result, e
 }
 
 // EvaluateWorkers is Evaluate on a bounded worker pool: workers > 0 caps
-// the evaluation goroutines, anything else means runtime.NumCPU().
+// the evaluation goroutines, anything else means runtime.NumCPU(). It is
+// EvaluateSeq buffered into a slice — callers that reduce results as they
+// arrive should use EvaluateSeq directly and skip the buffer.
 func EvaluateWorkers(designs []*core.Design, scenarios []failure.Scenario, workers int) ([]Result, error) {
-	if len(scenarios) == 0 {
-		return nil, ErrNoScenarios
+	out := make([]Result, 0, len(designs))
+	err := EvaluateSeq(len(designs), func(i int) *core.Design { return designs[i] },
+		scenarios, workers, func(_ int, r Result) error {
+			out = append(out, r)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return parallel.Map(workers, len(designs), func(i int) (Result, error) {
-		return EvaluateOne(designs[i], scenarios), nil
-	})
+	return out, nil
+}
+
+// EvaluateSeq streams an evaluation sweep: design(i) supplies the i-th of
+// n candidates, results are evaluated on at most workers goroutines
+// (anything < 1 means runtime.NumCPU()) and delivered to yield in input
+// order — the same results EvaluateWorkers returns, without ever holding
+// more than O(workers) of them in memory. A sweep over millions of
+// candidates therefore runs in constant space as long as the caller's
+// yield reduces instead of buffering. yield returning a non-nil error
+// stops the sweep and returns that error.
+//
+// Delivery is chunked: a block of candidates is evaluated concurrently,
+// then yielded in order while the next block is prepared, so worker
+// utilization stays high without unbounded reorder buffering.
+func EvaluateSeq(n int, design func(i int) *core.Design, scenarios []failure.Scenario, workers int, yield func(i int, r Result) error) error {
+	if len(scenarios) == 0 {
+		return ErrNoScenarios
+	}
+	if n <= 0 {
+		return nil
+	}
+	chunk := 4 * parallel.Workers(workers)
+	if chunk > n {
+		chunk = n
+	}
+	buf := make([]Result, chunk)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if err := parallel.ForEach(workers, hi-lo, func(j int) error {
+			buf[j] = EvaluateOne(design(lo+j), scenarios)
+			return nil
+		}); err != nil {
+			return err
+		}
+		for j := 0; j < hi-lo; j++ {
+			if err := yield(lo+j, buf[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // EvaluateOne builds and assesses a single candidate — the shared inner
@@ -92,30 +142,52 @@ func EvaluateWorkers(designs []*core.Design, scenarios []failure.Scenario, worke
 // calls it directly rather than paying a one-element slice round trip
 // per candidate).
 func EvaluateOne(d *core.Design, scenarios []failure.Scenario) Result {
-	res := Result{Design: d.Name}
+	var res Result
+	var e Evaluator
+	e.EvaluateInto(d, scenarios, &res)
+	return res
+}
+
+// Evaluator is the allocation-lean evaluation path for scoring loops
+// that assess one candidate after another: it reuses the model's scratch
+// buffers and the Result's Outcomes storage across calls. An Evaluator
+// must not be shared between concurrent calls; the zero value is ready
+// to use.
+type Evaluator struct {
+	scratch core.Scratch
+}
+
+// EvaluateInto evaluates d into *res, producing exactly the Result
+// EvaluateOne would, while reusing res's Outcomes capacity and the
+// evaluator's scratch buffers. The filled Result (including its Outcomes
+// slice) is valid until the next EvaluateInto call on the same res or
+// Evaluator — objectives and reducers must read it, not retain it.
+func (e *Evaluator) EvaluateInto(d *core.Design, scenarios []failure.Scenario, res *Result) {
+	res.Design = d.Name
+	res.Outlays = 0
+	res.Outcomes = res.Outcomes[:0]
+	res.Err = nil
 	sys, err := core.Build(d)
 	if err != nil {
 		res.Err = err
-		return res
+		return
 	}
 	res.Outlays = sys.Outlays().Total()
-	res.Outcomes = make([]Outcome, 0, len(scenarios))
 	for _, sc := range scenarios {
-		a, err := sys.Assess(sc)
+		b, err := sys.AssessBrief(sc, &e.scratch)
 		if err != nil {
 			res.Err = fmt.Errorf("whatif: scenario %s: %w", sc.DisplayName(), err)
-			return res
+			return
 		}
 		res.Outcomes = append(res.Outcomes, Outcome{
 			Scenario:     sc,
-			RecoveryTime: a.RecoveryTime,
-			DataLoss:     a.DataLoss,
-			Penalties:    a.Cost.Penalties.Total(),
-			Total:        a.Cost.Total(),
-			Lost:         a.WholeObjectLost,
+			RecoveryTime: b.RecoveryTime,
+			DataLoss:     b.DataLoss,
+			Penalties:    b.Penalties,
+			Total:        b.Total,
+			Lost:         b.WholeObjectLost,
 		})
 	}
-	return res
 }
 
 // Rank sorts results by ascending worst-scenario total cost (stable on

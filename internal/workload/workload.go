@@ -100,12 +100,30 @@ func (w *Workload) Clone() *Workload {
 }
 
 // sortedCurve returns the breakpoints sorted by ascending window without
-// mutating the workload.
+// mutating the workload. When the curve is already stored sorted — every
+// built-in constructor and Merge produce it that way — the stored slice
+// is returned directly, keeping BatchUpdateRate allocation-free on the
+// model evaluation hot path (it used to copy and re-sort per call, which
+// dominated the optimizer's per-candidate allocations).
 func (w *Workload) sortedCurve() []BatchPoint {
+	if curveSorted(w.BatchCurve) {
+		return w.BatchCurve
+	}
 	pts := make([]BatchPoint, len(w.BatchCurve))
 	copy(pts, w.BatchCurve)
 	sort.Slice(pts, func(i, j int) bool { return pts[i].Window < pts[j].Window })
 	return pts
+}
+
+// curveSorted reports whether the breakpoints are in ascending window
+// order already.
+func curveSorted(pts []BatchPoint) bool {
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Window < pts[i-1].Window {
+			return false
+		}
+	}
+	return true
 }
 
 // BatchUpdateRate returns batchUpdR(win): the average rate at which

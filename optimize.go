@@ -22,9 +22,10 @@ func Tune(base *Design, knobs []Knob, scenarios []Scenario, objective OptObjecti
 	return opt.Tune(base, knobs, scenarios, objective)
 }
 
-// TuneExhaustive enumerates every knob combination (bounded at 4096) and
-// returns the global optimum; use when knobs interact and coordinate
-// descent might stall.
+// TuneExhaustive enumerates every knob combination and returns the
+// global optimum; use when knobs interact and coordinate descent might
+// stall. Enumeration is streaming (O(workers) memory), so the space size
+// is limited only by time; opt.ExhaustiveOpts adds budgets and sharding.
 func TuneExhaustive(base *Design, knobs []Knob, scenarios []Scenario, objective OptObjective) (*Solution, error) {
 	return opt.Exhaustive(base, knobs, scenarios, objective)
 }

@@ -28,6 +28,11 @@ func BenchmarkExhaustiveSeedBaseline(b *testing.B) { delegate(b, "exhaustive/see
 func BenchmarkExhaustiveSerial(b *testing.B)       { delegate(b, "exhaustive/serial") }
 func BenchmarkExhaustiveParallel(b *testing.B)     { delegate(b, "exhaustive/parallel4") }
 
+// The large cases enumerate a 6144-candidate space — beyond the seed
+// implementation's 4096-combination cap — via the streaming search.
+func BenchmarkExhaustiveLargeSerial(b *testing.B)   { delegate(b, "exhaustive/large-serial") }
+func BenchmarkExhaustiveLargeParallel(b *testing.B) { delegate(b, "exhaustive/large-parallel4") }
+
 func BenchmarkTuneSerial(b *testing.B)   { delegate(b, "tune/serial") }
 func BenchmarkTuneParallel(b *testing.B) { delegate(b, "tune/parallel4") }
 
