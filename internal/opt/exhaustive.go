@@ -280,12 +280,21 @@ func ExhaustiveOpts(base *core.Design, knobs []Knob, scenarios []failure.Scenari
 // MergeShards returns ErrNoFeasible only when every entry is nil. The
 // merged Solution shares the winning shard's Design and Choices, with
 // Evaluations and MemoHits summed over the non-nil shards.
+//
+// Every non-nil entry must come from exhaustive enumeration: a Solution
+// without a valid CandidateIndex (e.g. Tune's, which carries -1) has no
+// place in the global index order and would corrupt the deterministic
+// tie-break, so MergeShards rejects it with ErrBadShard.
 func MergeShards(sols []*Solution) (*Solution, error) {
 	var best *Solution
 	evals, memo := 0, 0
-	for _, s := range sols {
+	for i, s := range sols {
 		if s == nil {
 			continue
+		}
+		if s.CandidateIndex < 0 {
+			return nil, fmt.Errorf("%w: solution %d has CandidateIndex %d, not from exhaustive enumeration",
+				ErrBadShard, i, s.CandidateIndex)
 		}
 		evals += s.Evaluations
 		memo += s.MemoHits

@@ -191,6 +191,11 @@ func TestExhaustiveShardSplitsMergeIdentically(t *testing.T) {
 	if _, err := MergeShards([]*Solution{nil, nil}); !errors.Is(err, ErrNoFeasible) {
 		t.Errorf("all-nil merge: %v, want ErrNoFeasible", err)
 	}
+	// A Solution outside exhaustive enumeration (Tune's CandidateIndex -1)
+	// has no global index and must be rejected, not silently win ties.
+	if _, err := MergeShards([]*Solution{whole, {CandidateIndex: -1}}); !errors.Is(err, ErrBadShard) {
+		t.Errorf("merge with CandidateIndex -1: %v, want ErrBadShard", err)
+	}
 }
 
 // TestShardBoundsPartition: shard bounds tile [0, space) exactly — no

@@ -47,7 +47,8 @@ func Reduce[A any](workers, n int, acc func() A, fold func(a A, i int) (A, error
 	var next atomic.Int64
 	var firstErr atomic.Int64 // lowest failing index seen so far
 	firstErr.Store(int64(n))  // sentinel: no error
-	errs := make([]error, n)
+	var errMu sync.Mutex      // guards errVal; taken only on the error path
+	var errVal error          // error of the firstErr index
 	accs := make([]A, w)
 
 	var wg sync.WaitGroup
@@ -69,13 +70,12 @@ func Reduce[A any](workers, n int, acc func() A, fold func(a A, i int) (A, error
 				}
 				var err error
 				if a, err = fold(a, i); err != nil {
-					errs[i] = err
-					for {
-						cur := firstErr.Load()
-						if int64(i) >= cur || firstErr.CompareAndSwap(cur, int64(i)) {
-							break
-						}
+					errMu.Lock()
+					if int64(i) < firstErr.Load() {
+						firstErr.Store(int64(i))
+						errVal = err
 					}
+					errMu.Unlock()
 				}
 			}
 			accs[g] = a
@@ -83,9 +83,9 @@ func Reduce[A any](workers, n int, acc func() A, fold func(a A, i int) (A, error
 	}
 	wg.Wait()
 
-	if e := firstErr.Load(); e < int64(n) {
+	if firstErr.Load() < int64(n) {
 		var zero A
-		return zero, errs[e]
+		return zero, errVal
 	}
 	out := accs[0]
 	for _, a := range accs[1:] {

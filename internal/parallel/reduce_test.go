@@ -96,6 +96,27 @@ func TestReduceFirstError(t *testing.T) {
 	}
 }
 
+// TestReduceConstantMemory: allocations are independent of the index
+// space — the streaming contract that lets an unbounded exhaustive
+// search run without materializing O(n) state.
+func TestReduceConstantMemory(t *testing.T) {
+	run := func(n int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			got, err := Reduce(4, n,
+				func() int { return 0 },
+				func(a, i int) (int, error) { return a + i, nil },
+				func(a, b int) int { return a + b })
+			if err != nil || got != n*(n-1)/2 {
+				t.Fatalf("n=%d: sum = %d, %v", n, got, err)
+			}
+		})
+	}
+	small, large := run(1<<10), run(1<<17)
+	if large > small+8 {
+		t.Errorf("allocs grew with n: %.0f at 2^10 vs %.0f at 2^17", small, large)
+	}
+}
+
 // TestReduceEmpty: an empty index space returns the fresh accumulator.
 func TestReduceEmpty(t *testing.T) {
 	got, err := Reduce(4, 0,

@@ -103,8 +103,10 @@ func EvaluateWorkers(designs []*core.Design, scenarios []failure.Scenario, worke
 // stops the sweep and returns that error.
 //
 // Delivery is chunked: a block of candidates is evaluated concurrently,
-// then yielded in order while the next block is prepared, so worker
-// utilization stays high without unbounded reorder buffering.
+// then the block's results are yielded in order before the next block
+// starts. Workers are idle while yield runs, so a slow yield bounds
+// throughput; the chunk size (a small multiple of the worker count)
+// keeps that barrier cost amortized without unbounded reorder buffering.
 func EvaluateSeq(n int, design func(i int) *core.Design, scenarios []failure.Scenario, workers int, yield func(i int, r Result) error) error {
 	if len(scenarios) == 0 {
 		return ErrNoScenarios
