@@ -1,0 +1,189 @@
+package main
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"stordep/internal/dist"
+)
+
+// solutionBlock strips the mode-specific header: everything after the
+// first blank line is the solution report, which must be identical
+// across the single-process, sharded-merge and coordinator paths.
+func solutionBlock(t *testing.T, out string) string {
+	t.Helper()
+	i := strings.Index(out, "\n\n")
+	if i < 0 {
+		t.Fatalf("no solution block in output:\n%s", out)
+	}
+	return out[i+2:]
+}
+
+func exhaustiveReference(t *testing.T) string {
+	t.Helper()
+	var buf strings.Builder
+	if err := run(&buf, options{objective: "worst", exhaustive: true}); err != nil {
+		t.Fatal(err)
+	}
+	return solutionBlock(t, buf.String())
+}
+
+// TestRunShardOutMergeRoundTrip covers the offline flow: every shard
+// saved with -out, then -merge reproduces the unsharded report exactly.
+func TestRunShardOutMergeRoundTrip(t *testing.T) {
+	want := exhaustiveReference(t)
+	dir := t.TempDir()
+
+	const shards = 3
+	files := make([]string, shards)
+	for s := 0; s < shards; s++ {
+		files[s] = filepath.Join(dir, fmt.Sprintf("shard%d.json", s))
+		var buf strings.Builder
+		o := options{objective: "worst", shard: fmt.Sprintf("%d/%d", s, shards), out: files[s]}
+		if err := run(&buf, o); err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		if !strings.Contains(buf.String(), "Wrote shard result to") {
+			t.Errorf("shard %d output missing the -out note:\n%s", s, buf.String())
+		}
+	}
+
+	var merged strings.Builder
+	if err := runMerge(&merged, files); err != nil {
+		t.Fatal(err)
+	}
+	if got := solutionBlock(t, merged.String()); got != want {
+		t.Errorf("merged report differs from unsharded:\n--- merged\n%s\n--- unsharded\n%s", got, want)
+	}
+
+	// A duplicated shard file changes nothing.
+	var dup strings.Builder
+	if err := runMerge(&dup, append(append([]string{}, files...), files[1])); err != nil {
+		t.Fatal(err)
+	}
+	if got := solutionBlock(t, dup.String()); got != want {
+		t.Errorf("merge with a duplicate file diverged:\n%s", got)
+	}
+}
+
+func TestRunMergeRejects(t *testing.T) {
+	if err := runMerge(&strings.Builder{}, nil); err == nil {
+		t.Error("merge without files accepted")
+	}
+
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{oops"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runMerge(&strings.Builder{}, []string{bad}); err == nil {
+		t.Error("garbage result file accepted")
+	}
+	if err := runMerge(&strings.Builder{}, []string{filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("nonexistent file accepted")
+	}
+
+	// A partial merge (one shard of three) must fail loudly.
+	partial := filepath.Join(dir, "partial.json")
+	var buf strings.Builder
+	if err := run(&buf, options{objective: "worst", shard: "0/3", out: partial}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runMerge(&strings.Builder{}, []string{partial}); err == nil || !strings.Contains(err.Error(), "missing shard") {
+		t.Errorf("partial merge: err = %v, want a missing-shard error", err)
+	}
+}
+
+func TestRunOutRequiresCandidateIndex(t *testing.T) {
+	var buf strings.Builder
+	err := run(&buf, options{objective: "worst", out: filepath.Join(t.TempDir(), "x.json")})
+	if err == nil || !strings.Contains(err.Error(), "-out") {
+		t.Errorf("coordinate descent with -out: err = %v", err)
+	}
+}
+
+// TestRunOutInfeasibleShard: a shard whose slice has no feasible
+// candidate still writes a mergeable result carrying its evaluations.
+func TestRunOutInfeasibleShard(t *testing.T) {
+	dir := t.TempDir()
+	files := []string{filepath.Join(dir, "s0.json"), filepath.Join(dir, "s1.json")}
+	for s, f := range files {
+		var buf strings.Builder
+		o := options{objective: "worst", links: true, rto: "1m", rpo: "1m",
+			shard: fmt.Sprintf("%d/2", s), out: f}
+		if err := run(&buf, o); err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		if !strings.Contains(buf.String(), "No feasible candidate") {
+			t.Errorf("shard %d output:\n%s", s, buf.String())
+		}
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dist.DecodeResult(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Feasible || res.Evaluations != 4 {
+			t.Errorf("shard %d result: %+v, want infeasible with 4 evaluations", s, res)
+		}
+	}
+	// Merging two infeasible halves reports no feasible design, not a
+	// bogus winner.
+	if err := runMerge(&strings.Builder{}, files); err == nil {
+		t.Error("all-infeasible merge should fail")
+	}
+}
+
+// TestRunCoordinator drives the real coordinator path against two
+// in-process worker servers and requires the same report as the
+// single-process exhaustive run.
+func TestRunCoordinator(t *testing.T) {
+	want := exhaustiveReference(t)
+
+	a := httptest.NewServer(dist.NewHandler(dist.HandlerOptions{}))
+	defer a.Close()
+	b := httptest.NewServer(dist.NewHandler(dist.HandlerOptions{}))
+	defer b.Close()
+
+	var buf strings.Builder
+	o := options{
+		objective:      "worst",
+		coordinator:    a.URL + ", " + b.URL + "/",
+		attemptTimeout: 30 * time.Second,
+		speculateAfter: 5 * time.Second,
+	}
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "across 2 workers") {
+		t.Errorf("output missing the worker count:\n%s", out)
+	}
+	if got := solutionBlock(t, out); got != want {
+		t.Errorf("coordinator report differs from single-process:\n--- coordinator\n%s\n--- single\n%s", got, want)
+	}
+}
+
+func TestRunCoordinatorRejects(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, options{objective: "worst", coordinator: "http://x", shard: "0/2"}); err == nil ||
+		!strings.Contains(err.Error(), "-shard") {
+		t.Error("coordinator with -shard should be rejected")
+	}
+	if err := run(&buf, options{objective: "worst", coordinator: " , "}); err == nil {
+		t.Error("coordinator without URLs accepted")
+	}
+	dead := httptest.NewServer(nil)
+	url := dead.URL
+	dead.Close()
+	if err := run(&buf, options{objective: "worst", coordinator: url}); err == nil {
+		t.Error("unreachable worker accepted")
+	}
+}

@@ -11,6 +11,9 @@
 //	optimize -rto 12h -rpo 1h     # cheapest design meeting objectives
 //	optimize -exhaustive          # streaming full enumeration (no space cap)
 //	optimize -shard 1/4           # run one shard of a sharded enumeration
+//	optimize -shard 1/4 -out s1.json   # save the shard's result for -merge
+//	optimize -merge s0.json s1.json s2.json s3.json
+//	optimize -coordinator http://host1:7700,http://host2:7700
 //	optimize -cpuprofile opt.pprof
 //
 // Exhaustive enumeration streams: candidates are decoded from their
@@ -22,6 +25,18 @@
 // score across shards with ties to the lowest candidate index
 // (opt.MergeShards applies the same rule programmatically).
 //
+// Sharded runs compose offline or online. Offline, -out writes each
+// shard's wire Result (internal/dist schema) and -merge combines the
+// files into exactly the Solution the unsharded search prints — every
+// shard of one partitioning must be present, duplicates are deduped.
+// Online, -coordinator distributes the same enumeration across running
+// cmd/worker processes: the space splits into more shards than workers,
+// failed or straggling shards are re-dispatched (see -attempt-timeout,
+// -speculate-after), and the merged answer is byte-identical to the
+// single-process -exhaustive run for any worker count or failure
+// pattern. -dist-metrics dumps the coordinator's Prometheus-style
+// counters to stderr afterwards.
+//
 // -cpuprofile and -memprofile write pprof profiles; the CPU profile is
 // labeled with phase=build|assess|reduce on the optimizer's inner loop,
 // so `go tool pprof -tagfocus phase=assess` isolates model evaluation
@@ -29,6 +44,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +59,7 @@ import (
 
 	"stordep/internal/casestudy"
 	"stordep/internal/core"
+	"stordep/internal/dist"
 	"stordep/internal/failure"
 	"stordep/internal/hierarchy"
 	"stordep/internal/opt"
@@ -51,15 +69,22 @@ import (
 
 // options carries the parsed command line.
 type options struct {
-	objective  string
-	links      bool
-	rto, rpo   string
-	workers    int
-	exhaustive bool
-	shard      string
-	budget     int
-	cpuProfile string
-	memProfile string
+	objective      string
+	links          bool
+	rto, rpo       string
+	workers        int
+	exhaustive     bool
+	shard          string
+	budget         int
+	out            string
+	merge          bool
+	coordinator    string
+	shards         int
+	attemptTimeout time.Duration
+	speculateAfter time.Duration
+	distMetrics    bool
+	cpuProfile     string
+	memProfile     string
 }
 
 func main() {
@@ -75,11 +100,24 @@ func main() {
 	flag.BoolVar(&o.exhaustive, "exhaustive", false, "enumerate every knob combination (streaming; no space cap) instead of coordinate descent")
 	flag.StringVar(&o.shard, "shard", "", "evaluate one slice k/m (0-based) of the exhaustive space; implies -exhaustive")
 	flag.IntVar(&o.budget, "budget", 0, "refuse exhaustive spaces larger than this many combinations (0 = unbounded)")
+	flag.StringVar(&o.out, "out", "", "write the run's shard result (wire JSON) to this file, for -merge")
+	flag.BoolVar(&o.merge, "merge", false, "merge shard result files (the non-flag arguments) instead of searching")
+	flag.StringVar(&o.coordinator, "coordinator", "", "comma-separated worker URLs; distribute the exhaustive search across them")
+	flag.IntVar(&o.shards, "shards", 0, "shard count for -coordinator (0 = 4 per worker)")
+	flag.DurationVar(&o.attemptTimeout, "attempt-timeout", 2*time.Minute, "per-shard dispatch timeout for -coordinator (0 = none)")
+	flag.DurationVar(&o.speculateAfter, "speculate-after", 30*time.Second, "re-dispatch a straggling shard after this long (0 = never)")
+	flag.BoolVar(&o.distMetrics, "dist-metrics", false, "dump coordinator metrics (Prometheus text format) to stderr")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile (with phase=build|assess|reduce labels) to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := run(os.Stdout, o); err != nil {
+	var err error
+	if o.merge {
+		err = runMerge(os.Stdout, flag.Args())
+	} else {
+		err = run(os.Stdout, o)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }
@@ -137,11 +175,25 @@ func run(w io.Writer, o options) error {
 		return err
 	}
 
+	// Knob definitions are wire specs first (internal/dist), then built
+	// into closures: the local search, the -out shard files and the
+	// coordinator's workers all enumerate the exact same space.
 	base := casestudy.Baseline()
-	knobs := tapeKnobs()
+	specs, err := tapeKnobSpecs()
+	if err != nil {
+		return err
+	}
 	if o.links {
 		base = casestudy.AsyncBMirror(1)
-		knobs = []opt.Knob{opt.LinkCountKnob("wan-links", []int{1, 2, 3, 4, 6, 8, 12, 16})}
+		specs = []dist.KnobSpec{dist.LinkCountKnobSpec("wan-links", []int{1, 2, 3, 4, 6, 8, 12, 16})}
+	}
+	knobs, err := dist.BuildKnobs(specs)
+	if err != nil {
+		return err
+	}
+
+	if o.coordinator != "" {
+		return runCoordinator(w, o, base, specs, scenarios, objLabel)
 	}
 
 	var sol *opt.Solution
@@ -156,6 +208,11 @@ func run(w io.Writer, o options) error {
 			Budget:  o.budget,
 			Shard:   shard,
 		})
+		if o.out != "" && isNoFeasible(err) {
+			// The shard's slice holds no feasible candidate: still a valid
+			// result — the merge needs its evaluation count.
+			return writeInfeasibleResult(w, o.out, specs, shard)
+		}
 	} else {
 		fmt.Fprintf(w, "Tuning %q over %d knobs, objective: %s\n\n", base.Name, len(knobs), objLabel)
 		sol, err = opt.TuneWorkers(base, knobs, scenarios, objective, o.workers)
@@ -163,6 +220,126 @@ func run(w io.Writer, o options) error {
 	if err != nil {
 		return err
 	}
+	if err := printSolution(w, sol, scenarios); err != nil {
+		return err
+	}
+
+	if o.out != "" {
+		if sol.CandidateIndex < 0 {
+			return fmt.Errorf("-out needs an exhaustive or sharded run (coordinate descent has no candidate index); add -exhaustive or -shard")
+		}
+		res, err := dist.SolutionResult(sol, dist.ShardSpec{Index: shard.Index, Count: shard.Count})
+		if err != nil {
+			return err
+		}
+		if err := writeResult(o.out, res); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nWrote shard result to %s\n", o.out)
+	}
+
+	if o.memProfile != "" {
+		f, err := os.Create(o.memProfile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+	}
+	return nil
+}
+
+// runCoordinator distributes the exhaustive search across remote
+// cmd/worker processes and prints the merged solution — byte-identical
+// to the single-process -exhaustive output's solution lines.
+func runCoordinator(w io.Writer, o options, base *core.Design, specs []dist.KnobSpec, scenarios []failure.Scenario, objLabel string) error {
+	if o.shard != "" {
+		return fmt.Errorf("-coordinator owns the sharding; drop -shard")
+	}
+	var workers []dist.Worker
+	for _, u := range strings.Split(o.coordinator, ",") {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		workers = append(workers, &dist.HTTPWorker{BaseURL: u})
+	}
+	if len(workers) == 0 {
+		return fmt.Errorf("-coordinator needs at least one worker URL")
+	}
+	ctx := context.Background()
+	for _, wk := range workers {
+		hctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		err := wk.(*dist.HTTPWorker).Health(hctx)
+		cancel()
+		if err != nil {
+			return err
+		}
+	}
+
+	job, err := dist.NewJob(base, specs, dist.ScenarioSpecs(scenarios), objectiveSpec(o))
+	if err != nil {
+		return err
+	}
+	job.Budget = o.budget
+
+	c, err := dist.NewCoordinator(workers, dist.Options{
+		Shards:         o.shards,
+		AttemptTimeout: o.attemptTimeout,
+		SpeculateAfter: o.speculateAfter,
+		WorkersPerJob:  o.workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Distributing exhaustive search of %q across %d workers, objective: %s\n\n",
+		base.Name, len(workers), objLabel)
+	sol, err := c.Run(ctx, job)
+	if o.distMetrics {
+		// Dump even on failure: the counters say which worker misbehaved.
+		c.Metrics().WritePrometheus(os.Stderr, time.Now()) //nolint:errcheck
+	}
+	if err != nil {
+		return err
+	}
+	return printSolution(w, sol, scenarios)
+}
+
+// runMerge combines shard result files written by -out into the
+// Solution the unsharded search prints.
+func runMerge(w io.Writer, files []string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("-merge needs shard result files as arguments")
+	}
+	results := make([]*dist.Result, len(files))
+	for i, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		if results[i], err = dist.DecodeResult(data); err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+	}
+	sol, err := dist.MergeResults(results)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Merging %d shard results\n\n", len(files))
+	scenarios := []failure.Scenario{
+		{Scope: failure.ScopeArray},
+		{Scope: failure.ScopeSite},
+	}
+	return printSolution(w, sol, scenarios)
+}
+
+// printSolution writes the chosen knobs, the score line and the winning
+// design's per-scenario outcomes — the block CI diffs across the
+// single-process, sharded-merge and coordinator paths.
+func printSolution(w io.Writer, sol *opt.Solution, scenarios []failure.Scenario) error {
 	for _, c := range sol.Choices {
 		fmt.Fprintf(w, "  %-28s -> %s\n", c.Knob, c.Option)
 	}
@@ -183,19 +360,56 @@ func run(w io.Writer, o options) error {
 			o.Scenario.DisplayName(), o.RecoveryTime.Round(time.Minute),
 			o.DataLoss.Round(time.Minute), o.Total)
 	}
-
-	if o.memProfile != "" {
-		f, err := os.Create(o.memProfile)
-		if err != nil {
-			return fmt.Errorf("-memprofile: %w", err)
-		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			return fmt.Errorf("-memprofile: %w", err)
-		}
-	}
 	return nil
+}
+
+// isNoFeasible reports whether an exhaustive search failed only because
+// the evaluated slice holds no feasible candidate.
+func isNoFeasible(err error) bool {
+	return errors.Is(err, opt.ErrNoFeasible)
+}
+
+// writeInfeasibleResult records an infeasible shard for -merge: no
+// winner, but the slice's evaluation count must reach the merged total.
+func writeInfeasibleResult(w io.Writer, path string, specs []dist.KnobSpec, shard opt.Shard) error {
+	knobs, err := dist.BuildKnobs(specs)
+	if err != nil {
+		return err
+	}
+	space, err := opt.SpaceSize(knobs)
+	if err != nil {
+		return err
+	}
+	res := &dist.Result{
+		Version:        dist.Version,
+		Shard:          dist.ShardSpec{Index: shard.Index, Count: shard.Count},
+		Feasible:       false,
+		Evaluations:    shard.Size(space),
+		CandidateIndex: -1,
+	}
+	if err := writeResult(path, res); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "No feasible candidate in this shard; wrote its evaluation count to %s\n", path)
+	return nil
+}
+
+func writeResult(path string, res *dist.Result) error {
+	data, err := res.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// objectiveSpec mirrors buildObjective for the wire: explicit RTO/RPO
+// turn the objective into the constrained-outlay rule, exactly as the
+// local path does.
+func objectiveSpec(o options) dist.ObjectiveSpec {
+	if o.rto != "" || o.rpo != "" {
+		return dist.ObjectiveSpec{Kind: "constrained", RTO: o.rto, RPO: o.rpo}
+	}
+	return dist.ObjectiveSpec{Kind: o.objective}
 }
 
 func buildObjective(name, rto, rpo string) (opt.Objective, string, error) {
@@ -236,8 +450,9 @@ func orAny(s string) string {
 	return s
 }
 
-// tapeKnobs exposes the Table 7 moves.
-func tapeKnobs() []opt.Knob {
+// tapeKnobSpecs exposes the Table 7 moves as wire specs, the single
+// definition both the local search and distributed workers build from.
+func tapeKnobSpecs() ([]dist.KnobSpec, error) {
 	weeklyVault := casestudy.VaultPolicy()
 	weeklyVault.Primary.AccW = units.Week
 	weeklyVault.Primary.HoldW = 12 * time.Hour
@@ -257,13 +472,17 @@ func tapeKnobs() []opt.Knob {
 	dailyF.Primary.PropW = 12 * time.Hour
 	dailyF.RetCnt = 28
 
-	return []opt.Knob{
-		opt.PolicyKnob("vaulting",
-			[]string{"4-weekly", "weekly"},
-			[]hierarchy.Policy{casestudy.VaultPolicy(), weeklyVault}),
-		opt.PolicyKnob("backup",
-			[]string{"weekly full", "F+I", "daily full"},
-			[]hierarchy.Policy{casestudy.BackupPolicy(), fi, dailyF}),
-		opt.PiTKnob("split-mirror"),
+	vault, err := dist.PolicyKnobSpec("vaulting",
+		[]string{"4-weekly", "weekly"},
+		[]hierarchy.Policy{casestudy.VaultPolicy(), weeklyVault})
+	if err != nil {
+		return nil, err
 	}
+	backup, err := dist.PolicyKnobSpec("backup",
+		[]string{"weekly full", "F+I", "daily full"},
+		[]hierarchy.Policy{casestudy.BackupPolicy(), fi, dailyF})
+	if err != nil {
+		return nil, err
+	}
+	return []dist.KnobSpec{vault, backup, dist.PiTKnobSpec("split-mirror")}, nil
 }

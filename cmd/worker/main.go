@@ -1,0 +1,70 @@
+// Command worker serves shard assignments from a distributed exhaustive
+// design-space search (internal/dist). A coordinator — cmd/optimize
+// -coordinator, or the dist.Coordinator API — POSTs self-contained JSON
+// jobs to /v1/run; the worker evaluates its shard of the candidate space
+// with the local streaming search (opt.ExhaustiveOpts) and streams
+// NDJSON heartbeats while it works, then the shard's Solution. /v1/health
+// reports liveness and the wire version.
+//
+// Usage:
+//
+//	worker                           # listen on 127.0.0.1:7700
+//	worker -addr 0.0.0.0:7700        # accept remote coordinators
+//	worker -workers 4 -heartbeat 2s
+//
+// Workers hold no state between jobs: any number can serve the same
+// coordinator, and the merged answer is byte-identical to a
+// single-process search however the shards land.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"stordep/internal/dist"
+)
+
+// options carries the parsed command line.
+type options struct {
+	addr      string
+	workers   int
+	heartbeat time.Duration
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("worker: ")
+
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:7700", "listen address")
+	flag.IntVar(&o.workers, "workers", 0, "local evaluation goroutines per job (0 = all CPUs); any value returns the same solution")
+	flag.DurationVar(&o.heartbeat, "heartbeat", time.Second, "progress heartbeat interval")
+	flag.Parse()
+
+	if o.workers < 0 {
+		log.Fatalf("-workers must be non-negative, got %d", o.workers)
+	}
+	l, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (wire v%d)", l.Addr(), dist.Version)
+	log.Fatal(serve(l, o))
+}
+
+// serve runs the worker protocol on an open listener (split from main so
+// tests can bind port 0).
+func serve(l net.Listener, o options) error {
+	srv := &http.Server{
+		Handler: dist.NewHandler(dist.HandlerOptions{
+			Workers:        o.workers,
+			HeartbeatEvery: o.heartbeat,
+			Logf:           log.Printf,
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.Serve(l)
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"stordep/internal/casestudy"
+	"stordep/internal/dist"
+	"stordep/internal/failure"
+)
+
+// TestServeSpeaksTheWorkerProtocol binds an ephemeral port, runs serve,
+// and drives it through the coordinator's client: health check, then a
+// real shard evaluation over the wire.
+func TestServeSpeaksTheWorkerProtocol(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go serve(l, options{workers: 1, heartbeat: 10 * time.Millisecond}) //nolint:errcheck
+
+	w := &dist.HTTPWorker{BaseURL: "http://" + l.Addr().String(), Name: "local"}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := w.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := dist.RetCntKnobSpec("vaulting", []int{13, 26, 39})
+	job, err := dist.NewJob(casestudy.Baseline(),
+		[]dist.KnobSpec{spec},
+		dist.ScenarioSpecs([]failure.Scenario{{Scope: failure.ScopeArray}, {Scope: failure.ScopeSite}}),
+		dist.ObjectiveSpec{Kind: "worst"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Shard = dist.ShardSpec{Index: 0, Count: 2}
+
+	var beats int
+	res, err := w.Run(ctx, job, func(int64) { beats++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beats < 1 {
+		t.Error("no heartbeats over the wire")
+	}
+
+	// The remote answer must equal local execution of the same shard.
+	want, err := dist.ExecuteJob(job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantData, err := want.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotData, err := res.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wantData) != string(gotData) {
+		t.Errorf("remote shard result differs from local:\nlocal  %s\nremote %s", wantData, gotData)
+	}
+}
+
+func TestServeRejectsGarbage(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go serve(l, options{heartbeat: time.Second}) //nolint:errcheck
+
+	resp, err := http.Post("http://"+l.Addr().String()+dist.RunPath, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty job: HTTP %d, want 400", resp.StatusCode)
+	}
+}

@@ -192,6 +192,22 @@ func Load(path string) (*core.Design, error) {
 	return Unmarshal(data)
 }
 
+// MarshalPolicy encodes one protection policy in the same schema a design
+// file's level policy uses, so policies can travel on their own — e.g. as
+// the options of a distributed-search policy knob (internal/dist).
+func MarshalPolicy(p hierarchy.Policy) ([]byte, error) {
+	return json.Marshal(encodePolicy(p))
+}
+
+// UnmarshalPolicy decodes a standalone policy encoded by MarshalPolicy.
+func UnmarshalPolicy(data []byte) (hierarchy.Policy, error) {
+	var pj policyJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return hierarchy.Policy{}, fmt.Errorf("%w: policy: %v", ErrBadDesign, err)
+	}
+	return decodePolicy(&pj)
+}
+
 // --- encoding ---------------------------------------------------------------
 
 // fmtSize and fmtRate render quantities losslessly (%g prints the

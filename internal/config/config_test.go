@@ -9,6 +9,7 @@ import (
 	"stordep/internal/casestudy"
 	"stordep/internal/core"
 	"stordep/internal/failure"
+	"stordep/internal/hierarchy"
 )
 
 // TestRoundTripAllCaseStudyDesigns: every Table 7 design survives a
@@ -202,5 +203,44 @@ func TestErasureRoundTrip(t *testing.T) {
 	}
 	if len(back.Levels) != 1 || back.Levels[0].Name() != "erasure-code" {
 		t.Errorf("levels = %v", back.Levels)
+	}
+}
+
+// TestPolicyRoundTrip: standalone policies survive MarshalPolicy /
+// UnmarshalPolicy exactly — the distributed-search wire format ships
+// policy-knob options this way, and any drift would make a remote
+// worker's candidates diverge from the coordinator's.
+func TestPolicyRoundTrip(t *testing.T) {
+	for _, pol := range []struct {
+		name string
+		p    hierarchy.Policy
+	}{
+		{"split-mirror", casestudy.SplitMirrorPolicy()},
+		{"backup", casestudy.BackupPolicy()},
+		{"vault", casestudy.VaultPolicy()},
+	} {
+		t.Run(pol.name, func(t *testing.T) {
+			data, err := MarshalPolicy(pol.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := UnmarshalPolicy(data)
+			if err != nil {
+				t.Fatalf("unmarshal: %v\n%s", err, data)
+			}
+			data2, err := MarshalPolicy(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(data) != string(data2) {
+				t.Errorf("policy did not round trip:\n%s\nvs\n%s", data, data2)
+			}
+		})
+	}
+	if _, err := UnmarshalPolicy([]byte(`{"accW":"bogus"}`)); !errors.Is(err, ErrBadDesign) {
+		t.Errorf("bad policy: err = %v, want ErrBadDesign", err)
+	}
+	if _, err := UnmarshalPolicy([]byte(`{`)); !errors.Is(err, ErrBadDesign) {
+		t.Errorf("truncated policy: err = %v, want ErrBadDesign", err)
 	}
 }

@@ -1,0 +1,253 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"stordep/internal/failure"
+	"stordep/internal/opt"
+	"stordep/internal/units"
+)
+
+func TestBuildKnobsMatchesConstructors(t *testing.T) {
+	specs := testKnobSpecs(t)
+	specs = append(specs, AccWKnobSpec("backup", []time.Duration{units.Week, 2 * units.Week}))
+	knobs, err := BuildKnobs(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(knobs) != len(specs) {
+		t.Fatalf("built %d knobs from %d specs", len(knobs), len(specs))
+	}
+	wantNames := []string{"vaulting policy", "split-mirror PiT technique", "backup retCnt", "tape-library count", "backup accW"}
+	wantOpts := []int{2, 2, 3, 2, 2}
+	for i, k := range knobs {
+		if k.Name != wantNames[i] {
+			t.Errorf("knob %d name %q, want %q", i, k.Name, wantNames[i])
+		}
+		if len(k.Options) != wantOpts[i] {
+			t.Errorf("knob %d has %d options, want %d", i, len(k.Options), wantOpts[i])
+		}
+	}
+	// The rebuilt space must size identically on both ends of the wire.
+	space, err := opt.SpaceSize(knobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space != 2*2*3*2*2 {
+		t.Errorf("space size %d, want 48", space)
+	}
+}
+
+func TestBuildKnobsRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		spec KnobSpec
+	}{
+		{"unknown kind", KnobSpec{Kind: "warp", Target: "x"}},
+		{"empty kind", KnobSpec{Target: "x"}},
+		{"policy without options", KnobSpec{Kind: KnobPolicy, Target: "vaulting"}},
+		{"policy names/policies mismatch", KnobSpec{Kind: KnobPolicy, Target: "vaulting", Names: []string{"a"}}},
+		{"policy with garbage option", KnobSpec{Kind: KnobPolicy, Target: "v", Names: []string{"a"}, Policies: []json.RawMessage{json.RawMessage(`{"retCnt":`)}}},
+		{"accw without durations", KnobSpec{Kind: KnobAccW, Target: "backup"}},
+		{"accw bad duration", KnobSpec{Kind: KnobAccW, Target: "backup", Durations: []string{"yesterday"}}},
+		{"retcnt without ints", KnobSpec{Kind: KnobRetCnt, Target: "backup"}},
+		{"links without ints", KnobSpec{Kind: KnobLinks, Target: "wan"}},
+	}
+	for _, tc := range cases {
+		if _, err := BuildKnobs([]KnobSpec{tc.spec}); !errors.Is(err, ErrBadJob) {
+			t.Errorf("%s: err = %v, want ErrBadJob", tc.name, err)
+		}
+	}
+}
+
+func TestScenarioSpecsRoundTrip(t *testing.T) {
+	want := []failure.Scenario{
+		{Name: "object", Scope: failure.ScopeObject, TargetAge: 24 * time.Hour, RecoverSize: units.MB},
+		{Scope: failure.ScopeArray},
+		{Scope: failure.ScopeSite},
+	}
+	got, err := BuildScenarios(ScenarioSpecs(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round trip changed scenario count: %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("scenario %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBuildScenariosRejects(t *testing.T) {
+	cases := []ScenarioSpec{
+		{Scope: "galaxy"},
+		{Scope: ""},
+		{Scope: failure.ScopeArray.String(), TargetAge: "soon"},
+		{Scope: failure.ScopeArray.String(), RecoverSize: "big"},
+	}
+	for i, spec := range cases {
+		if _, err := BuildScenarios([]ScenarioSpec{spec}); !errors.Is(err, ErrBadJob) {
+			t.Errorf("case %d (%+v): err = %v, want ErrBadJob", i, spec, err)
+		}
+	}
+}
+
+func TestBuildObjective(t *testing.T) {
+	for _, kind := range []string{"", "worst", "expected"} {
+		if _, err := BuildObjective(ObjectiveSpec{Kind: kind}); err != nil {
+			t.Errorf("kind %q: %v", kind, err)
+		}
+	}
+	if _, err := BuildObjective(ObjectiveSpec{Kind: "constrained", RTO: "4h", RPO: "1h"}); err != nil {
+		t.Errorf("constrained: %v", err)
+	}
+	if _, err := BuildObjective(ObjectiveSpec{Kind: "best-effort"}); !errors.Is(err, ErrBadJob) {
+		t.Error("unknown kind should be ErrBadJob")
+	}
+	if _, err := BuildObjective(ObjectiveSpec{Kind: "constrained", RTO: "whenever"}); !errors.Is(err, ErrBadJob) {
+		t.Error("bad RTO should be ErrBadJob")
+	}
+}
+
+// TestExecuteJobMatchesLocal is the core wire fidelity property: running
+// a job through encode → decode → rebuild → search returns exactly what
+// the in-memory search returns, whole-space and per-shard.
+func TestExecuteJobMatchesLocal(t *testing.T) {
+	job := testJob(t)
+	oracle := singleProcessOracle(t, job)
+
+	whole, err := ExecuteJob(job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholeSol, err := whole.Solution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "whole space over the wire", oracle, wholeSol)
+
+	for _, shards := range []int{2, 3, 5, 24, 30} {
+		results := make([]*Result, shards)
+		for s := 0; s < shards; s++ {
+			sub := *job
+			sub.Shard = ShardSpec{Index: s, Count: shards}
+			if results[s], err = ExecuteJob(&sub, nil); err != nil {
+				t.Fatalf("%d shards: shard %d: %v", shards, s, err)
+			}
+		}
+		merged, err := MergeResults(results)
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		requireIdentical(t, "merge", oracle, merged)
+	}
+}
+
+func TestMergeResultsDedupesAndCounts(t *testing.T) {
+	job := testJob(t)
+	oracle := singleProcessOracle(t, job)
+
+	const shards = 4
+	results := make([]*Result, 0, shards+2)
+	for s := 0; s < shards; s++ {
+		sub := *job
+		sub.Shard = ShardSpec{Index: s, Count: shards}
+		r, err := ExecuteJob(&sub, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	// Speculative duplicates: the same shards reported again must not
+	// change the answer or double-count evaluations.
+	results = append(results, results[1], results[3])
+	merged, err := MergeResults(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "merge with duplicates", oracle, merged)
+}
+
+func TestMergeResultsInfeasibleShardsKeepTheirEvaluations(t *testing.T) {
+	job := testJob(t)
+	sub := *job
+	sub.Shard = ShardSpec{Index: 0, Count: 2}
+	feasible, err := ExecuteJob(&sub, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infeasible := &Result{
+		Version:        Version,
+		Shard:          ShardSpec{Index: 1, Count: 2},
+		Feasible:       false,
+		Evaluations:    12,
+		CandidateIndex: -1,
+	}
+	merged, err := MergeResults([]*Result{infeasible, feasible})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := feasible.Evaluations + 12; merged.Evaluations != want {
+		t.Errorf("merged evaluations %d, want %d (feasible %d + infeasible 12)",
+			merged.Evaluations, want, feasible.Evaluations)
+	}
+	if merged.CandidateIndex != feasible.CandidateIndex {
+		t.Errorf("winner %d, want shard 0's %d", merged.CandidateIndex, feasible.CandidateIndex)
+	}
+}
+
+func TestMergeResultsRejects(t *testing.T) {
+	if _, err := MergeResults(nil); !errors.Is(err, ErrBadResult) {
+		t.Error("empty merge should be ErrBadResult")
+	}
+	a := &Result{Shard: ShardSpec{Index: 0, Count: 2}, CandidateIndex: -1, Evaluations: 1}
+	b := &Result{Shard: ShardSpec{Index: 0, Count: 3}, CandidateIndex: -1, Evaluations: 1}
+	if _, err := MergeResults([]*Result{a, b}); !errors.Is(err, ErrBadResult) {
+		t.Error("mixed shard counts should be ErrBadResult")
+	}
+	if _, err := MergeResults([]*Result{a, nil}); !errors.Is(err, ErrBadResult) {
+		t.Error("nil result should be ErrBadResult")
+	}
+	// A partial merge (shard 1/2 never reported) is an error, not a
+	// silently wrong answer.
+	if _, err := MergeResults([]*Result{a}); !errors.Is(err, ErrBadResult) {
+		t.Errorf("missing shard: err = %v, want ErrBadResult", err)
+	}
+	// All shards present but infeasible surfaces the search layer's
+	// no-feasible error.
+	whole := &Result{Shard: ShardSpec{}, CandidateIndex: -1, Evaluations: 1}
+	if _, err := MergeResults([]*Result{whole}); !errors.Is(err, opt.ErrNoFeasible) {
+		t.Errorf("all-infeasible merge: err = %v, want opt.ErrNoFeasible", err)
+	}
+}
+
+func TestExecuteJobInfeasibleShardReportsSliceSize(t *testing.T) {
+	job := testJob(t)
+	// An RTO no design can meet makes every candidate infeasible.
+	job.Objective = ObjectiveSpec{Kind: "constrained", RTO: "1us", RPO: "1us"}
+	sub := *job
+	sub.Shard = ShardSpec{Index: 1, Count: 4}
+	res, err := ExecuteJob(&sub, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible || res.CandidateIndex != -1 {
+		t.Fatalf("expected an infeasible result, got %+v", res)
+	}
+	knobs, err := BuildKnobs(job.Knobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := opt.SpaceSize(knobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sub.Shard.Shard().Size(space); res.Evaluations != want {
+		t.Errorf("infeasible shard reports %d evaluations, want its slice size %d", res.Evaluations, want)
+	}
+}

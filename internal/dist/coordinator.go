@@ -1,0 +1,400 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"stordep/internal/opt"
+)
+
+// Worker executes shard jobs on behalf of the coordinator. Run evaluates
+// one job and returns its wire Result; it must honor ctx cancellation
+// (the coordinator enforces per-attempt timeouts through it) and may
+// call heartbeat, concurrently with its own work, to report live
+// progress (evaluated-candidate count). Implementations: HTTPWorker
+// (remote, cmd/worker) and Loopback (in-process, hermetic tests).
+type Worker interface {
+	ID() string
+	Run(ctx context.Context, job *Job, heartbeat func(evals int64)) (*Result, error)
+}
+
+// ErrNoWorkers is returned by NewCoordinator without any workers.
+var ErrNoWorkers = errors.New("dist: coordinator needs at least one worker")
+
+// Options configures a Coordinator. The zero value is usable: four
+// shards per worker, three attempts per shard, 100ms base backoff, no
+// per-attempt timeout, no speculation.
+type Options struct {
+	// ShardsPerWorker oversizes the partition so fast workers absorb
+	// slow shards: the space splits into len(workers)*ShardsPerWorker
+	// shards (capped at the space size). Default 4.
+	ShardsPerWorker int
+	// Shards overrides the shard count directly when > 0.
+	Shards int
+	// AttemptTimeout bounds each dispatch attempt; a worker that has not
+	// answered by then is abandoned (its context is canceled) and the
+	// shard is re-dispatched. 0 means no deadline.
+	AttemptTimeout time.Duration
+	// MaxAttempts caps failed attempts per shard before the whole
+	// search fails. Default 3.
+	MaxAttempts int
+	// RetryBackoff is the delay before a failed shard is re-queued,
+	// doubling per failure. Default 100ms.
+	RetryBackoff time.Duration
+	// SpeculateAfter, when > 0, re-dispatches a shard that has been in
+	// flight this long to a second worker; the first valid result wins
+	// and the loser is discarded by shard index. At most one duplicate
+	// per shard. 0 disables speculation.
+	SpeculateAfter time.Duration
+	// WorkersPerJob hints each worker's local evaluation pool size; 0
+	// means all the worker's CPUs. Any value returns the same Solution.
+	WorkersPerJob int
+	// Metrics receives the run's instrumentation; nil allocates one
+	// (reachable via Coordinator.Metrics).
+	Metrics *Metrics
+}
+
+// Coordinator fans an exhaustive search out over workers and merges the
+// shard winners deterministically: the space is partitioned into more
+// shards than workers, each shard is dispatched with bounded retries and
+// optional speculative re-dispatch, and the results merge through
+// opt.MergeShards — byte-identical to a single-process search for any
+// worker count, shard count, failure pattern, or arrival order.
+type Coordinator struct {
+	workers []Worker
+	opts    Options
+	m       *Metrics
+}
+
+// NewCoordinator validates the worker set and defaults the options.
+func NewCoordinator(workers []Worker, opts Options) (*Coordinator, error) {
+	if len(workers) == 0 {
+		return nil, ErrNoWorkers
+	}
+	ids := make(map[string]bool, len(workers))
+	for _, w := range workers {
+		if w.ID() == "" {
+			return nil, fmt.Errorf("dist: worker with empty ID")
+		}
+		if ids[w.ID()] {
+			return nil, fmt.Errorf("dist: duplicate worker ID %q", w.ID())
+		}
+		ids[w.ID()] = true
+	}
+	if opts.ShardsPerWorker <= 0 {
+		opts.ShardsPerWorker = 4
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 100 * time.Millisecond
+	}
+	m := opts.Metrics
+	if m == nil {
+		m = &Metrics{}
+	}
+	return &Coordinator{workers: workers, opts: opts, m: m}, nil
+}
+
+// Metrics returns the coordinator's instrumentation.
+func (c *Coordinator) Metrics() *Metrics { return c.m }
+
+// runState is one Run's dispatch ledger, guarded by mu. cond is
+// broadcast on every transition: new pending work, completions,
+// failures, speculation, and cancellation.
+type runState struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	pending    []int             // shard indices awaiting dispatch
+	inflight   map[int]int       // running attempts per shard
+	started    map[int]time.Time // start of the oldest running attempt
+	failedBy   map[int]map[string]bool
+	failures   map[int]int
+	speculated map[int]bool
+	done       map[int]*Result
+	remaining  int
+	err        error
+}
+
+func (st *runState) fail(err error) {
+	if st.err == nil {
+		st.err = err
+	}
+	st.cond.Broadcast()
+}
+
+// Run partitions the job's candidate space and drives it to completion.
+// job must be unsharded (the coordinator owns the partitioning) and is
+// not mutated; each dispatch carries a copy with its shard assignment.
+func (c *Coordinator) Run(ctx context.Context, job *Job) (*opt.Solution, error) {
+	if job.Shard != (ShardSpec{}) {
+		return nil, fmt.Errorf("%w: coordinator job must be unsharded, got shard %d/%d",
+			ErrBadJob, job.Shard.Index, job.Shard.Count)
+	}
+	// Size the space up front — the same knob build every worker
+	// performs, so coordinator and workers agree on the enumeration.
+	knobs, err := BuildKnobs(job.Knobs)
+	if err != nil {
+		return nil, err
+	}
+	space, err := opt.SpaceSize(knobs)
+	if err != nil {
+		return nil, err
+	}
+	if job.Budget > 0 && space > job.Budget {
+		return nil, fmt.Errorf("%w: %d combinations > budget %d", opt.ErrSpaceTooLarge, space, job.Budget)
+	}
+	shards := c.opts.Shards
+	if shards <= 0 {
+		shards = len(c.workers) * c.opts.ShardsPerWorker
+	}
+	if shards > space {
+		shards = space
+	}
+	if shards < 1 {
+		shards = 1
+	}
+
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	st := &runState{
+		pending:    make([]int, shards),
+		inflight:   make(map[int]int),
+		started:    make(map[int]time.Time),
+		failedBy:   make(map[int]map[string]bool),
+		failures:   make(map[int]int),
+		speculated: make(map[int]bool),
+		done:       make(map[int]*Result),
+		remaining:  shards,
+	}
+	st.cond = sync.NewCond(&st.mu)
+	for i := range st.pending {
+		st.pending[i] = i
+	}
+
+	// Propagate caller cancellation into the ledger so blocked workers
+	// wake up; the derived-context cancel on normal return is a no-op
+	// here because remaining is already zero.
+	go func() {
+		<-rctx.Done()
+		st.mu.Lock()
+		if st.remaining > 0 {
+			st.fail(rctx.Err())
+		}
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	}()
+
+	if c.opts.SpeculateAfter > 0 {
+		go c.speculate(rctx, st)
+	}
+	for _, w := range c.workers {
+		go c.workerLoop(rctx, w, st, job, shards)
+	}
+
+	st.mu.Lock()
+	for st.remaining > 0 && st.err == nil {
+		st.cond.Wait()
+	}
+	err = st.err
+	var results []*Result
+	if err == nil {
+		results = make([]*Result, shards)
+		for i := 0; i < shards; i++ {
+			results[i] = st.done[i]
+		}
+	}
+	st.mu.Unlock()
+	cancel() // release any in-flight duplicate attempts
+
+	if err != nil {
+		return nil, err
+	}
+	return MergeResults(results)
+}
+
+// speculate watches for stragglers: shards whose oldest running attempt
+// is older than SpeculateAfter get one duplicate dispatch.
+func (c *Coordinator) speculate(ctx context.Context, st *runState) {
+	tick := c.opts.SpeculateAfter / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			st.mu.Lock()
+			for s, t0 := range st.started {
+				if !st.speculated[s] && st.done[s] == nil && now.Sub(t0) >= c.opts.SpeculateAfter {
+					st.speculated[s] = true
+					st.pending = append(st.pending, s)
+					c.m.ShardsSpeculated.Add(1)
+				}
+			}
+			st.cond.Broadcast()
+			st.mu.Unlock()
+		}
+	}
+}
+
+// workerLoop pulls shard assignments until the run completes or fails.
+// A worker never re-pulls a shard it already failed unless every worker
+// has failed it (the exclusion set resets to preserve liveness).
+func (c *Coordinator) workerLoop(ctx context.Context, w Worker, st *runState, job *Job, shards int) {
+	for {
+		s, ok := c.next(st, w)
+		if !ok {
+			return
+		}
+		res, err := c.attempt(ctx, w, job, s, shards)
+		c.record(st, w, s, res, err)
+	}
+}
+
+// next blocks until an assignment is available for this worker, the run
+// completes, or it fails.
+func (c *Coordinator) next(st *runState, w Worker) (int, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		if st.err != nil || st.remaining == 0 {
+			return 0, false
+		}
+		idx := -1
+		for i, s := range st.pending {
+			if st.done[s] == nil && !st.failedBy[s][w.ID()] {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			// Opportunistically drop entries for completed shards so the
+			// queue never grows stale duplicates.
+			kept := st.pending[:0]
+			for _, s := range st.pending {
+				if st.done[s] == nil {
+					kept = append(kept, s)
+				}
+			}
+			st.pending = kept
+			st.cond.Wait()
+			continue
+		}
+		s := st.pending[idx]
+		st.pending = append(st.pending[:idx], st.pending[idx+1:]...)
+		st.inflight[s]++
+		if st.inflight[s] == 1 {
+			st.started[s] = time.Now()
+		}
+		c.m.ShardsDispatched.Add(1)
+		return s, true
+	}
+}
+
+// attempt runs one dispatch with the per-attempt timeout and validates
+// the response shape: a result for the wrong shard or wire version is a
+// worker failure, exactly like an error or a timeout.
+func (c *Coordinator) attempt(ctx context.Context, w Worker, job *Job, s, shards int) (*Result, error) {
+	sub := *job
+	sub.Shard = ShardSpec{Index: s, Count: shards}
+	sub.Workers = c.opts.WorkersPerJob
+	actx := ctx
+	if c.opts.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.opts.AttemptTimeout)
+		defer cancel()
+	}
+	hb := func(evals int64) {
+		c.m.HeartbeatsReceived.Add(1)
+		c.m.WorkerSeen(w.ID(), time.Now())
+	}
+	res, err := w.Run(actx, &sub, hb)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case res == nil:
+		return nil, fmt.Errorf("dist: worker %s returned no result for shard %d/%d", w.ID(), s, shards)
+	case res.Version != Version:
+		return nil, fmt.Errorf("%w: worker %s answered version %d", ErrVersion, w.ID(), res.Version)
+	case res.Shard != sub.Shard:
+		return nil, fmt.Errorf("dist: worker %s answered for shard %d/%d, asked %d/%d",
+			w.ID(), res.Shard.Index, res.Shard.Count, s, shards)
+	}
+	return res, nil
+}
+
+// record applies one attempt's outcome to the ledger: first valid result
+// per shard wins, duplicates are discarded, failures re-queue with
+// exponential backoff until MaxAttempts, then fail the run — unless a
+// still-running duplicate attempt can save the shard.
+func (c *Coordinator) record(st *runState, w Worker, s int, res *Result, err error) {
+	now := time.Now()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.inflight[s]--
+	if st.inflight[s] <= 0 {
+		delete(st.inflight, s)
+		delete(st.started, s)
+	}
+	if err == nil {
+		c.m.WorkerSeen(w.ID(), now)
+		if st.done[s] == nil {
+			st.done[s] = res
+			st.remaining--
+			c.m.ShardsCompleted.Add(1)
+		} else {
+			c.m.DuplicatesDiscarded.Add(1)
+		}
+		st.cond.Broadcast()
+		return
+	}
+	c.m.WorkerErrors.Add(1)
+	if st.done[s] != nil || st.err != nil {
+		st.cond.Broadcast()
+		return
+	}
+	st.failures[s]++
+	if st.failedBy[s] == nil {
+		st.failedBy[s] = make(map[string]bool)
+	}
+	st.failedBy[s][w.ID()] = true
+	if len(st.failedBy[s]) == len(c.workers) {
+		// Every worker has failed this shard once; reset the exclusion
+		// set so retries stay possible until MaxAttempts decides.
+		st.failedBy[s] = make(map[string]bool)
+	}
+	if st.failures[s] >= c.opts.MaxAttempts {
+		if st.inflight[s] == 0 {
+			st.fail(fmt.Errorf("dist: shard %d gave up after %d failed attempts, last from worker %s: %w",
+				s, st.failures[s], w.ID(), err))
+		}
+		// A speculative duplicate is still running: let it decide.
+		st.cond.Broadcast()
+		return
+	}
+	c.m.ShardsRetried.Add(1)
+	shift := st.failures[s] - 1
+	if shift > 10 {
+		shift = 10 // cap the exponential backoff at 1024x the base
+	}
+	delay := c.opts.RetryBackoff << shift
+	time.AfterFunc(delay, func() {
+		st.mu.Lock()
+		if st.done[s] == nil && st.err == nil {
+			st.pending = append(st.pending, s)
+		}
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	})
+	st.cond.Broadcast()
+}

@@ -1,0 +1,303 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"stordep/internal/opt"
+)
+
+// runCoordinator drives one distributed search over loopback workers and
+// returns the merged Solution plus the run's metrics.
+func runCoordinator(t *testing.T, workers []Worker, opts Options, job *Job) (*opt.Solution, *Metrics) {
+	t.Helper()
+	c, err := NewCoordinator(workers, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := c.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol, c.Metrics()
+}
+
+// TestCoordinatorMatchesSingleProcess is the headline determinism
+// property: for any worker count and shard count, the distributed answer
+// is byte-identical to the single-process search.
+func TestCoordinatorMatchesSingleProcess(t *testing.T) {
+	job := testJob(t)
+	oracle := singleProcessOracle(t, job)
+
+	for _, n := range []int{1, 2, 4} {
+		workers := make([]Worker, n)
+		for i := range workers {
+			workers[i] = &Loopback{Name: fmt.Sprintf("w%d", i)}
+		}
+		sol, m := runCoordinator(t, workers, Options{}, job)
+		requireIdentical(t, fmt.Sprintf("%d workers", n), oracle, sol)
+
+		shards := int64(n * 4) // default ShardsPerWorker
+		if m.ShardsCompleted.Load() != shards {
+			t.Errorf("%d workers: completed %d shards, want %d", n, m.ShardsCompleted.Load(), shards)
+		}
+		// Every attempt announces itself with an initial heartbeat.
+		if m.HeartbeatsReceived.Load() < shards {
+			t.Errorf("%d workers: %d heartbeats, want >= %d", n, m.HeartbeatsReceived.Load(), shards)
+		}
+	}
+}
+
+func TestCoordinatorShardCountOverrides(t *testing.T) {
+	job := testJob(t)
+	oracle := singleProcessOracle(t, job)
+	workers := []Worker{&Loopback{Name: "a"}, &Loopback{Name: "b"}}
+
+	for _, tc := range []struct {
+		shards, want int
+	}{
+		{1, 1},
+		{5, 5},
+		{24, 24},
+		{100, 24}, // capped at the space size
+	} {
+		sol, m := runCoordinator(t, workers, Options{Shards: tc.shards}, job)
+		requireIdentical(t, fmt.Sprintf("Shards=%d", tc.shards), oracle, sol)
+		if m.ShardsCompleted.Load() != int64(tc.want) {
+			t.Errorf("Shards=%d: completed %d, want %d", tc.shards, m.ShardsCompleted.Load(), tc.want)
+		}
+	}
+}
+
+// TestCoordinatorSurvivesInjectedFaults is the flaky-transport property
+// test: under seeded random crashes, hangs and malformed responses —
+// with speculation racing duplicate attempts on half the seeds — the
+// merged Solution never deviates from the single-process oracle.
+func TestCoordinatorSurvivesInjectedFaults(t *testing.T) {
+	job := testJob(t)
+	oracle := singleProcessOracle(t, job)
+
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			workers := make([]Worker, 3)
+			for i := range workers {
+				// One rand per worker: a Loopback runs attempts
+				// sequentially, so the source is never shared.
+				rng := rand.New(rand.NewSource(seed*31 + int64(i)))
+				workers[i] = &Loopback{
+					Name: fmt.Sprintf("w%d", i),
+					Intercept: func(*Job) Fault {
+						switch p := rng.Float64(); {
+						case p < 0.20:
+							return FaultCrash
+						case p < 0.30:
+							return FaultMalformed
+						case p < 0.35:
+							return FaultHang
+						default:
+							return FaultNone
+						}
+					},
+				}
+			}
+			opts := Options{
+				AttemptTimeout: 250 * time.Millisecond, // reaps the hangs
+				MaxAttempts:    12,
+				RetryBackoff:   time.Millisecond,
+			}
+			if seed%2 == 1 {
+				opts.SpeculateAfter = 25 * time.Millisecond
+			}
+			sol, m := runCoordinator(t, workers, opts, job)
+			requireIdentical(t, "faulty transport", oracle, sol)
+			if m.WorkerErrors.Load() > 0 && m.ShardsRetried.Load() == 0 {
+				t.Error("errors were recorded but nothing was retried")
+			}
+		})
+	}
+}
+
+// TestCoordinatorStragglerRedispatch is the acceptance scenario: one
+// worker never responds, and the coordinator must re-dispatch its shards
+// within the attempt timeout and still return the exact answer.
+func TestCoordinatorStragglerRedispatch(t *testing.T) {
+	job := testJob(t)
+	oracle := singleProcessOracle(t, job)
+
+	// The space evaluates in microseconds, so without a barrier the good
+	// worker can drain every shard before the hung worker's goroutine is
+	// even scheduled; hold the good worker until the straggler provably
+	// owns a shard.
+	hungGot := make(chan struct{})
+	var once sync.Once
+	workers := []Worker{
+		&Loopback{Name: "hung", Intercept: func(*Job) Fault {
+			once.Do(func() { close(hungGot) })
+			return FaultHang
+		}},
+		&Loopback{Name: "good", Intercept: func(*Job) Fault {
+			<-hungGot
+			return FaultNone
+		}},
+	}
+	sol, m := runCoordinator(t, workers, Options{
+		Shards:         4,
+		AttemptTimeout: 100 * time.Millisecond,
+		RetryBackoff:   time.Millisecond,
+	}, job)
+	requireIdentical(t, "straggler", oracle, sol)
+	if m.WorkerErrors.Load() < 1 {
+		t.Error("the hung worker's timeouts should count as worker errors")
+	}
+	if m.ShardsRetried.Load() < 1 {
+		t.Error("a timed-out shard should have been re-dispatched")
+	}
+	if last := m.LastSeen()["good"]; last.IsZero() {
+		t.Error("the live worker should have reported liveness")
+	}
+}
+
+// TestCoordinatorSpeculationRescuesStragglers uses no attempt timeout at
+// all: with one worker hung forever, only speculative re-dispatch can
+// finish the search.
+func TestCoordinatorSpeculationRescuesStragglers(t *testing.T) {
+	job := testJob(t)
+	oracle := singleProcessOracle(t, job)
+
+	hungGot := make(chan struct{})
+	var once sync.Once
+	workers := []Worker{
+		&Loopback{Name: "hung", Intercept: func(*Job) Fault {
+			once.Do(func() { close(hungGot) })
+			return FaultHang
+		}},
+		&Loopback{Name: "fast", Intercept: func(*Job) Fault {
+			<-hungGot
+			return FaultNone
+		}},
+	}
+	sol, m := runCoordinator(t, workers, Options{
+		Shards:         4,
+		SpeculateAfter: 20 * time.Millisecond,
+	}, job)
+	requireIdentical(t, "speculation", oracle, sol)
+	if m.ShardsSpeculated.Load() < 1 {
+		t.Error("the hung shard should have been speculatively re-dispatched")
+	}
+}
+
+// TestCoordinatorDiscardsDuplicateResults races two live workers on one
+// deliberately slow shard: both answers arrive, the first wins, and the
+// duplicate must be discarded without perturbing the merge.
+func TestCoordinatorDiscardsDuplicateResults(t *testing.T) {
+	job := testJob(t)
+	oracle := singleProcessOracle(t, job)
+
+	slow := func(*Job) Fault { time.Sleep(80 * time.Millisecond); return FaultNone }
+	workers := []Worker{
+		&Loopback{Name: "a", Intercept: slow},
+		&Loopback{Name: "b", Intercept: slow},
+	}
+	sol, m := runCoordinator(t, workers, Options{
+		Shards:         1,
+		SpeculateAfter: 10 * time.Millisecond,
+	}, job)
+	requireIdentical(t, "duplicate race", oracle, sol)
+	if m.ShardsSpeculated.Load() != 1 {
+		t.Fatalf("speculated %d shards, want 1", m.ShardsSpeculated.Load())
+	}
+	// The losing attempt may still be in flight when Run returns; its
+	// discard is recorded when it lands.
+	deadline := time.Now().Add(2 * time.Second)
+	for m.DuplicatesDiscarded.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if m.DuplicatesDiscarded.Load() != 1 {
+		t.Errorf("discarded %d duplicates, want 1", m.DuplicatesDiscarded.Load())
+	}
+}
+
+func TestCoordinatorFailsAfterMaxAttempts(t *testing.T) {
+	job := testJob(t)
+	crash := func(*Job) Fault { return FaultCrash }
+	c, err := NewCoordinator([]Worker{
+		&Loopback{Name: "a", Intercept: crash},
+		&Loopback{Name: "b", Intercept: crash},
+	}, Options{MaxAttempts: 2, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(context.Background(), job)
+	if !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("err = %v, want the injected crash as the cause", err)
+	}
+	if !strings.Contains(err.Error(), "gave up") {
+		t.Errorf("error should say the shard gave up: %v", err)
+	}
+}
+
+func TestCoordinatorHonorsCancellation(t *testing.T) {
+	job := testJob(t)
+	hang := func(*Job) Fault { return FaultHang }
+	c, err := NewCoordinator([]Worker{&Loopback{Name: "a", Intercept: hang}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = c.Run(ctx, job)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v to unwind", elapsed)
+	}
+}
+
+func TestCoordinatorRejectsBadInput(t *testing.T) {
+	if _, err := NewCoordinator(nil, Options{}); !errors.Is(err, ErrNoWorkers) {
+		t.Error("no workers should be ErrNoWorkers")
+	}
+	if _, err := NewCoordinator([]Worker{&Loopback{}}, Options{}); err == nil {
+		t.Error("empty worker ID should be rejected")
+	}
+	if _, err := NewCoordinator([]Worker{&Loopback{Name: "a"}, &Loopback{Name: "a"}}, Options{}); err == nil {
+		t.Error("duplicate worker IDs should be rejected")
+	}
+
+	c, err := NewCoordinator([]Worker{&Loopback{Name: "a"}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := testJob(t)
+	job.Shard = ShardSpec{Index: 0, Count: 2}
+	if _, err := c.Run(context.Background(), job); !errors.Is(err, ErrBadJob) {
+		t.Errorf("pre-sharded job: err = %v, want ErrBadJob", err)
+	}
+
+	tight := testJob(t)
+	tight.Budget = 5 // the space is 24 candidates
+	if _, err := c.Run(context.Background(), tight); !errors.Is(err, opt.ErrSpaceTooLarge) {
+		t.Errorf("over-budget job: err = %v, want opt.ErrSpaceTooLarge", err)
+	}
+}
+
+func TestCoordinatorHonorsBudgetWithinLimit(t *testing.T) {
+	job := testJob(t)
+	job.Budget = 24
+	oracle := singleProcessOracle(t, job)
+	sol, _ := runCoordinator(t, []Worker{&Loopback{Name: "a"}}, Options{}, job)
+	requireIdentical(t, "budget at the limit", oracle, sol)
+}

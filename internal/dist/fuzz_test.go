@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeJob asserts the job decoder never panics on malformed,
+// truncated or version-skewed input, and that anything it does accept
+// survives the downstream build steps and re-encodes cleanly.
+func FuzzDecodeJob(f *testing.F) {
+	job, err := newTestJob()
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed, err := job.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add(bytes.Replace(seed, []byte(`"version":1`), []byte(`"version":9`), 1))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"design":{},"knobs":[{"kind":"policy"}],"scenarios":[{"scope":"array"}]}`))
+	f.Add([]byte(`{"version":1,"shard":{"index":-3,"count":2}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		j, err := DecodeJob(data)
+		if err != nil {
+			return
+		}
+		// A decoded job must re-encode; the build steps may reject its
+		// contents but must not panic on them.
+		if _, err := j.Encode(); err != nil {
+			t.Fatalf("decoded job failed to re-encode: %v", err)
+		}
+		_, _ = BuildKnobs(j.Knobs)
+		_, _ = BuildScenarios(j.Scenarios)
+		_, _ = BuildObjective(j.Objective)
+	})
+}
+
+// FuzzDecodeResult asserts the result decoder never panics and that
+// accepted results re-encode and rebuild without panicking.
+func FuzzDecodeResult(f *testing.F) {
+	job, err := newTestJob()
+	if err != nil {
+		f.Fatal(err)
+	}
+	job.Shard = ShardSpec{Index: 0, Count: 3}
+	res, err := ExecuteJob(job, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed, err := res.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)*2/3])
+	f.Add(bytes.Replace(seed, []byte(`"version":1`), []byte(`"version":0`), 1))
+	f.Add([]byte(`{"version":1,"feasible":true,"candidateIndex":3}`))
+	f.Add([]byte(`{"version":1,"feasible":false,"candidateIndex":-1,"evaluations":5}`))
+	f.Add([]byte(`{"version":1,"candidateIndex":-1,"design":"not an object"}`))
+	f.Add([]byte(`[]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeResult(data)
+		if err != nil {
+			return
+		}
+		if _, err := r.Encode(); err != nil {
+			t.Fatalf("decoded result failed to re-encode: %v", err)
+		}
+		// Rebuilding the Solution may reject a bogus design payload, but
+		// must not panic.
+		_, _ = r.Solution()
+	})
+}

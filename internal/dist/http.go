@@ -1,0 +1,263 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// HTTP protocol paths (versioned alongside the wire format).
+const (
+	// RunPath accepts a POST Job and streams NDJSON progress: heartbeat
+	// lines while the shard evaluates, then exactly one terminal result
+	// or error line.
+	RunPath = "/v1/run"
+	// HealthPath reports liveness and the wire version.
+	HealthPath = "/v1/health"
+)
+
+// maxBodyBytes bounds request and response bodies (jobs and results are
+// a few kilobytes; designs are bounded by the config schema).
+const maxBodyBytes = 32 << 20
+
+// streamMsg is one NDJSON line of a run stream.
+type streamMsg struct {
+	// Type is "heartbeat", "result" or "error".
+	Type string `json:"type"`
+	// Evals is the live evaluated-candidate count (heartbeat).
+	Evals int64 `json:"evals,omitempty"`
+	// Result is the wire Result (terminal result line).
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is the failure message (terminal error line).
+	Error string `json:"error,omitempty"`
+}
+
+// HandlerOptions configures a worker's HTTP surface.
+type HandlerOptions struct {
+	// Workers caps the local evaluation pool when the job itself does
+	// not; 0 means all CPUs.
+	Workers int
+	// HeartbeatEvery is the progress-line interval; default 1s. An
+	// initial heartbeat is always written before evaluation starts, so
+	// the coordinator sees liveness even on instant shards.
+	HeartbeatEvery time.Duration
+	// Logf, when non-nil, receives one line per request.
+	Logf func(format string, args ...any)
+}
+
+// NewHandler serves the worker protocol: POST RunPath evaluates a shard
+// and streams heartbeats, GET HealthPath reports liveness. A handler is
+// stateless between requests; concurrent jobs each get their own
+// evaluation pool, so capping Workers matters on shared hosts.
+func NewHandler(opts HandlerOptions) http.Handler {
+	if opts.HeartbeatEvery <= 0 {
+		opts.HeartbeatEvery = time.Second
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc(HealthPath, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"status":"ok","version":%d}`+"\n", Version)
+	})
+	mux.HandleFunc(RunPath, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		job, err := DecodeJob(body)
+		if err != nil {
+			opts.Logf("reject: %v", err)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if job.Workers == 0 {
+			job.Workers = opts.Workers
+		}
+		opts.Logf("run shard %d/%d", job.Shard.Index, job.Shard.Count)
+		serveRun(w, r, job, opts)
+	})
+	return mux
+}
+
+// serveRun streams one job's evaluation as NDJSON.
+func serveRun(w http.ResponseWriter, r *http.Request, job *Job, opts HandlerOptions) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	writeMsg := func(m streamMsg) bool {
+		if err := enc.Encode(m); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	var progress atomic.Int64
+	start := time.Now()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := ExecuteJob(job, &progress)
+		done <- outcome{res, err}
+	}()
+
+	if !writeMsg(streamMsg{Type: "heartbeat", Evals: 0}) {
+		return
+	}
+	ticker := time.NewTicker(opts.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			// The coordinator gave up (timeout or cancellation); the
+			// evaluation goroutine runs to completion and is discarded.
+			opts.Logf("abandon shard %d/%d after %v: %v",
+				job.Shard.Index, job.Shard.Count, time.Since(start).Round(time.Millisecond), r.Context().Err())
+			return
+		case <-ticker.C:
+			if !writeMsg(streamMsg{Type: "heartbeat", Evals: progress.Load()}) {
+				return
+			}
+		case o := <-done:
+			if o.err != nil {
+				opts.Logf("fail shard %d/%d: %v", job.Shard.Index, job.Shard.Count, o.err)
+				writeMsg(streamMsg{Type: "error", Error: o.err.Error()})
+				return
+			}
+			data, err := o.res.Encode()
+			if err != nil {
+				writeMsg(streamMsg{Type: "error", Error: err.Error()})
+				return
+			}
+			opts.Logf("done shard %d/%d: %d evaluations in %v",
+				job.Shard.Index, job.Shard.Count, o.res.Evaluations, time.Since(start).Round(time.Millisecond))
+			writeMsg(streamMsg{Type: "result", Result: data})
+			return
+		}
+	}
+}
+
+// HTTPWorker drives one remote worker process (cmd/worker) over the
+// NDJSON streaming protocol; it implements Worker for the coordinator.
+type HTTPWorker struct {
+	// BaseURL locates the worker, e.g. "http://127.0.0.1:7701".
+	BaseURL string
+	// Name overrides the worker ID; default BaseURL.
+	Name string
+	// Client overrides the HTTP client; the default has no overall
+	// timeout (runs stream indefinitely; the coordinator's per-attempt
+	// context bounds them).
+	Client *http.Client
+}
+
+// ID implements Worker.
+func (h *HTTPWorker) ID() string {
+	if h.Name != "" {
+		return h.Name
+	}
+	return h.BaseURL
+}
+
+func (h *HTTPWorker) client() *http.Client {
+	if h.Client != nil {
+		return h.Client
+	}
+	return http.DefaultClient
+}
+
+// Health checks the worker's liveness endpoint and wire version.
+func (h *HTTPWorker) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.BaseURL+HealthPath, nil)
+	if err != nil {
+		return fmt.Errorf("dist: worker %s: %w", h.ID(), err)
+	}
+	resp, err := h.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("dist: worker %s unreachable: %w", h.ID(), err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: worker %s health: HTTP %d", h.ID(), resp.StatusCode)
+	}
+	var health struct {
+		Status  string `json:"status"`
+		Version int    `json:"version"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&health); err != nil {
+		return fmt.Errorf("dist: worker %s health: %w", h.ID(), err)
+	}
+	if health.Version != Version {
+		return fmt.Errorf("%w: worker %s speaks version %d, want %d", ErrVersion, h.ID(), health.Version, Version)
+	}
+	return nil
+}
+
+// Run implements Worker: POST the job, relay heartbeat lines, return
+// the terminal result.
+func (h *HTTPWorker) Run(ctx context.Context, job *Job, heartbeat func(evals int64)) (*Result, error) {
+	data, err := job.Encode()
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.BaseURL+RunPath, bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %s: %w", h.ID(), err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.client().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %s: %w", h.ID(), err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("dist: worker %s: HTTP %d: %s", h.ID(), resp.StatusCode, bytes.TrimSpace(msg))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), maxBodyBytes)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var msg streamMsg
+		if err := json.Unmarshal(line, &msg); err != nil {
+			return nil, fmt.Errorf("%w: worker %s stream: %v", ErrBadResult, h.ID(), err)
+		}
+		switch msg.Type {
+		case "heartbeat":
+			if heartbeat != nil {
+				heartbeat(msg.Evals)
+			}
+		case "error":
+			return nil, fmt.Errorf("dist: worker %s: %s", h.ID(), msg.Error)
+		case "result":
+			return DecodeResult(msg.Result)
+		default:
+			return nil, fmt.Errorf("%w: worker %s sent unknown stream message %q", ErrBadResult, h.ID(), msg.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dist: worker %s stream: %w", h.ID(), err)
+	}
+	return nil, fmt.Errorf("%w: worker %s closed the stream without a result", ErrBadResult, h.ID())
+}

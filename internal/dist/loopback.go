@@ -1,0 +1,124 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Fault is a Loopback worker's injected misbehavior for one attempt.
+type Fault int
+
+const (
+	// FaultNone runs the job normally.
+	FaultNone Fault = iota
+	// FaultCrash fails the attempt with an error before evaluating.
+	FaultCrash
+	// FaultHang blocks until the attempt's context is canceled — a
+	// worker that never responds.
+	FaultHang
+	// FaultMalformed answers with a structurally broken Result (wrong
+	// shard index), which the coordinator must reject like an error.
+	FaultMalformed
+)
+
+// ErrInjectedCrash is the error a FaultCrash attempt returns.
+var ErrInjectedCrash = errors.New("dist: injected worker crash")
+
+// Loopback is an in-process Worker that exercises the full wire
+// protocol — the job and result both round-trip through their JSON
+// encodings — without sockets, so the coordinator's dispatch, retry,
+// speculation and merge logic is testable hermetically. Intercept
+// injects faults per attempt.
+type Loopback struct {
+	// Name is the worker ID; required.
+	Name string
+	// Workers caps the local evaluation pool when the job itself does
+	// not (job.Workers takes precedence).
+	Workers int
+	// HeartbeatEvery, when > 0, streams progress heartbeats on a ticker
+	// while the job runs; an initial heartbeat is always sent so even
+	// instant jobs report liveness once, matching the HTTP worker.
+	HeartbeatEvery time.Duration
+	// Intercept, when non-nil, decides this attempt's fault from the
+	// decoded job. Called sequentially per worker (a Loopback runs one
+	// attempt at a time), concurrently across workers.
+	Intercept func(job *Job) Fault
+}
+
+// ID implements Worker.
+func (l *Loopback) ID() string { return l.Name }
+
+// Run implements Worker: encode the job, decode it back (exactly what a
+// remote worker receives), execute the shard, and round-trip the result
+// the same way.
+func (l *Loopback) Run(ctx context.Context, job *Job, heartbeat func(evals int64)) (*Result, error) {
+	data, err := job.Encode()
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := DecodeJob(data)
+	if err != nil {
+		return nil, err
+	}
+	if decoded.Workers == 0 {
+		decoded.Workers = l.Workers
+	}
+
+	fault := FaultNone
+	if l.Intercept != nil {
+		fault = l.Intercept(decoded)
+	}
+	switch fault {
+	case FaultCrash:
+		return nil, ErrInjectedCrash
+	case FaultHang:
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+
+	var progress atomic.Int64
+	if heartbeat != nil {
+		heartbeat(0)
+		if l.HeartbeatEvery > 0 {
+			hbCtx, stop := context.WithCancel(ctx)
+			defer stop()
+			go func() {
+				t := time.NewTicker(l.HeartbeatEvery)
+				defer t.Stop()
+				for {
+					select {
+					case <-hbCtx.Done():
+						return
+					case <-t.C:
+						heartbeat(progress.Load())
+					}
+				}
+			}()
+		}
+	}
+
+	res, err := ExecuteJob(decoded, &progress)
+	if err != nil {
+		return nil, err
+	}
+	if fault == FaultMalformed {
+		bad := *res
+		if bad.Shard.Count > 1 {
+			// Answer for a shard nobody asked about.
+			bad.Shard.Index = (bad.Shard.Index + 1) % bad.Shard.Count
+		} else {
+			// Single shard: break the result's structure instead (a
+			// feasible result must carry a candidate index), so the
+			// decode below fails like a garbled response would.
+			bad.Feasible, bad.CandidateIndex = true, -1
+		}
+		res = &bad
+	}
+	encoded, err := res.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return DecodeResult(encoded)
+}

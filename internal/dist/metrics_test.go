@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsWritePrometheus(t *testing.T) {
+	var m Metrics
+	m.ShardsDispatched.Store(7)
+	m.ShardsCompleted.Store(5)
+	m.ShardsRetried.Store(2)
+	m.WorkerErrors.Store(2)
+	now := time.Unix(1000, 0)
+	m.WorkerSeen("b", now.Add(-3*time.Second))
+	m.WorkerSeen("a", now.Add(-1*time.Second))
+	// A stale signal must not move the gauge backwards.
+	m.WorkerSeen("a", now.Add(-30*time.Second))
+
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb, now); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE stordep_dist_shards_dispatched_total counter",
+		"stordep_dist_shards_dispatched_total 7",
+		"stordep_dist_shards_completed_total 5",
+		"stordep_dist_shards_retried_total 2",
+		"stordep_dist_worker_errors_total 2",
+		"stordep_dist_heartbeats_received_total 0",
+		"# TYPE stordep_dist_worker_idle_seconds gauge",
+		`stordep_dist_worker_idle_seconds{worker="a"} 1`,
+		`stordep_dist_worker_idle_seconds{worker="b"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Workers sort deterministically.
+	if strings.Index(out, `worker="a"`) > strings.Index(out, `worker="b"`) {
+		t.Error("workers not sorted")
+	}
+}
+
+func TestMetricsEmptyHasNoWorkerGauge(t *testing.T) {
+	var m Metrics
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "worker_idle_seconds") {
+		t.Error("no workers seen, but the idle gauge was emitted")
+	}
+}

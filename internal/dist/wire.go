@@ -1,0 +1,272 @@
+// Package dist distributes an exhaustive design-space search across
+// workers on other processes or hosts. It is the cross-host layer above
+// the sharded streaming search of internal/opt: a coordinator partitions
+// the candidate space into more shards than workers, dispatches each
+// shard as a self-contained JSON job, retries failures with backoff,
+// speculatively re-dispatches stragglers, and merges the shard winners
+// with opt.MergeShards — so the distributed answer is byte-identical to
+// a single-process opt.ExhaustiveOpts for any worker count, shard count,
+// failure pattern, or arrival order.
+//
+// The wire format is versioned JSON. A Job carries everything a worker
+// needs to evaluate its shard with no other context: the base design in
+// the internal/config schema, serializable knob specifications (policy
+// options travel as config-encoded policies), failure scenarios, the
+// objective, and the shard assignment. A Result carries a shard's
+// Solution back, again via the config schema, so independently run
+// shards merge into exactly the Solution the unsharded search returns.
+//
+// Transports are pluggable behind the Worker interface: an HTTP worker
+// (cmd/worker, NewHandler/HTTPWorker) streams NDJSON heartbeats while it
+// evaluates, and an in-process Loopback runs the full encode/decode path
+// hermetically — including injected crashes, hangs and malformed
+// responses — without real sockets.
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"stordep/internal/config"
+	"stordep/internal/opt"
+	"stordep/internal/units"
+)
+
+// Version is the wire-format version this package speaks. Decoders
+// reject any other value with ErrVersion: the coordinator and its
+// workers must agree exactly, because a silent schema skew could change
+// which candidate a shard evaluates.
+const Version = 1
+
+// Wire-format errors.
+var (
+	// ErrVersion marks a version-skewed message.
+	ErrVersion = errors.New("dist: wire version mismatch")
+	// ErrBadJob marks a structurally invalid job.
+	ErrBadJob = errors.New("dist: invalid job")
+	// ErrBadResult marks a structurally invalid shard result.
+	ErrBadResult = errors.New("dist: invalid result")
+)
+
+// ShardSpec is the wire form of opt.Shard. The zero value means "the
+// whole space".
+type ShardSpec struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// Shard converts to the search-layer type.
+func (s ShardSpec) Shard() opt.Shard { return opt.Shard{Index: s.Index, Count: s.Count} }
+
+// KnobSpec is a serializable knob description. Knobs themselves carry
+// Apply closures, so the wire format names a built-in constructor plus
+// its parameters instead; BuildKnobs rebuilds the closure on the worker.
+// Which option fields are used depends on Kind:
+//
+//	policy   Target level; Names + Policies (config policy schema)
+//	pit      Target level (split-mirror vs virtual-snapshot)
+//	accw     Target level; Durations ("24h", "4wk")
+//	retcnt   Target level; Ints
+//	links    Target device; Ints
+type KnobSpec struct {
+	Kind      string            `json:"kind"`
+	Target    string            `json:"target"`
+	Names     []string          `json:"names,omitempty"`
+	Policies  []json.RawMessage `json:"policies,omitempty"`
+	Durations []string          `json:"durations,omitempty"`
+	Ints      []int             `json:"ints,omitempty"`
+}
+
+// ScenarioSpec is the wire form of failure.Scenario.
+type ScenarioSpec struct {
+	Name        string `json:"name,omitempty"`
+	Scope       string `json:"scope"`
+	TargetAge   string `json:"targetAge,omitempty"`
+	RecoverSize string `json:"recoverSize,omitempty"`
+}
+
+// ObjectiveSpec selects the scoring rule. Kind is one of "worst"
+// (worst-scenario total cost), "expected" (expected annual cost under
+// whatif.TypicalFrequencies), or "constrained" (cheapest outlays meeting
+// the RTO/RPO durations; empty means unconstrained on that axis).
+type ObjectiveSpec struct {
+	Kind string `json:"kind"`
+	RTO  string `json:"rto,omitempty"`
+	RPO  string `json:"rpo,omitempty"`
+}
+
+// Job is one self-contained shard assignment: everything a worker needs
+// to evaluate its slice of the candidate space.
+type Job struct {
+	Version int `json:"version"`
+	// Design is the base design in the internal/config schema.
+	Design    json.RawMessage `json:"design"`
+	Knobs     []KnobSpec      `json:"knobs"`
+	Scenarios []ScenarioSpec  `json:"scenarios"`
+	Objective ObjectiveSpec   `json:"objective"`
+	Shard     ShardSpec       `json:"shard"`
+	// Budget bounds the total space size, as in opt.ExhaustiveOptions.
+	Budget int `json:"budget,omitempty"`
+	// Workers hints the worker's local pool size; 0 means all CPUs. Any
+	// value returns the same Solution.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Encode marshals the job, stamping the current wire version.
+func (j *Job) Encode() ([]byte, error) {
+	stamped := *j
+	stamped.Version = Version
+	data, err := json.Marshal(&stamped)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadJob, err)
+	}
+	return data, nil
+}
+
+// DecodeJob unmarshals and structurally validates a job. The design and
+// knob contents are validated later, by BuildKnobs and config.Unmarshal,
+// so a decoded job may still fail to execute — but it can never panic
+// the worker.
+func DecodeJob(data []byte) (*Job, error) {
+	var j Job
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadJob, err)
+	}
+	if j.Version != Version {
+		return nil, fmt.Errorf("%w: job version %d, want %d", ErrVersion, j.Version, Version)
+	}
+	if len(j.Design) == 0 {
+		return nil, fmt.Errorf("%w: missing design", ErrBadJob)
+	}
+	if len(j.Knobs) == 0 {
+		return nil, fmt.Errorf("%w: no knobs", ErrBadJob)
+	}
+	if len(j.Scenarios) == 0 {
+		return nil, fmt.Errorf("%w: no scenarios", ErrBadJob)
+	}
+	if err := j.Shard.Shard().Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadJob, err)
+	}
+	if j.Budget < 0 || j.Workers < 0 {
+		return nil, fmt.Errorf("%w: negative budget or workers", ErrBadJob)
+	}
+	return &j, nil
+}
+
+// ChoiceSpec is the wire form of opt.Choice.
+type ChoiceSpec struct {
+	Knob   string `json:"knob"`
+	Option string `json:"option"`
+}
+
+// Result is one shard's answer. A shard whose slice contains no feasible
+// candidate (or no candidates at all) reports Feasible false with its
+// evaluation count intact — the coordinator still needs that count for
+// the merged total to match the unsharded search.
+type Result struct {
+	Version int       `json:"version"`
+	Shard   ShardSpec `json:"shard"`
+	// Feasible reports whether the shard found any candidate scoring
+	// below +Inf. The solution fields below are only present when true.
+	Feasible    bool `json:"feasible"`
+	Evaluations int  `json:"evaluations"`
+	MemoHits    int  `json:"memoHits,omitempty"`
+	// CandidateIndex is the winner's global index (see opt.Solution);
+	// -1 when infeasible.
+	CandidateIndex int          `json:"candidateIndex"`
+	Score          float64      `json:"score,omitempty"`
+	Choices        []ChoiceSpec `json:"choices,omitempty"`
+	// Design is the winning design in the internal/config schema.
+	Design json.RawMessage `json:"design,omitempty"`
+}
+
+// Encode marshals the result, stamping the current wire version.
+func (r *Result) Encode() ([]byte, error) {
+	stamped := *r
+	stamped.Version = Version
+	data, err := json.Marshal(&stamped)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadResult, err)
+	}
+	return data, nil
+}
+
+// DecodeResult unmarshals and structurally validates a shard result.
+func DecodeResult(data []byte) (*Result, error) {
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadResult, err)
+	}
+	if r.Version != Version {
+		return nil, fmt.Errorf("%w: result version %d, want %d", ErrVersion, r.Version, Version)
+	}
+	if err := r.Shard.Shard().Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadResult, err)
+	}
+	if r.Evaluations < 0 {
+		return nil, fmt.Errorf("%w: negative evaluation count", ErrBadResult)
+	}
+	if r.Feasible {
+		if r.CandidateIndex < 0 {
+			return nil, fmt.Errorf("%w: feasible result without a candidate index", ErrBadResult)
+		}
+		if len(r.Design) == 0 {
+			return nil, fmt.Errorf("%w: feasible result without a design", ErrBadResult)
+		}
+	} else if r.CandidateIndex != -1 {
+		return nil, fmt.Errorf("%w: infeasible result with candidate index %d", ErrBadResult, r.CandidateIndex)
+	}
+	return &r, nil
+}
+
+// SolutionResult wraps a feasible exhaustive-search Solution for the
+// wire; sol must come from exhaustive enumeration (CandidateIndex >= 0).
+func SolutionResult(sol *opt.Solution, shard ShardSpec) (*Result, error) {
+	if sol.CandidateIndex < 0 {
+		return nil, fmt.Errorf("%w: solution has no candidate index (not from exhaustive enumeration)", ErrBadResult)
+	}
+	design, err := config.Marshal(sol.Design)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadResult, err)
+	}
+	r := &Result{
+		Version:        Version,
+		Shard:          shard,
+		Feasible:       true,
+		Evaluations:    sol.Evaluations,
+		MemoHits:       sol.MemoHits,
+		CandidateIndex: sol.CandidateIndex,
+		Score:          float64(sol.Score),
+		Design:         design,
+	}
+	for _, c := range sol.Choices {
+		r.Choices = append(r.Choices, ChoiceSpec{Knob: c.Knob, Option: c.Option})
+	}
+	return r, nil
+}
+
+// Solution rebuilds the search-layer Solution, decoding the winning
+// design through internal/config. Infeasible results return (nil, nil) —
+// the nil entry opt.MergeShards expects for an empty shard.
+func (r *Result) Solution() (*opt.Solution, error) {
+	if !r.Feasible {
+		return nil, nil
+	}
+	design, err := config.Unmarshal(r.Design)
+	if err != nil {
+		return nil, fmt.Errorf("%w: design: %v", ErrBadResult, err)
+	}
+	sol := &opt.Solution{
+		Design:         design,
+		Score:          units.Money(r.Score),
+		Evaluations:    r.Evaluations,
+		MemoHits:       r.MemoHits,
+		Passes:         1,
+		CandidateIndex: r.CandidateIndex,
+	}
+	for _, c := range r.Choices {
+		sol.Choices = append(sol.Choices, opt.Choice{Knob: c.Knob, Option: c.Option})
+	}
+	return sol, nil
+}

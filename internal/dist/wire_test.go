@@ -1,0 +1,182 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestJobRoundTrip(t *testing.T) {
+	job := testJob(t)
+	job.Shard = ShardSpec{Index: 2, Count: 5}
+	job.Budget = 100
+	job.Workers = 3
+
+	data, err := job.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeJob(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := decoded.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Errorf("job round trip not byte-identical:\n%s\n%s", data, again)
+	}
+	if decoded.Shard != job.Shard || decoded.Budget != 100 || decoded.Workers != 3 {
+		t.Errorf("round trip lost fields: %+v", decoded)
+	}
+	if len(decoded.Knobs) != len(job.Knobs) || len(decoded.Scenarios) != len(job.Scenarios) {
+		t.Errorf("round trip lost knobs or scenarios: %+v", decoded)
+	}
+}
+
+// mutateJob re-encodes the test job with one field overridden, for the
+// validation table below.
+func mutateJob(t *testing.T, job *Job, mutate func(m map[string]json.RawMessage)) []byte {
+	t.Helper()
+	data, err := job.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	mutate(m)
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestDecodeJobRejects(t *testing.T) {
+	job := testJob(t)
+	raw := func(s string) json.RawMessage { return json.RawMessage(s) }
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", []byte(""), ErrBadJob},
+		{"truncated", func() []byte { d, _ := job.Encode(); return d[:len(d)/2] }(), ErrBadJob},
+		{"not an object", []byte(`[1,2,3]`), ErrBadJob},
+		{"version skew", mutateJob(t, job, func(m map[string]json.RawMessage) { m["version"] = raw("99") }), ErrVersion},
+		{"version zero", mutateJob(t, job, func(m map[string]json.RawMessage) { delete(m, "version") }), ErrVersion},
+		{"missing design", mutateJob(t, job, func(m map[string]json.RawMessage) { delete(m, "design") }), ErrBadJob},
+		{"no knobs", mutateJob(t, job, func(m map[string]json.RawMessage) { m["knobs"] = raw("[]") }), ErrBadJob},
+		{"no scenarios", mutateJob(t, job, func(m map[string]json.RawMessage) { delete(m, "scenarios") }), ErrBadJob},
+		{"bad shard", mutateJob(t, job, func(m map[string]json.RawMessage) { m["shard"] = raw(`{"index":7,"count":3}`) }), ErrBadJob},
+		{"negative shard", mutateJob(t, job, func(m map[string]json.RawMessage) { m["shard"] = raw(`{"index":-1,"count":3}`) }), ErrBadJob},
+		{"negative budget", mutateJob(t, job, func(m map[string]json.RawMessage) { m["budget"] = raw("-1") }), ErrBadJob},
+		{"negative workers", mutateJob(t, job, func(m map[string]json.RawMessage) { m["workers"] = raw("-2") }), ErrBadJob},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeJob(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	job := testJob(t)
+	job.Shard = ShardSpec{Index: 0, Count: 2}
+	res, err := ExecuteJob(job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.CandidateIndex < 0 || len(res.Design) == 0 {
+		t.Fatalf("expected a feasible shard result, got %+v", res)
+	}
+
+	data, err := res.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := decoded.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Errorf("result round trip not byte-identical:\n%s\n%s", data, again)
+	}
+
+	sol, err := decoded.Solution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.CandidateIndex != res.CandidateIndex || float64(sol.Score) != res.Score {
+		t.Errorf("rebuilt solution disagrees: %+v vs %+v", sol, res)
+	}
+	if sol.Design == nil || len(sol.Choices) != len(res.Choices) {
+		t.Errorf("rebuilt solution lost design or choices: %+v", sol)
+	}
+}
+
+func TestDecodeResultRejects(t *testing.T) {
+	good := &Result{Version: Version, Shard: ShardSpec{Index: 1, Count: 4}, Feasible: false, Evaluations: 6, CandidateIndex: -1}
+	base, err := good.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeResult(base); err != nil {
+		t.Fatalf("valid infeasible result rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		r    Result
+		want error
+	}{
+		{"feasible without index", Result{Feasible: true, CandidateIndex: -1, Design: json.RawMessage(`{}`)}, ErrBadResult},
+		{"feasible without design", Result{Feasible: true, CandidateIndex: 3}, ErrBadResult},
+		{"infeasible with index", Result{Feasible: false, CandidateIndex: 2}, ErrBadResult},
+		{"infeasible zero index", Result{Feasible: false, CandidateIndex: 0}, ErrBadResult},
+		{"negative evaluations", Result{Evaluations: -1, CandidateIndex: -1}, ErrBadResult},
+		{"bad shard", Result{Shard: ShardSpec{Index: 9, Count: 2}, CandidateIndex: -1}, ErrBadResult},
+	}
+	for _, tc := range cases {
+		data, err := tc.r.Encode() // Encode stamps a valid version
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if _, err := DecodeResult(data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	skewed := bytes.Replace(base, []byte(fmt.Sprintf(`"version":%d`, Version)), []byte(`"version":42`), 1)
+	if _, err := DecodeResult(skewed); !errors.Is(err, ErrVersion) {
+		t.Errorf("version skew: err = %v, want ErrVersion", err)
+	}
+	if _, err := DecodeResult([]byte(`{"ver`)); !errors.Is(err, ErrBadResult) {
+		t.Error("truncated result should be ErrBadResult")
+	}
+}
+
+func TestSolutionResultRejectsTuneSolutions(t *testing.T) {
+	job := testJob(t)
+	res, err := ExecuteJob(job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := res.Solution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol.CandidateIndex = -1 // what opt.Tune produces
+	if _, err := SolutionResult(sol, ShardSpec{}); !errors.Is(err, ErrBadResult) {
+		t.Errorf("err = %v, want ErrBadResult for CandidateIndex -1", err)
+	}
+}

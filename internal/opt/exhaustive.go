@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"stordep/internal/core"
 	"stordep/internal/failure"
@@ -39,7 +40,10 @@ type Shard struct {
 	Count int
 }
 
-func (s Shard) validate() error {
+// Validate rejects an out-of-range shard specification; the zero value
+// (the whole space) is valid. Exported so wire-format decoders
+// (internal/dist) can reject bad shard assignments before dispatch.
+func (s Shard) Validate() error {
 	if s.Count == 0 && s.Index == 0 {
 		return nil
 	}
@@ -83,6 +87,27 @@ type ExhaustiveOptions struct {
 	// Shard restricts the search to one slice of the space; the zero
 	// value searches everything.
 	Shard Shard
+	// Progress, when non-nil, is incremented once per evaluated
+	// candidate and may be read concurrently — a live evaluation counter
+	// for progress reporting and heartbeats (internal/dist streams it to
+	// the coordinator). It does not affect the search.
+	Progress *atomic.Int64
+}
+
+// SpaceSize returns the total candidate count of a knob set — the
+// knob-option product — refusing products that overflow int with
+// ErrSpaceTooLarge. Coordinators use it to pick a shard count before
+// dispatching (internal/dist).
+func SpaceSize(knobs []Knob) (int, error) {
+	return spaceSize(knobs)
+}
+
+// Size returns the number of candidates this shard covers in a space of
+// the given size — what a shard's Evaluations will be, since streaming
+// exhaustive search evaluates every candidate in its slice exactly once.
+func (s Shard) Size(space int) int {
+	lo, hi := s.bounds(space)
+	return hi - lo
 }
 
 // spaceSize returns the knob-option product, refusing (rather than
@@ -171,7 +196,7 @@ func ExhaustiveOpts(base *core.Design, knobs []Knob, scenarios []failure.Scenari
 	if err != nil {
 		return nil, err
 	}
-	if err := opts.Shard.validate(); err != nil {
+	if err := opts.Shard.Validate(); err != nil {
 		return nil, err
 	}
 	space, err := spaceSize(knobs)
@@ -224,6 +249,9 @@ func ExhaustiveOpts(base *core.Design, knobs []Knob, scenarios []failure.Scenari
 		}
 		s := objective(a.res)
 		a.evals++
+		if opts.Progress != nil {
+			opts.Progress.Add(1)
+		}
 		if s < a.bestScore {
 			a.bestScore = s
 			a.bestIdx = global
@@ -281,6 +309,14 @@ func ExhaustiveOpts(base *core.Design, knobs []Knob, scenarios []failure.Scenari
 // merged Solution shares the winning shard's Design and Choices, with
 // Evaluations and MemoHits summed over the non-nil shards.
 //
+// Shards cover disjoint index slices, so two entries with the same
+// CandidateIndex can only be duplicate reports of the same shard —
+// speculative re-dispatch (internal/dist) races two workers on a
+// straggling shard and both may answer. Duplicates are deduped, not
+// treated as distinct tie-break entries: only the first occurrence
+// contributes to the merged Evaluations/MemoHits, so the totals match
+// the unsharded search no matter how many duplicate reports arrive.
+//
 // Every non-nil entry must come from exhaustive enumeration: a Solution
 // without a valid CandidateIndex (e.g. Tune's, which carries -1) has no
 // place in the global index order and would corrupt the deterministic
@@ -288,6 +324,7 @@ func ExhaustiveOpts(base *core.Design, knobs []Knob, scenarios []failure.Scenari
 func MergeShards(sols []*Solution) (*Solution, error) {
 	var best *Solution
 	evals, memo := 0, 0
+	seen := make(map[int]bool, len(sols))
 	for i, s := range sols {
 		if s == nil {
 			continue
@@ -296,6 +333,10 @@ func MergeShards(sols []*Solution) (*Solution, error) {
 			return nil, fmt.Errorf("%w: solution %d has CandidateIndex %d, not from exhaustive enumeration",
 				ErrBadShard, i, s.CandidateIndex)
 		}
+		if seen[s.CandidateIndex] {
+			continue
+		}
+		seen[s.CandidateIndex] = true
 		evals += s.Evaluations
 		memo += s.MemoHits
 		if best == nil || s.Score < best.Score ||

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"stordep/internal/casestudy"
@@ -267,5 +268,73 @@ func TestExhaustiveScratchReuseIsolation(t *testing.T) {
 	}
 	if first.Score != second.Score || first.CandidateIndex != second.CandidateIndex {
 		t.Error("re-run diverged after mutating the previous result")
+	}
+}
+
+// TestMergeShardsDedupesDuplicates: speculative re-dispatch can deliver
+// the same shard's Solution twice (two workers raced on a straggler and
+// both answered). Identical CandidateIndexes can only be duplicate
+// reports of one shard — shards cover disjoint slices — so the merge
+// counts each shard once: Evaluations must not double, and the winner is
+// unchanged however many copies arrive.
+func TestMergeShardsDedupesDuplicates(t *testing.T) {
+	base := casestudy.Baseline()
+	knobs := []Knob{
+		RetCntKnob("vaulting", []int{2, 4, 8}),
+		LinkCountKnob("tape-library", []int{12, 16}),
+	}
+	whole, err := ExhaustiveOpts(base, knobs, scenarios(), nil, ExhaustiveOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 3
+	shards := make([]*Solution, 0, 2*m)
+	for k := 0; k < m; k++ {
+		sol, err := ExhaustiveOpts(base, knobs, scenarios(), nil, ExhaustiveOptions{
+			Shard: Shard{Index: k, Count: m},
+		})
+		if err != nil {
+			t.Fatalf("shard %d/%d: %v", k, m, err)
+		}
+		shards = append(shards, sol)
+		if k == 1 {
+			dup := *sol // duplicate speculative report of shard 1
+			shards = append(shards, &dup)
+		}
+	}
+	shards = append(shards, shards[0]) // and a late duplicate of shard 0
+	merged, err := MergeShards(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solutionsIdentical(t, "deduped merge", whole, merged)
+	if merged.Evaluations != whole.Evaluations {
+		t.Errorf("Evaluations = %d, want %d (duplicates must not be double-counted)",
+			merged.Evaluations, whole.Evaluations)
+	}
+	if merged.CandidateIndex != whole.CandidateIndex {
+		t.Errorf("CandidateIndex = %d, want %d", merged.CandidateIndex, whole.CandidateIndex)
+	}
+}
+
+// TestExhaustiveProgressCounter: the optional Progress counter ends at
+// exactly the number of evaluated candidates — it is what a worker
+// streams in heartbeats, so it must track Evaluations.
+func TestExhaustiveProgressCounter(t *testing.T) {
+	base := casestudy.Baseline()
+	knobs := []Knob{
+		RetCntKnob("vaulting", []int{2, 4, 8}),
+		LinkCountKnob("tape-library", []int{12, 16}),
+	}
+	var progress atomic.Int64
+	sol, err := ExhaustiveOpts(base, knobs, scenarios(), nil, ExhaustiveOptions{
+		Workers:  4,
+		Progress: &progress,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := progress.Load(); got != int64(sol.Evaluations) {
+		t.Errorf("progress = %d, want %d", got, sol.Evaluations)
 	}
 }
