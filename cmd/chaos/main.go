@@ -6,6 +6,7 @@
 // Usage:
 //
 //	chaos -seed 1 -runs 100 -repro-dir out/
+//	chaos -multi -seed 1 -runs 100 -repro-dir out/
 //	chaos -replay out/repro-seed1-run42.json
 package main
 
@@ -23,11 +24,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "campaign seed; identical seeds replay identical campaigns")
 	runs := flag.Int("runs", 100, "number of randomized cases to generate and check")
 	reproDir := flag.String("repro-dir", "", "directory for minimal-counterexample repro files")
-	replay := flag.String("replay", "", "replay a repro JSON file instead of running a campaign")
+	replay := flag.String("replay", "", "replay a repro JSON file (single or multi) instead of running a campaign")
 	workers := flag.Int("workers", 0, "concurrent campaign runs (0 = all CPUs); any worker count replays the same digest")
+	multi := flag.Bool("multi", false, "generate multi-object designs with recovery dependencies over a shared fleet")
 	flag.Parse()
 
-	if err := run(os.Stdout, *seed, *runs, *reproDir, *replay, *workers); err != nil {
+	if err := run(os.Stdout, *seed, *runs, *reproDir, *replay, *workers, *multi); err != nil {
 		// Package errors already carry the "chaos:" prefix; flag errors
 		// name their flag.
 		fmt.Fprintln(os.Stderr, err)
@@ -39,7 +41,7 @@ func main() {
 // summary has been printed.
 var errViolations = errors.New("invariant violations found")
 
-func run(w io.Writer, seed int64, runs int, reproDir, replay string, workers int) error {
+func run(w io.Writer, seed int64, runs int, reproDir, replay string, workers int, multi bool) error {
 	if replay != "" {
 		return replayFile(w, replay)
 	}
@@ -49,7 +51,7 @@ func run(w io.Writer, seed int64, runs int, reproDir, replay string, workers int
 	if workers < 0 {
 		return fmt.Errorf("-workers must be non-negative, got %d", workers)
 	}
-	c := &chaos.Campaign{Seed: seed, Runs: runs, ReproDir: reproDir, Workers: workers}
+	c := &chaos.Campaign{Seed: seed, Runs: runs, ReproDir: reproDir, Workers: workers, Multi: multi}
 	sum, err := c.Run()
 	if err != nil {
 		return err
@@ -61,15 +63,37 @@ func run(w io.Writer, seed int64, runs int, reproDir, replay string, workers int
 	return nil
 }
 
+// replayFile sniffs the repro format (multi files carry a "multiDesign"
+// key) and re-runs the matching invariant battery.
 func replayFile(w io.Writer, path string) error {
-	cs, meta, err := chaos.LoadRepro(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return fmt.Errorf("chaos: %w", err)
 	}
-	fmt.Fprintf(w, "replaying %s (seed %d run %d, invariant %s)\n", path, meta.Seed, meta.Run, meta.Invariant)
-	violations, err := chaos.Replay(cs)
-	if err != nil {
-		return err
+	var (
+		violations []chaos.Violation
+		meta       chaos.ReproMeta
+	)
+	if chaos.IsMultiRepro(data) {
+		mcs, m, err := chaos.DecodeMultiRepro(data)
+		if err != nil {
+			return err
+		}
+		meta = m
+		fmt.Fprintf(w, "replaying %s (multi, seed %d run %d, invariant %s)\n", path, meta.Seed, meta.Run, meta.Invariant)
+		if violations, err = chaos.ReplayMulti(mcs); err != nil {
+			return err
+		}
+	} else {
+		cs, m, err := chaos.DecodeRepro(data)
+		if err != nil {
+			return err
+		}
+		meta = m
+		fmt.Fprintf(w, "replaying %s (seed %d run %d, invariant %s)\n", path, meta.Seed, meta.Run, meta.Invariant)
+		if violations, err = chaos.Replay(cs); err != nil {
+			return err
+		}
 	}
 	if len(violations) == 0 {
 		fmt.Fprintln(w, "no violations reproduced")

@@ -79,6 +79,11 @@ type Campaign struct {
 	// stream and results are merged in run order, so the Summary —
 	// including its Digest — is identical for every worker count.
 	Workers int
+	// Multi switches the campaign to multi-object cases: shared-fleet
+	// MultiDesigns with dependency DAGs, per-object fault schedules, the
+	// per-object battery plus the service-level invariants, and
+	// multi-design repro files.
+	Multi bool
 }
 
 // Summary aggregates a campaign's results.
@@ -154,10 +159,19 @@ func (c *Campaign) Run() (*Summary, error) {
 	// the Summary byte-identical to a serial campaign.
 	type runOutcome struct {
 		cs        *Case
+		mcs       *MultiCase
 		res       *runResult
 		resamples int
 	}
 	outcomes, err := parallel.Map(c.Workers, c.Runs, func(run int) (runOutcome, error) {
+		if c.Multi {
+			mcs, resamples := genMultiCase(runRNG(c.Seed, run), run, attempts)
+			res, err := checkMultiCase(mcs)
+			if err != nil {
+				return runOutcome{}, fmt.Errorf("chaos: run %d (%s): %w", run, mcs.Design.Name, err)
+			}
+			return runOutcome{mcs: mcs, res: res, resamples: resamples}, nil
+		}
 		cs, resamples := genCase(runRNG(c.Seed, run), run, attempts)
 		res, err := checkCase(cs)
 		if err != nil {
@@ -183,15 +197,23 @@ func (c *Campaign) Run() (*Summary, error) {
 		}
 		reproPath := ""
 		if c.ReproDir != "" {
-			shrunk := shrinkCase(cs, res.violations[0].Invariant, maxShrink)
-			reproPath = filepath.Join(c.ReproDir, fmt.Sprintf("repro-seed%d-run%d.json", c.Seed, run))
-			if err := SaveRepro(reproPath, shrunk, ReproMeta{
+			meta := ReproMeta{
 				Invariant: res.violations[0].Invariant,
 				Detail:    res.violations[0].Detail,
 				Seed:      c.Seed,
 				Run:       run,
-			}); err != nil {
-				return nil, fmt.Errorf("chaos: run %d: writing repro: %w", run, err)
+			}
+			reproPath = filepath.Join(c.ReproDir, fmt.Sprintf("repro-seed%d-run%d.json", c.Seed, run))
+			var saveErr error
+			if c.Multi {
+				shrunk := shrinkMultiCase(out.mcs, meta.Invariant, maxShrink)
+				saveErr = SaveMultiRepro(reproPath, shrunk, meta)
+			} else {
+				shrunk := shrinkCase(cs, meta.Invariant, maxShrink)
+				saveErr = SaveRepro(reproPath, shrunk, meta)
+			}
+			if saveErr != nil {
+				return nil, fmt.Errorf("chaos: run %d: writing repro: %w", run, saveErr)
 			}
 		}
 		for i, v := range res.violations {

@@ -1,0 +1,171 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"stordep/internal/config"
+	"stordep/internal/failure"
+	"stordep/internal/sim"
+	"stordep/internal/units"
+)
+
+// Multi-object repro files mirror the single-object ones: the complete
+// multi design (the internal/config JSON schema, embedded verbatim under
+// "multiDesign") plus the per-object fault schedule and the shared
+// scenario. The key name doubles as the format discriminator so replay
+// tooling can sniff which loader a file needs.
+
+type multiReproOutage struct {
+	Object        string `json:"object"`
+	Level         int    `json:"level"`
+	From          string `json:"from"`
+	To            string `json:"to"`
+	AbortInFlight bool   `json:"abortInFlight,omitempty"`
+}
+
+type multiReproFile struct {
+	ReproMeta
+	Scope       string             `json:"scope"`
+	TargetAge   string             `json:"targetAge"`
+	RecoverSize int64              `json:"recoverSizeBytes,omitempty"`
+	Horizon     string             `json:"horizon"`
+	Outages     []multiReproOutage `json:"outages,omitempty"`
+	MultiDesign json.RawMessage    `json:"multiDesign"`
+}
+
+// IsMultiRepro reports whether repro JSON holds a multi-object case.
+func IsMultiRepro(data []byte) bool {
+	var probe struct {
+		MultiDesign json.RawMessage `json:"multiDesign"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false
+	}
+	return len(bytes.TrimSpace(probe.MultiDesign)) > 0
+}
+
+// EncodeMultiRepro serializes a multi case and its violation metadata to
+// JSON. The design round-trips through internal/config, so durations must
+// be whole seconds (the generator emits whole minutes).
+func EncodeMultiRepro(mcs *MultiCase, meta ReproMeta) ([]byte, error) {
+	design, err := config.MarshalMulti(mcs.Design)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: marshaling multi design: %w", err)
+	}
+	rf := multiReproFile{
+		ReproMeta:   meta,
+		Scope:       mcs.Scenario.Scope.String(),
+		TargetAge:   units.FormatDuration(mcs.Scenario.TargetAge),
+		RecoverSize: int64(mcs.Scenario.RecoverSize),
+		Horizon:     units.FormatDuration(mcs.Horizon),
+		MultiDesign: design,
+	}
+	for _, o := range mcs.Outages {
+		rf.Outages = append(rf.Outages, multiReproOutage{
+			Object:        o.Object,
+			Level:         o.Level,
+			From:          units.FormatDuration(o.From),
+			To:            units.FormatDuration(o.To),
+			AbortInFlight: o.AbortInFlight,
+		})
+	}
+	return json.MarshalIndent(rf, "", "  ")
+}
+
+// DecodeMultiRepro reconstructs a multi case (and its metadata) from
+// repro JSON.
+func DecodeMultiRepro(data []byte) (*MultiCase, ReproMeta, error) {
+	var rf multiReproFile
+	if err := json.Unmarshal(data, &rf); err != nil {
+		return nil, ReproMeta{}, fmt.Errorf("chaos: parsing multi repro: %w", err)
+	}
+	md, err := config.UnmarshalMulti(rf.MultiDesign)
+	if err != nil {
+		return nil, ReproMeta{}, fmt.Errorf("chaos: multi repro design: %w", err)
+	}
+	scope, err := failure.ParseScope(rf.Scope)
+	if err != nil {
+		return nil, ReproMeta{}, fmt.Errorf("chaos: multi repro scenario: %w", err)
+	}
+	age, err := units.ParseDuration(rf.TargetAge)
+	if err != nil {
+		return nil, ReproMeta{}, fmt.Errorf("chaos: multi repro target age: %w", err)
+	}
+	horizon, err := units.ParseDuration(rf.Horizon)
+	if err != nil {
+		return nil, ReproMeta{}, fmt.Errorf("chaos: multi repro horizon: %w", err)
+	}
+	mcs := &MultiCase{
+		Design: md,
+		Scenario: failure.Scenario{
+			Scope:       scope,
+			TargetAge:   age,
+			RecoverSize: units.ByteSize(rf.RecoverSize),
+		},
+		Horizon: horizon,
+	}
+	for _, o := range rf.Outages {
+		from, err := units.ParseDuration(o.From)
+		if err != nil {
+			return nil, ReproMeta{}, fmt.Errorf("chaos: multi repro outage: %w", err)
+		}
+		to, err := units.ParseDuration(o.To)
+		if err != nil {
+			return nil, ReproMeta{}, fmt.Errorf("chaos: multi repro outage: %w", err)
+		}
+		mcs.Outages = append(mcs.Outages, ObjectOutage{
+			Object: o.Object,
+			Outage: sim.Outage{Level: o.Level, From: from, To: to, AbortInFlight: o.AbortInFlight},
+		})
+	}
+	return mcs, rf.ReproMeta, nil
+}
+
+// SaveMultiRepro writes a multi repro file, creating the directory if
+// needed.
+func SaveMultiRepro(path string, mcs *MultiCase, meta ReproMeta) error {
+	data, err := EncodeMultiRepro(mcs, meta)
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("chaos: %w", err)
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadMultiRepro reads a multi repro file back into a replayable case.
+func LoadMultiRepro(path string) (*MultiCase, ReproMeta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, ReproMeta{}, fmt.Errorf("chaos: %w", err)
+	}
+	return DecodeMultiRepro(data)
+}
+
+// ReplayMulti re-runs the multi invariant battery on a case and returns
+// any violations (with Run left zero).
+func ReplayMulti(mcs *MultiCase) ([]Violation, error) {
+	res, err := checkMultiCase(mcs)
+	if err != nil {
+		return nil, err
+	}
+	return res.violations, nil
+}
+
+// copyMultiCase deep-copies a multi case by round-tripping it through the
+// repro encoding, guaranteeing the shrinker never aliases the original.
+func copyMultiCase(mcs *MultiCase) (*MultiCase, error) {
+	data, err := EncodeMultiRepro(mcs, ReproMeta{})
+	if err != nil {
+		return nil, err
+	}
+	out, _, err := DecodeMultiRepro(data)
+	return out, err
+}

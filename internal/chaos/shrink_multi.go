@@ -1,0 +1,238 @@
+package chaos
+
+import (
+	"stordep/internal/core"
+	"stordep/internal/sim"
+	"time"
+)
+
+// The multi-object shrinker extends the greedy reduction with the two
+// dimensions that only exist in a service: whole objects and dependency
+// edges. Mutation order again drops coarse structure first — objects,
+// edges, outages, levels — before fine-grained simplifications.
+
+// shrinkMultiCase returns the smallest multi case (within maxSteps
+// battery evaluations) that still violates the named invariant.
+func shrinkMultiCase(mcs *MultiCase, invariant string, maxSteps int) *MultiCase {
+	return shrinkMultiWith(mcs, maxSteps, func(c *MultiCase) bool {
+		res, err := checkMultiCase(c)
+		if err != nil {
+			return false
+		}
+		for _, v := range res.violations {
+			if v.Invariant == invariant {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// shrinkMultiWith runs the greedy reduction against an arbitrary
+// still-failing predicate.
+func shrinkMultiWith(mcs *MultiCase, maxSteps int, fails func(*MultiCase) bool) *MultiCase {
+	best := mcs
+	steps := 0
+	for steps < maxSteps {
+		improved := false
+		for _, cand := range multiMutations(best) {
+			if steps >= maxSteps {
+				break
+			}
+			if cand == nil || !multiViable(cand) {
+				continue
+			}
+			steps++
+			if fails(cand) {
+				best = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return best
+}
+
+// multiViable reports whether a mutated multi case is still well-formed:
+// the design validates and builds, and the horizon leaves a sampling
+// window past every object's warm-up and every outage.
+func multiViable(mcs *MultiCase) bool {
+	if mcs.Design.Validate() != nil {
+		return false
+	}
+	floor, err := multiHorizonFloor(mcs)
+	if err != nil {
+		return false
+	}
+	return mcs.Horizon > floor
+}
+
+// multiHorizonFloor is the largest per-object horizon floor.
+func multiHorizonFloor(mcs *MultiCase) (time.Duration, error) {
+	ms, err := core.BuildMulti(mcs.Design)
+	if err != nil {
+		return 0, err
+	}
+	var floor time.Duration
+	for _, obj := range mcs.Design.Objects {
+		chain := ms.Object(obj.Name).Chain()
+		sm, err := sim.New(chain)
+		if err != nil {
+			return 0, err
+		}
+		f := sm.WarmUp()
+		for _, o := range mcs.outagesFor(obj.Name) {
+			if o.To > f {
+				f = o.To
+			}
+		}
+		if f += 2 * chainMaxCycle(chain); f > floor {
+			floor = f
+		}
+	}
+	return floor, nil
+}
+
+// multiMutations builds the ordered candidate simplifications of a multi
+// case.
+func multiMutations(mcs *MultiCase) []*MultiCase {
+	var out []*MultiCase
+	// Drop each object in turn: its outages go with it and every edge
+	// pointing at it is removed from the survivors.
+	if len(mcs.Design.Objects) > 1 {
+		for i := range mcs.Design.Objects {
+			c, err := copyMultiCase(mcs)
+			if err != nil {
+				continue
+			}
+			dropObject(c, c.Design.Objects[i].Name, i)
+			out = append(out, c)
+		}
+	}
+	// Drop each dependency edge in turn.
+	for i, obj := range mcs.Design.Objects {
+		for k := range obj.DependsOn {
+			c, err := copyMultiCase(mcs)
+			if err != nil {
+				continue
+			}
+			deps := c.Design.Objects[i].DependsOn
+			c.Design.Objects[i].DependsOn = append(deps[:k:k], deps[k+1:]...)
+			out = append(out, c)
+		}
+	}
+	// Drop each outage in turn.
+	for i := range mcs.Outages {
+		if c, err := copyMultiCase(mcs); err == nil {
+			c.Outages = append(c.Outages[:i:i], c.Outages[i+1:]...)
+			out = append(out, c)
+		}
+	}
+	// Truncate each object's hierarchy from the end.
+	for i, obj := range mcs.Design.Objects {
+		if len(obj.Levels) <= 1 {
+			continue
+		}
+		c, err := copyMultiCase(mcs)
+		if err != nil {
+			continue
+		}
+		o := &c.Design.Objects[i]
+		o.Levels = o.Levels[:len(o.Levels)-1]
+		kept := c.Outages[:0:0]
+		for _, ou := range c.Outages {
+			if ou.Object != o.Name || ou.Level <= len(o.Levels) {
+				kept = append(kept, ou)
+			}
+		}
+		c.Outages = kept
+		dropUnusedMultiDevices(c)
+		out = append(out, c)
+	}
+	// Shorten the horizon.
+	if c, err := copyMultiCase(mcs); err == nil {
+		c.Horizon = quantize(c.Horizon * 3 / 4)
+		out = append(out, c)
+	}
+	// Drop the recovery facility.
+	if mcs.Design.Facility != nil {
+		if c, err := copyMultiCase(mcs); err == nil {
+			c.Design.Facility = nil
+			out = append(out, c)
+		}
+	}
+	// Fine-grained policy simplifications, per object and level.
+	for i, obj := range mcs.Design.Objects {
+		for j := range obj.Levels {
+			if pol := levelPolicy(obj.Levels[j]); pol != nil && pol.Secondary != nil {
+				if c, err := copyMultiCase(mcs); err == nil {
+					pol := levelPolicy(c.Design.Objects[i].Levels[j])
+					pol.Secondary = nil
+					pol.CycleCnt = 0
+					out = append(out, c)
+				}
+			}
+			if pol := levelPolicy(obj.Levels[j]); pol != nil && pol.Primary.HoldW != 0 {
+				if c, err := copyMultiCase(mcs); err == nil {
+					pol := levelPolicy(c.Design.Objects[i].Levels[j])
+					pol.Primary.HoldW = 0
+					if pol.Secondary != nil {
+						pol.Secondary.HoldW = 0
+					}
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// dropObject removes object i (named name) from the case: the object
+// itself, every dependency edge pointing at it, its outages, and any
+// devices no surviving object references.
+func dropObject(c *MultiCase, name string, i int) {
+	objs := c.Design.Objects
+	c.Design.Objects = append(objs[:i:i], objs[i+1:]...)
+	for j := range c.Design.Objects {
+		kept := c.Design.Objects[j].DependsOn[:0:0]
+		for _, dep := range c.Design.Objects[j].DependsOn {
+			if dep != name {
+				kept = append(kept, dep)
+			}
+		}
+		c.Design.Objects[j].DependsOn = kept
+	}
+	outs := c.Outages[:0:0]
+	for _, o := range c.Outages {
+		if o.Object != name {
+			outs = append(outs, o)
+		}
+	}
+	c.Outages = outs
+	dropUnusedMultiDevices(c)
+}
+
+// dropUnusedMultiDevices removes fleet devices no object references.
+func dropUnusedMultiDevices(c *MultiCase) {
+	used := make(map[string]bool)
+	for _, obj := range c.Design.Objects {
+		used[obj.Primary.Array] = true
+		for _, t := range obj.Levels {
+			used[t.CopyDevice()] = true
+			used[t.ReadDevice()] = true
+			if n := t.TransportDevice(); n != "" {
+				used[n] = true
+			}
+		}
+	}
+	kept := c.Design.Devices[:0:0]
+	for _, pd := range c.Design.Devices {
+		if used[pd.Spec.Name] {
+			kept = append(kept, pd)
+		}
+	}
+	c.Design.Devices = kept
+}

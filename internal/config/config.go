@@ -246,37 +246,15 @@ func encodeDesign(d *core.Design) (*designJSON, error) {
 		return nil, fmt.Errorf("%w: workload and primary required", ErrBadDesign)
 	}
 	dj := &designJSON{
-		Name: d.Name,
-		Workload: workloadJSON{
-			Name:          d.Workload.Name,
-			DataCap:       fmtSize(d.Workload.DataCap),
-			AvgAccessRate: fmtRate(d.Workload.AvgAccessRate),
-			AvgUpdateRate: fmtRate(d.Workload.AvgUpdateRate),
-			BurstMult:     d.Workload.BurstMult,
-		},
+		Name:     d.Name,
+		Workload: encodeWorkload(d.Workload),
 		Requirements: requirementsJSON{
 			UnavailPenaltyPerHour: d.Requirements.UnavailPenaltyRate.DollarsPerHour(),
 			LossPenaltyPerHour:    d.Requirements.LossPenaltyRate.DollarsPerHour(),
 		},
 		Primary: primaryJSON{Array: d.Primary.Array},
 	}
-	for _, p := range d.Workload.BatchCurve {
-		dj.Workload.BatchCurve = append(dj.Workload.BatchCurve, pointJSON{
-			Window: units.FormatDuration(p.Window),
-			Rate:   fmtRate(p.Rate),
-		})
-	}
-	for _, pd := range d.Devices {
-		pj := placedJSON{
-			Spec:      encodeSpec(pd.Spec),
-			Placement: encodePlacement(pd.Placement),
-		}
-		if pd.SparePlacement != (failure.Placement{}) {
-			sp := encodePlacement(pd.SparePlacement)
-			pj.SparePlacement = &sp
-		}
-		dj.Devices = append(dj.Devices, pj)
-	}
+	dj.Devices = encodeDevices(d.Devices)
 	for i, tech := range d.Levels {
 		lj, err := encodeLevel(tech)
 		if err != nil {
@@ -292,6 +270,39 @@ func encodeDesign(d *core.Design) (*designJSON, error) {
 		}
 	}
 	return dj, nil
+}
+
+func encodeWorkload(w *workload.Workload) workloadJSON {
+	wj := workloadJSON{
+		Name:          w.Name,
+		DataCap:       fmtSize(w.DataCap),
+		AvgAccessRate: fmtRate(w.AvgAccessRate),
+		AvgUpdateRate: fmtRate(w.AvgUpdateRate),
+		BurstMult:     w.BurstMult,
+	}
+	for _, p := range w.BatchCurve {
+		wj.BatchCurve = append(wj.BatchCurve, pointJSON{
+			Window: units.FormatDuration(p.Window),
+			Rate:   fmtRate(p.Rate),
+		})
+	}
+	return wj
+}
+
+func encodeDevices(devs []core.PlacedDevice) []placedJSON {
+	var out []placedJSON
+	for _, pd := range devs {
+		pj := placedJSON{
+			Spec:      encodeSpec(pd.Spec),
+			Placement: encodePlacement(pd.Placement),
+		}
+		if pd.SparePlacement != (failure.Placement{}) {
+			sp := encodePlacement(pd.SparePlacement)
+			pj.SparePlacement = &sp
+		}
+		out = append(out, pj)
+	}
+	return out
 }
 
 func encodeSpec(s device.Spec) specJSON {
@@ -414,16 +425,8 @@ func decodeDesign(dj *designJSON) (*core.Design, error) {
 		},
 		Primary: &protect.Primary{Array: dj.Primary.Array},
 	}
-	for i, pj := range dj.Devices {
-		spec, err := decodeSpec(&pj.Spec)
-		if err != nil {
-			return nil, fmt.Errorf("config: device %d: %w", i, err)
-		}
-		pd := core.PlacedDevice{Spec: spec, Placement: decodePlacement(pj.Placement)}
-		if pj.SparePlacement != nil {
-			pd.SparePlacement = decodePlacement(*pj.SparePlacement)
-		}
-		d.Devices = append(d.Devices, pd)
+	if d.Devices, err = decodeDevices(dj.Devices); err != nil {
+		return nil, err
 	}
 	for i, lj := range dj.Levels {
 		tech, err := decodeLevel(&lj)
@@ -432,18 +435,41 @@ func decodeDesign(dj *designJSON) (*core.Design, error) {
 		}
 		d.Levels = append(d.Levels, tech)
 	}
-	if dj.Facility != nil {
-		prov, err := parseDuration(dj.Facility.ProvisionTime)
-		if err != nil {
-			return nil, fmt.Errorf("config: facility: %w", err)
-		}
-		d.Facility = &core.Facility{
-			Placement:     decodePlacement(dj.Facility.Placement),
-			ProvisionTime: prov,
-			CostFactor:    dj.Facility.CostFactor,
-		}
+	if d.Facility, err = decodeFacility(dj.Facility); err != nil {
+		return nil, err
 	}
 	return d, nil
+}
+
+func decodeDevices(djs []placedJSON) ([]core.PlacedDevice, error) {
+	var out []core.PlacedDevice
+	for i, pj := range djs {
+		spec, err := decodeSpec(&pj.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("config: device %d: %w", i, err)
+		}
+		pd := core.PlacedDevice{Spec: spec, Placement: decodePlacement(pj.Placement)}
+		if pj.SparePlacement != nil {
+			pd.SparePlacement = decodePlacement(*pj.SparePlacement)
+		}
+		out = append(out, pd)
+	}
+	return out, nil
+}
+
+func decodeFacility(fj *facilityJSON) (*core.Facility, error) {
+	if fj == nil {
+		return nil, nil
+	}
+	prov, err := parseDuration(fj.ProvisionTime)
+	if err != nil {
+		return nil, fmt.Errorf("config: facility: %w", err)
+	}
+	return &core.Facility{
+		Placement:     decodePlacement(fj.Placement),
+		ProvisionTime: prov,
+		CostFactor:    fj.CostFactor,
+	}, nil
 }
 
 func decodeWorkload(wj *workloadJSON) (*workload.Workload, error) {

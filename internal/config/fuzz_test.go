@@ -1,6 +1,7 @@
 package config
 
 import (
+	"bytes"
 	"testing"
 
 	"stordep/internal/casestudy"
@@ -40,6 +41,52 @@ func FuzzUnmarshal(f *testing.F) {
 				// Build may still reject on device overload; that is a
 				// regular error, not a bug.
 				t.Logf("build rejected validated design: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzMultiDesignRoundTrip checks the multi-object decoder never panics
+// on arbitrary input and that its encoding is lossless: anything that
+// decodes and re-encodes must hit a JSON fixed point (encode∘decode is
+// the identity on encoded forms — what chaos repro replay relies on).
+func FuzzMultiDesignRoundTrip(f *testing.F) {
+	md := sampleMulti()
+	data, err := MarshalMulti(md)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"objects":[]}`))
+	f.Add([]byte(`{"objects":[{"name":"a","dependsOn":["a"],"workload":{"dataCap":"1GB"},"primary":{"array":"x"}}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		md, err := UnmarshalMulti(data)
+		if err != nil {
+			return
+		}
+		enc, err := MarshalMulti(md)
+		if err != nil {
+			// Re-encoding may only fail on incomplete objects; those carry
+			// a regular error, never a panic.
+			return
+		}
+		md2, err := UnmarshalMulti(enc)
+		if err != nil {
+			t.Fatalf("re-decoding our own encoding failed: %v", err)
+		}
+		enc2, err := MarshalMulti(md2)
+		if err != nil {
+			t.Fatalf("re-encoding decoded design failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not a fixed point:\n%s\nvs\n%s", enc, enc2)
+		}
+		if md.Validate() == nil {
+			if _, err := core.BuildMulti(md); err != nil {
+				// Aggregate overload is a regular rejection, not a bug.
+				t.Logf("build rejected validated multi design: %v", err)
 			}
 		}
 	})

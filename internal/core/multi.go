@@ -3,13 +3,15 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"stordep/internal/cost"
 	"stordep/internal/device"
 	"stordep/internal/failure"
+	"stordep/internal/hierarchy"
 	"stordep/internal/protect"
-	"stordep/internal/units"
+	"stordep/internal/recovery"
 	"stordep/internal/workload"
 )
 
@@ -71,7 +73,7 @@ func (md *MultiDesign) Validate() error {
 			}
 			techNames[tech.Name()] = true
 		}
-		if err := md.objectDesign(obj).Validate(); err != nil {
+		if err := md.ObjectDesign(obj).Validate(); err != nil {
 			return fmt.Errorf("core: object %s: %w", obj.Name, err)
 		}
 	}
@@ -122,10 +124,12 @@ func (md *MultiDesign) checkAcyclic() error {
 	return nil
 }
 
-// objectDesign synthesizes the single-object view of one object over the
+// ObjectDesign synthesizes the single-object view of one object over the
 // shared fleet. The per-object design shares the fleet slice; demands are
-// still applied on the shared devices by BuildMulti.
-func (md *MultiDesign) objectDesign(obj ObjectSpec) *Design {
+// still applied on the shared devices by BuildMulti. Callers that build
+// the result directly (e.g. the chaos engine's per-object invariant
+// batteries) get a fresh fleet carrying only that object's demands.
+func (md *MultiDesign) ObjectDesign(obj ObjectSpec) *Design {
 	return &Design{
 		Name:         fmt.Sprintf("%s/%s", md.Name, obj.Name),
 		Workload:     obj.Workload,
@@ -172,7 +176,7 @@ func BuildMulti(md *MultiDesign) (*MultiSystem, error) {
 		objects: make(map[string]*System, len(md.Objects)),
 	}
 	for _, obj := range md.Objects {
-		d := md.objectDesign(obj)
+		d := md.ObjectDesign(obj)
 		if err := d.Primary.ApplyDemands(d.Workload, devs); err != nil {
 			return nil, fmt.Errorf("core: object %s: %w", obj.Name, err)
 		}
@@ -196,7 +200,7 @@ func BuildMulti(md *MultiDesign) (*MultiSystem, error) {
 	// Outlays are computed once over the shared fleet; facility retainer
 	// piggybacks on the first object's placement view (the fleet and
 	// facility are shared).
-	ms.outlays = collectOutlays(md.objectDesign(md.Objects[0]), ordered)
+	ms.outlays = collectOutlays(md.ObjectDesign(md.Objects[0]), ordered)
 	for name := range ms.objects {
 		ms.objects[name].outlays = ms.outlays
 	}
@@ -227,6 +231,10 @@ func (ms *MultiSystem) Utilization() Utilization {
 type ObjectAssessment struct {
 	Object string
 	*Assessment
+	// RecoveryStart is when the object's recovery may begin: the latest
+	// effective recovery time over its dependencies (zero for independent
+	// objects).
+	RecoveryStart time.Duration
 	// EffectiveRT is when the object is back in service: its own recovery
 	// time after every dependency has recovered. Independent objects
 	// recover in parallel; dependent ones serialize.
@@ -258,45 +266,71 @@ func (ms *MultiSystem) Assess(sc failure.Scenario) (*ServiceAssessment, error) {
 		}
 		perObject[name] = a
 	}
+	return ms.compose(sc, perObject)
+}
+
+// AssessDegraded evaluates the scenario while protection levels have been
+// out of service, per object: outages maps object names to the compound
+// level outages their hierarchies suffered (objects absent from the map
+// are assessed healthy). Recovery still honors the dependency DAG, so an
+// outage degrading one object's recovery delays everything downstream of
+// it.
+func (ms *MultiSystem) AssessDegraded(sc failure.Scenario, outages map[string][]hierarchy.LevelOutage) (*ServiceAssessment, error) {
+	names := make([]string, 0, len(outages))
+	for name := range outages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, ok := ms.objects[name]; !ok {
+			return nil, fmt.Errorf("core: outage for unknown object %q", name)
+		}
+	}
+	perObject := make(map[string]*Assessment, len(ms.order))
+	for _, name := range ms.order {
+		var (
+			a   *Assessment
+			err error
+		)
+		if outs := outages[name]; len(outs) > 0 {
+			a, err = ms.objects[name].AssessDegradedCompound(sc, outs)
+		} else {
+			a, err = ms.objects[name].Assess(sc)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: object %s: %w", name, err)
+		}
+		perObject[name] = a
+	}
+	return ms.compose(sc, perObject)
+}
+
+// compose folds per-object assessments into the service view: effective
+// recovery times via the dependency-ordered schedule, worst per-object
+// loss, and service-level penalties.
+func (ms *MultiSystem) compose(sc failure.Scenario, perObject map[string]*Assessment) (*ServiceAssessment, error) {
+	objs := make([]recovery.ObjectRT, 0, len(ms.order))
+	for _, name := range ms.order {
+		objs = append(objs, recovery.ObjectRT{Name: name, RT: perObject[name].RecoveryTime})
+	}
 	deps := make(map[string][]string, len(ms.design.Objects))
 	for _, obj := range ms.design.Objects {
 		deps[obj.Name] = obj.DependsOn
 	}
-	// Effective RT via memoized longest path (the DAG was validated
-	// acyclic at build time).
-	memo := make(map[string]time.Duration, len(ms.order))
-	var effective func(string) time.Duration
-	effective = func(name string) time.Duration {
-		if rt, ok := memo[name]; ok {
-			return rt
-		}
-		var gate time.Duration
-		for _, d := range deps[name] {
-			if rt := effective(d); rt > gate {
-				gate = rt
-			}
-		}
-		own := perObject[name].RecoveryTime
-		rt := units.Forever
-		if own != units.Forever && gate != units.Forever {
-			rt = gate + own
-		}
-		memo[name] = rt
-		return rt
+	// The DAG was validated acyclic at build time; Schedule re-checks.
+	sched, critical, err := recovery.Schedule(objs, deps)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
-
-	out := &ServiceAssessment{Scenario: sc}
-	for _, name := range ms.order {
+	out := &ServiceAssessment{Scenario: sc, RecoveryTime: critical}
+	for i, name := range ms.order {
 		a := perObject[name]
-		eff := effective(name)
 		out.Objects = append(out.Objects, ObjectAssessment{
-			Object:      name,
-			Assessment:  a,
-			EffectiveRT: eff,
+			Object:        name,
+			Assessment:    a,
+			RecoveryStart: sched[i].Start,
+			EffectiveRT:   sched[i].Finish,
 		})
-		if eff > out.RecoveryTime {
-			out.RecoveryTime = eff
-		}
 		if a.DataLoss > out.DataLoss {
 			out.DataLoss = a.DataLoss
 		}

@@ -130,14 +130,33 @@ func TestMultiValidateErrors(t *testing.T) {
 		{"dup technique", func(md *core.MultiDesign) {
 			md.Objects[1].Levels = md.Objects[0].Levels
 		}, core.ErrDupTech},
+		{"dup technique within object", func(md *core.MultiDesign) {
+			md.Objects[0].Levels = append(md.Objects[0].Levels, md.Objects[0].Levels[0])
+		}, core.ErrDupTech},
 		{"unknown dep", func(md *core.MultiDesign) {
 			md.Objects[1].DependsOn = []string{"ghost"}
+		}, core.ErrUnknownDep},
+		{"empty dep name", func(md *core.MultiDesign) {
+			md.Objects[1].DependsOn = []string{""}
 		}, core.ErrUnknownDep},
 		{"cycle", func(md *core.MultiDesign) {
 			md.Objects[0].DependsOn = []string{"orders"}
 		}, core.ErrDependCycle},
 		{"self cycle", func(md *core.MultiDesign) {
 			md.Objects[0].DependsOn = []string{"catalog"}
+		}, core.ErrDependCycle},
+		{"three-node cycle", func(md *core.MultiDesign) {
+			web := md.Objects[0]
+			web.Name = "web"
+			web.Workload = web.Workload.Clone()
+			web.Workload.Name = "web"
+			web.Levels = []protect.Technique{
+				&protect.Backup{InstanceName: "web-backup", SourceArray: device.NameDiskArray,
+					Target: device.NameTapeLibrary, Pol: casestudy.BackupPolicy()},
+			}
+			web.DependsOn = []string{"orders"}
+			md.Objects = append(md.Objects, web)
+			md.Objects[0].DependsOn = []string{"web"}
 		}, core.ErrDependCycle},
 		{"invalid object design", func(md *core.MultiDesign) {
 			md.Objects[0].Workload = nil

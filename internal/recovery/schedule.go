@@ -1,0 +1,108 @@
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"stordep/internal/units"
+)
+
+// Dependency-ordered recovery scheduling for multi-object systems
+// (§3.1.1): several data objects share one device fleet, and an object's
+// recovery may not begin before every object it depends on is back in
+// service. Independent objects recover in parallel; dependent ones
+// serialize, so the service-level recovery time is the critical path
+// through the dependency DAG.
+
+// ObjectRT pairs a named object with its own (dependency-free) worst-case
+// recovery time.
+type ObjectRT struct {
+	Name string
+	RT   time.Duration
+}
+
+// Scheduled is one object's slot in a dependency-ordered recovery
+// schedule.
+type Scheduled struct {
+	Name string
+	// Start is when the object's recovery may begin: the latest Finish
+	// over its dependencies (zero for independent objects).
+	Start time.Duration
+	// Finish is when the object is back in service: Start plus its own
+	// recovery time. units.Forever when the object (or any dependency)
+	// cannot recover.
+	Finish time.Duration
+}
+
+// Scheduling errors.
+var (
+	ErrUnknownDependency = errors.New("recovery: dependency on unknown object")
+	ErrDependencyCycle   = errors.New("recovery: object dependencies form a cycle")
+)
+
+// Schedule computes the dependency-ordered recovery schedule: for every
+// object, when its recovery may start (after every dependency finished)
+// and when it finishes, plus the service-level recovery time — the
+// critical path over the DAG. Objects are returned in input order. An
+// unrecoverable object (RT == units.Forever) poisons everything
+// downstream of it, and the critical path, with units.Forever.
+func Schedule(objects []ObjectRT, deps map[string][]string) ([]Scheduled, time.Duration, error) {
+	rts := make(map[string]time.Duration, len(objects))
+	for _, o := range objects {
+		rts[o.Name] = o.RT
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(objects))
+	finish := make(map[string]time.Duration, len(objects))
+	start := make(map[string]time.Duration, len(objects))
+	var visit func(string) error
+	visit = func(n string) error {
+		switch color[n] {
+		case gray:
+			return fmt.Errorf("%w (at %q)", ErrDependencyCycle, n)
+		case black:
+			return nil
+		}
+		color[n] = gray
+		var gate time.Duration
+		for _, d := range deps[n] {
+			if _, ok := rts[d]; !ok {
+				return fmt.Errorf("%w: %s -> %q", ErrUnknownDependency, n, d)
+			}
+			if err := visit(d); err != nil {
+				return err
+			}
+			if finish[d] > gate {
+				gate = finish[d]
+			}
+		}
+		start[n] = gate
+		own := rts[n]
+		if own == units.Forever || gate == units.Forever {
+			finish[n] = units.Forever
+		} else {
+			finish[n] = gate + own
+		}
+		color[n] = black
+		return nil
+	}
+	for _, o := range objects {
+		if err := visit(o.Name); err != nil {
+			return nil, 0, err
+		}
+	}
+	out := make([]Scheduled, len(objects))
+	var critical time.Duration
+	for i, o := range objects {
+		out[i] = Scheduled{Name: o.Name, Start: start[o.Name], Finish: finish[o.Name]}
+		if out[i].Finish > critical {
+			critical = out[i].Finish
+		}
+	}
+	return out, critical, nil
+}

@@ -1,0 +1,104 @@
+package recovery
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"stordep/internal/units"
+)
+
+func TestScheduleDiamond(t *testing.T) {
+	// catalog <- orders, catalog <- inventory, {orders, inventory} <- web.
+	objs := []ObjectRT{
+		{Name: "catalog", RT: 2 * time.Hour},
+		{Name: "orders", RT: 3 * time.Hour},
+		{Name: "inventory", RT: time.Hour},
+		{Name: "web", RT: 30 * time.Minute},
+	}
+	deps := map[string][]string{
+		"orders":    {"catalog"},
+		"inventory": {"catalog"},
+		"web":       {"orders", "inventory"},
+	}
+	sched, critical, err := Schedule(objs, deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Scheduled{
+		{Name: "catalog", Start: 0, Finish: 2 * time.Hour},
+		{Name: "orders", Start: 2 * time.Hour, Finish: 5 * time.Hour},
+		{Name: "inventory", Start: 2 * time.Hour, Finish: 3 * time.Hour},
+		{Name: "web", Start: 5 * time.Hour, Finish: 5*time.Hour + 30*time.Minute},
+	}
+	for i, w := range want {
+		if sched[i] != w {
+			t.Errorf("sched[%d] = %+v, want %+v", i, sched[i], w)
+		}
+	}
+	if critical != 5*time.Hour+30*time.Minute {
+		t.Errorf("critical path = %v", critical)
+	}
+}
+
+func TestScheduleIndependentObjectsParallel(t *testing.T) {
+	objs := []ObjectRT{{Name: "a", RT: 4 * time.Hour}, {Name: "b", RT: time.Hour}}
+	sched, critical, err := Schedule(objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched[0].Start != 0 || sched[1].Start != 0 {
+		t.Errorf("independent objects should start immediately: %+v", sched)
+	}
+	if critical != 4*time.Hour {
+		t.Errorf("critical path = %v, want the slowest object", critical)
+	}
+}
+
+func TestScheduleForeverPropagates(t *testing.T) {
+	objs := []ObjectRT{
+		{Name: "lost", RT: units.Forever},
+		{Name: "fine", RT: time.Hour},
+		{Name: "blocked", RT: time.Minute},
+	}
+	deps := map[string][]string{"blocked": {"lost"}}
+	sched, critical, err := Schedule(objs, deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched[0].Finish != units.Forever {
+		t.Error("unrecoverable object should finish at Forever")
+	}
+	if sched[1].Finish != time.Hour {
+		t.Error("independent object should be unaffected")
+	}
+	if sched[2].Start != units.Forever || sched[2].Finish != units.Forever {
+		t.Errorf("dependent of unrecoverable object: %+v", sched[2])
+	}
+	if critical != units.Forever {
+		t.Error("critical path should be Forever")
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	if _, _, err := Schedule([]ObjectRT{{Name: "a", RT: time.Hour}},
+		map[string][]string{"a": {"ghost"}}); !errors.Is(err, ErrUnknownDependency) {
+		t.Errorf("unknown dep: %v", err)
+	}
+	objs := []ObjectRT{{Name: "a", RT: time.Hour}, {Name: "b", RT: time.Hour}}
+	if _, _, err := Schedule(objs,
+		map[string][]string{"a": {"b"}, "b": {"a"}}); !errors.Is(err, ErrDependencyCycle) {
+		t.Errorf("cycle: %v", err)
+	}
+	if _, _, err := Schedule([]ObjectRT{{Name: "a", RT: time.Hour}},
+		map[string][]string{"a": {"a"}}); !errors.Is(err, ErrDependencyCycle) {
+		t.Errorf("self cycle: %v", err)
+	}
+}
+
+func TestScheduleEmpty(t *testing.T) {
+	sched, critical, err := Schedule(nil, nil)
+	if err != nil || len(sched) != 0 || critical != 0 {
+		t.Errorf("empty schedule: %v %v %v", sched, critical, err)
+	}
+}
