@@ -187,3 +187,53 @@ func TestRunCoordinatorRejects(t *testing.T) {
 		t.Error("unreachable worker accepted")
 	}
 }
+
+// TestRunCoordinatorByzantineValidation is the CI e2e scenario
+// in-process: three authenticated workers, one wrapped to always lie,
+// and -validate 2 — the report must still match the single-process
+// exhaustive run exactly.
+func TestRunCoordinatorByzantineValidation(t *testing.T) {
+	want := exhaustiveReference(t)
+
+	const token = "ci-shared-secret"
+	var urls []string
+	for i := 0; i < 3; i++ {
+		srv := httptest.NewServer(dist.NewHandler(dist.HandlerOptions{AuthToken: token}))
+		defer srv.Close()
+		urls = append(urls, srv.URL)
+	}
+
+	var buf strings.Builder
+	o := options{
+		objective:      "worst",
+		coordinator:    strings.Join(urls, ","),
+		attemptTimeout: 30 * time.Second,
+		authToken:      token,
+		validateK:      2,
+		chaosLiars:     1,
+	}
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if got := solutionBlock(t, buf.String()); got != want {
+		t.Errorf("byzantine coordinator report differs from single-process:\n--- coordinator\n%s\n--- single\n%s", got, want)
+	}
+}
+
+// TestRunCoordinatorWrongTokenFails: a coordinator holding the wrong
+// secret is rejected by every worker and the run fails loudly.
+func TestRunCoordinatorWrongTokenFails(t *testing.T) {
+	srv := httptest.NewServer(dist.NewHandler(dist.HandlerOptions{AuthToken: "right"}))
+	defer srv.Close()
+
+	var buf strings.Builder
+	o := options{
+		objective:   "worst",
+		coordinator: srv.URL,
+		authToken:   "wrong",
+	}
+	err := run(&buf, o)
+	if err == nil || !strings.Contains(err.Error(), "unauthenticated") {
+		t.Errorf("err = %v, want an unauthenticated-job failure", err)
+	}
+}

@@ -14,6 +14,7 @@
 //	optimize -shard 1/4 -out s1.json   # save the shard's result for -merge
 //	optimize -merge s0.json s1.json s2.json s3.json
 //	optimize -coordinator http://host1:7700,http://host2:7700
+//	optimize -coordinator ... -auth-token s3cret -validate 2
 //	optimize -cpuprofile opt.pprof
 //
 // Exhaustive enumeration streams: candidates are decoded from their
@@ -34,8 +35,14 @@
 // failed or straggling shards are re-dispatched (see -attempt-timeout,
 // -speculate-after), and the merged answer is byte-identical to the
 // single-process -exhaustive run for any worker count or failure
-// pattern. -dist-metrics dumps the coordinator's Prometheus-style
-// counters to stderr afterwards.
+// pattern. Workers are health-probed during the run (-probe-interval)
+// and evicted into quarantine when they stop answering; -auth-token
+// HMAC-signs every job and verifies every result; -validate K sends
+// each shard to K distinct workers and accepts only a matching
+// majority, quarantining any worker whose answer disagrees — a lying
+// worker cannot poison the merge while an honest majority remains.
+// -dist-metrics dumps the coordinator's Prometheus-style counters to
+// stderr afterwards.
 //
 // -cpuprofile and -memprofile write pprof profiles; the CPU profile is
 // labeled with phase=build|assess|reduce on the optimizer's inner loop,
@@ -82,6 +89,10 @@ type options struct {
 	shards         int
 	attemptTimeout time.Duration
 	speculateAfter time.Duration
+	authToken      string
+	validateK      int
+	probeInterval  time.Duration
+	chaosLiars     int
 	distMetrics    bool
 	cpuProfile     string
 	memProfile     string
@@ -106,6 +117,10 @@ func main() {
 	flag.IntVar(&o.shards, "shards", 0, "shard count for -coordinator (0 = 4 per worker)")
 	flag.DurationVar(&o.attemptTimeout, "attempt-timeout", 2*time.Minute, "per-shard dispatch timeout for -coordinator (0 = none)")
 	flag.DurationVar(&o.speculateAfter, "speculate-after", 30*time.Second, "re-dispatch a straggling shard after this long (0 = never)")
+	flag.StringVar(&o.authToken, "auth-token", "", "shared secret for -coordinator; jobs are HMAC-signed and worker results verified")
+	flag.IntVar(&o.validateK, "validate", 1, "dispatch each shard to K distinct workers and require a matching majority (byzantine cross-validation; 1 = off)")
+	flag.DurationVar(&o.probeInterval, "probe-interval", 5*time.Second, "health-probe cadence for -coordinator worker eviction (0 = no probing)")
+	flag.IntVar(&o.chaosLiars, "chaos-liars", 0, "testing: wrap the first N workers in always-lying fault injectors (exercises -validate)")
 	flag.BoolVar(&o.distMetrics, "dist-metrics", false, "dump coordinator metrics (Prometheus text format) to stderr")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile (with phase=build|assess|reduce labels) to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on exit")
@@ -265,12 +280,13 @@ func runCoordinator(w io.Writer, o options, base *core.Design, specs []dist.Knob
 		if u == "" {
 			continue
 		}
-		workers = append(workers, &dist.HTTPWorker{BaseURL: u})
+		workers = append(workers, &dist.HTTPWorker{BaseURL: u, AuthToken: o.authToken})
 	}
 	if len(workers) == 0 {
 		return fmt.Errorf("-coordinator needs at least one worker URL")
 	}
-	ctx := context.Background()
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	defer cancelCtx()
 	for _, wk := range workers {
 		hctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 		err := wk.(*dist.HTTPWorker).Health(hctx)
@@ -279,6 +295,11 @@ func runCoordinator(w io.Writer, o options, base *core.Design, specs []dist.Knob
 			return err
 		}
 	}
+	for i := 0; i < o.chaosLiars && i < len(workers); i++ {
+		// Testing hook for the byzantine e2e: this worker's results are
+		// plausibly wrong, so only -validate >= 2 keeps the answer exact.
+		workers[i] = dist.NewChaosWorker(workers[i], dist.ChaosOptions{Seed: int64(i) + 1, PLie: 1})
+	}
 
 	job, err := dist.NewJob(base, specs, dist.ScenarioSpecs(scenarios), objectiveSpec(o))
 	if err != nil {
@@ -286,10 +307,25 @@ func runCoordinator(w io.Writer, o options, base *core.Design, specs []dist.Knob
 	}
 	job.Budget = o.budget
 
-	c, err := dist.NewCoordinator(workers, dist.Options{
+	// A live registry backs the run: workers that miss health probes are
+	// evicted into quarantine mid-run and readmitted when they recover.
+	reg := dist.NewRegistry(dist.RegistryOptions{
+		ProbeInterval: o.probeInterval,
+		Logf:          log.Printf,
+	})
+	for _, wk := range workers {
+		if err := reg.Add(wk); err != nil {
+			return err
+		}
+	}
+	if o.probeInterval > 0 {
+		go reg.Start(ctx)
+	}
+	c, err := dist.NewCoordinatorRegistry(reg, dist.Options{
 		Shards:         o.shards,
 		AttemptTimeout: o.attemptTimeout,
 		SpeculateAfter: o.speculateAfter,
+		ValidateK:      o.validateK,
 		WorkersPerJob:  o.workers,
 	})
 	if err != nil {

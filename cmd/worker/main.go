@@ -3,14 +3,38 @@
 // -coordinator, or the dist.Coordinator API — POSTs self-contained JSON
 // jobs to /v1/run; the worker evaluates its shard of the candidate space
 // with the local streaming search (opt.ExhaustiveOpts) and streams
-// NDJSON heartbeats while it works, then the shard's Solution. /v1/health
-// reports liveness and the wire version.
+// NDJSON heartbeats while it works, then the shard's Solution.
+//
+// GET /v1/health reports liveness and load as JSON:
+//
+//	{
+//	  "status": "ok",          // always "ok" when serving
+//	  "version": 1,            // wire protocol version
+//	  "uptimeSeconds": 12.5,   // time since the handler started
+//	  "inflight": 0,           // jobs currently evaluating
+//	  "evaluations": 6144      // cumulative candidates evaluated
+//	}
+//
+// A dist.Registry probes this endpoint to admit, evict and readmit
+// workers; version skew or a non-"ok" status fails the probe.
 //
 // Usage:
 //
 //	worker                           # listen on 127.0.0.1:7700
 //	worker -addr 0.0.0.0:7700        # accept remote coordinators
 //	worker -workers 4 -heartbeat 2s
+//	worker -auth-token s3cret        # require HMAC-signed jobs
+//
+// With -auth-token, every job must carry a valid X-Stordep-Auth
+// HMAC-SHA256 signature over its body (the coordinator signs with the
+// same token) or it is rejected with HTTP 401 before evaluation, and
+// every result streamed back is signed so the coordinator can verify it
+// end to end.
+//
+// On SIGINT or SIGTERM the worker stops accepting jobs, drains what is
+// in flight (bounded by -drain), and exits 0 — a rolling restart never
+// turns into a coordinator-visible crash unless evaluation genuinely
+// outlives the drain window.
 //
 // Workers hold no state between jobs: any number can serve the same
 // coordinator, and the merged answer is byte-identical to a
@@ -18,10 +42,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"stordep/internal/dist"
@@ -32,6 +60,8 @@ type options struct {
 	addr      string
 	workers   int
 	heartbeat time.Duration
+	authToken string
+	drain     time.Duration
 }
 
 func main() {
@@ -42,6 +72,8 @@ func main() {
 	flag.StringVar(&o.addr, "addr", "127.0.0.1:7700", "listen address")
 	flag.IntVar(&o.workers, "workers", 0, "local evaluation goroutines per job (0 = all CPUs); any value returns the same solution")
 	flag.DurationVar(&o.heartbeat, "heartbeat", time.Second, "progress heartbeat interval")
+	flag.StringVar(&o.authToken, "auth-token", "", "shared secret; when set, unsigned or wrongly signed jobs are rejected")
+	flag.DurationVar(&o.drain, "drain", 30*time.Second, "in-flight job drain window on SIGINT/SIGTERM")
 	flag.Parse()
 
 	if o.workers < 0 {
@@ -52,19 +84,47 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("listening on %s (wire v%d)", l.Addr(), dist.Version)
-	log.Fatal(serve(l, o))
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, l, o); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained; bye")
 }
 
-// serve runs the worker protocol on an open listener (split from main so
-// tests can bind port 0).
-func serve(l net.Listener, o options) error {
+// serve runs the worker protocol on an open listener until ctx is
+// canceled, then shuts down gracefully: the listener closes, in-flight
+// jobs drain within o.drain, and nil is returned so a signaled worker
+// exits 0. Split from main so tests can bind port 0 and drive the
+// shutdown path.
+func serve(ctx context.Context, l net.Listener, o options) error {
 	srv := &http.Server{
 		Handler: dist.NewHandler(dist.HandlerOptions{
 			Workers:        o.workers,
 			HeartbeatEvery: o.heartbeat,
+			AuthToken:      o.authToken,
 			Logf:           log.Printf,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return srv.Serve(l)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	select {
+	case err := <-errc:
+		// Serve only returns on listener failure; that is fatal.
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("shutting down: draining in-flight jobs")
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"net"
 	"net/http"
 	"testing"
@@ -21,7 +22,7 @@ func TestServeSpeaksTheWorkerProtocol(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	go serve(l, options{workers: 1, heartbeat: 10 * time.Millisecond}) //nolint:errcheck
+	go serve(context.Background(), l, options{workers: 1, heartbeat: 10 * time.Millisecond, drain: time.Second}) //nolint:errcheck
 
 	w := &dist.HTTPWorker{BaseURL: "http://" + l.Addr().String(), Name: "local"}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -73,7 +74,7 @@ func TestServeRejectsGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	go serve(l, options{heartbeat: time.Second}) //nolint:errcheck
+	go serve(context.Background(), l, options{heartbeat: time.Second, drain: time.Second}) //nolint:errcheck
 
 	resp, err := http.Post("http://"+l.Addr().String()+dist.RunPath, "application/json", nil)
 	if err != nil {
@@ -82,5 +83,75 @@ func TestServeRejectsGarbage(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("empty job: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServeShutsDownGracefully: canceling the serve context drains the
+// server and returns nil — the signaled worker exits 0, not via
+// log.Fatal on http.ErrServerClosed.
+func TestServeShutsDownGracefully(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, l, options{heartbeat: time.Second, drain: 5 * time.Second}) }()
+
+	// Wait until it answers, then deliver the "signal".
+	w := &dist.HTTPWorker{BaseURL: "http://" + l.Addr().String()}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		hctx, hcancel := context.WithTimeout(context.Background(), time.Second)
+		err := w.Health(hctx)
+		hcancel()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never became healthy: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after cancellation")
+	}
+}
+
+// TestServeEnforcesAuthToken: a worker started with -auth-token rejects
+// unsigned jobs and serves signed ones.
+func TestServeEnforcesAuthToken(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go serve(context.Background(), l, options{heartbeat: time.Second, drain: time.Second, authToken: "hush"}) //nolint:errcheck
+
+	spec := dist.RetCntKnobSpec("vaulting", []int{13, 26})
+	job, err := dist.NewJob(casestudy.Baseline(),
+		[]dist.KnobSpec{spec},
+		dist.ScenarioSpecs([]failure.Scenario{{Scope: failure.ScopeArray}}),
+		dist.ObjectiveSpec{Kind: "worst"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	unsigned := &dist.HTTPWorker{BaseURL: "http://" + l.Addr().String()}
+	if _, err := unsigned.Run(ctx, job, nil); !errors.Is(err, dist.ErrUnauthenticated) {
+		t.Errorf("unsigned job: err = %v, want dist.ErrUnauthenticated", err)
+	}
+	signed := &dist.HTTPWorker{BaseURL: "http://" + l.Addr().String(), AuthToken: "hush"}
+	if _, err := signed.Run(ctx, job, nil); err != nil {
+		t.Errorf("signed job: err = %v, want success", err)
 	}
 }

@@ -1,0 +1,37 @@
+package dist
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+)
+
+// AuthHeader carries a job's HMAC signature on the HTTP transport. The
+// value is Sign(token, body) over the exact request body bytes.
+const AuthHeader = "X-Stordep-Auth"
+
+// ErrUnauthenticated marks a job rejected before evaluation because its
+// signature was missing or wrong. It is deliberately distinct from
+// ErrBadJob: an operator seeing it should check tokens, not payloads.
+var ErrUnauthenticated = errors.New("dist: unauthenticated job")
+
+// Sign computes the hex HMAC-SHA256 of payload under the shared secret.
+// Both sides of the protocol sign the exact wire bytes: the coordinator
+// signs the encoded Job it POSTs, the worker signs the encoded Result it
+// streams back, so neither direction can be forged or tampered with by
+// anyone not holding the token.
+func Sign(token string, payload []byte) string {
+	mac := hmac.New(sha256.New, []byte(token))
+	mac.Write(payload)
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// Verify reports whether sig is a valid signature of payload under the
+// shared secret. The comparison is constant-time (hmac.Equal), so a
+// byzantine client cannot recover the expected MAC byte by byte through
+// timing.
+func Verify(token string, payload []byte, sig string) bool {
+	want := Sign(token, payload)
+	return hmac.Equal([]byte(want), []byte(sig))
+}

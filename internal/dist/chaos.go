@@ -1,0 +1,245 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosFault enumerates the misbehaviors a ChaosWorker injects. The
+// first group (delay, drop, crash-mid) are crash-class faults the
+// retry/timeout machinery must absorb; wrong-shard is a shape fault the
+// attempt validator must reject; the last group (corrupt, lie) are
+// byzantine faults — structurally valid, wrong answers that only K-way
+// cross-validation can catch.
+type ChaosFault int
+
+const (
+	// ChaosHonest answers normally.
+	ChaosHonest ChaosFault = iota
+	// ChaosDelay sleeps a seeded-random fraction of MaxDelay before
+	// answering honestly — a straggler.
+	ChaosDelay
+	// ChaosDrop errors out before evaluating — a crashed worker.
+	ChaosDrop
+	// ChaosCrashMid evaluates the shard, then errors instead of
+	// replying — a worker crashing mid-stream, after the work was done.
+	ChaosCrashMid
+	// ChaosWrongShard answers honestly but for the wrong shard index —
+	// a confused worker the coordinator must reject by shape.
+	ChaosWrongShard
+	// ChaosCorrupt flips the answer's score by a worker-specific epsilon:
+	// a bit-rot-style corruption that passes every structural check and
+	// changes the result digest.
+	ChaosCorrupt
+	// ChaosLie reports a strictly better (lower) score for the shard's
+	// winner — the plausibly-lying answer that would poison the global
+	// merge if it were ever believed.
+	ChaosLie
+
+	chaosFaultCount
+)
+
+// String renders the fault for logs and test labels.
+func (f ChaosFault) String() string {
+	switch f {
+	case ChaosHonest:
+		return "honest"
+	case ChaosDelay:
+		return "delay"
+	case ChaosDrop:
+		return "drop"
+	case ChaosCrashMid:
+		return "crash-mid"
+	case ChaosWrongShard:
+		return "wrong-shard"
+	case ChaosCorrupt:
+		return "corrupt"
+	case ChaosLie:
+		return "lie"
+	default:
+		return fmt.Sprintf("ChaosFault(%d)", int(f))
+	}
+}
+
+// ErrChaosDrop is the error a ChaosDrop attempt returns.
+var ErrChaosDrop = errors.New("dist: chaos-injected drop")
+
+// ErrChaosCrashMid is the error a ChaosCrashMid attempt returns after
+// having evaluated its shard.
+var ErrChaosCrashMid = errors.New("dist: chaos-injected crash after evaluation")
+
+// ChaosOptions configures a ChaosWorker's seeded fault mix. Each
+// probability is per attempt, drawn in the order delay, drop,
+// crash-mid, wrong-shard, corrupt, lie; whatever remains is honest.
+type ChaosOptions struct {
+	// Seed drives every random choice; the same seed replays the same
+	// fault schedule for a given attempt sequence.
+	Seed int64
+	// PDelay/PDrop/PCrashMid/PWrongShard/PCorrupt/PLie are the per-fault
+	// probabilities.
+	PDelay, PDrop, PCrashMid, PWrongShard, PCorrupt, PLie float64
+	// MaxDelay bounds the ChaosDelay sleep. Default 10ms.
+	MaxDelay time.Duration
+	// PFlapHealth is the probability any single health probe fails —
+	// flapping health the registry's eviction logic must ride out.
+	PFlapHealth float64
+}
+
+// ErrChaosFlap is the error a flapping health probe returns.
+var ErrChaosFlap = errors.New("dist: chaos-injected health flap")
+
+// ChaosWorker wraps a Worker with seeded fault injection: delays,
+// drops, crashes mid-stream, wrong-shard answers, corrupted results,
+// plausibly-lying scores, and flapping health probes. Two ChaosWorkers
+// never produce byte-identical wrong answers — each lie and corruption
+// mixes in the worker's own identity — so independent liars cannot
+// accidentally collude into a fake majority; defeating K-way validation
+// requires genuinely coordinated byzantine workers, which is outside
+// the honest-majority contract.
+type ChaosWorker struct {
+	inner Worker
+	o     ChaosOptions
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	hmu sync.Mutex
+	hrn *rand.Rand
+
+	// Faults counts injected faults by ChaosFault index; FlapsInjected
+	// counts failed health probes; LiesReturned counts byzantine
+	// results (corrupt or lie) actually handed to the coordinator.
+	Faults        [chaosFaultCount]atomic.Int64
+	FlapsInjected atomic.Int64
+	LiesReturned  atomic.Int64
+}
+
+// NewChaosWorker wraps inner with the given fault mix.
+func NewChaosWorker(inner Worker, o ChaosOptions) *ChaosWorker {
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 10 * time.Millisecond
+	}
+	return &ChaosWorker{
+		inner: inner,
+		o:     o,
+		rng:   rand.New(rand.NewSource(o.Seed)),
+		// Health probes run concurrently with attempts (the registry
+		// prober vs. the dispatch loop) on an independent stream, so
+		// probe timing never perturbs the attempt fault schedule.
+		hrn: rand.New(rand.NewSource(o.Seed ^ 0x5f1ab)),
+	}
+}
+
+// ID implements Worker.
+func (c *ChaosWorker) ID() string { return c.inner.ID() }
+
+// Health implements Prober: it flaps with PFlapHealth, otherwise
+// delegates to the inner worker's prober when it has one.
+func (c *ChaosWorker) Health(ctx context.Context) error {
+	c.hmu.Lock()
+	flap := c.hrn.Float64() < c.o.PFlapHealth
+	c.hmu.Unlock()
+	if flap {
+		c.FlapsInjected.Add(1)
+		return fmt.Errorf("%w: worker %s", ErrChaosFlap, c.ID())
+	}
+	if p, ok := c.inner.(Prober); ok {
+		return p.Health(ctx)
+	}
+	return ctx.Err()
+}
+
+// pick draws this attempt's fault from the seeded source.
+func (c *ChaosWorker) pick() (ChaosFault, time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.rng.Float64()
+	delay := time.Duration(c.rng.Int63n(int64(c.o.MaxDelay) + 1))
+	for _, f := range []struct {
+		prob  float64
+		fault ChaosFault
+	}{
+		{c.o.PDelay, ChaosDelay},
+		{c.o.PDrop, ChaosDrop},
+		{c.o.PCrashMid, ChaosCrashMid},
+		{c.o.PWrongShard, ChaosWrongShard},
+		{c.o.PCorrupt, ChaosCorrupt},
+		{c.o.PLie, ChaosLie},
+	} {
+		if p < f.prob {
+			return f.fault, delay
+		}
+		p -= f.prob
+	}
+	return ChaosHonest, delay
+}
+
+// workerEpsilon derives a small, strictly positive, worker-specific
+// perturbation factor so no two workers corrupt or lie identically.
+func (c *ChaosWorker) workerEpsilon() float64 {
+	h := fnv.New32a()
+	h.Write([]byte(c.ID()))
+	return 1e-3 * (1 + float64(h.Sum32()%997))
+}
+
+// Run implements Worker, injecting this attempt's fault around the
+// inner worker's execution.
+func (c *ChaosWorker) Run(ctx context.Context, job *Job, heartbeat func(evals int64)) (*Result, error) {
+	fault, delay := c.pick()
+	c.Faults[fault].Add(1)
+	switch fault {
+	case ChaosDrop:
+		return nil, fmt.Errorf("%w: worker %s", ErrChaosDrop, c.ID())
+	case ChaosDelay:
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	res, err := c.inner.Run(ctx, job, heartbeat)
+	if err != nil {
+		return nil, err
+	}
+
+	switch fault {
+	case ChaosCrashMid:
+		return nil, fmt.Errorf("%w: worker %s, shard %d/%d", ErrChaosCrashMid, c.ID(), res.Shard.Index, res.Shard.Count)
+	case ChaosWrongShard:
+		bad := *res
+		if bad.Shard.Count > 1 {
+			bad.Shard.Index = (bad.Shard.Index + 1) % bad.Shard.Count
+		} else {
+			bad.Shard.Count++ // single shard: misreport the partitioning
+		}
+		return &bad, nil
+	case ChaosCorrupt:
+		// Bit-rot: nudge the score by a worker-specific epsilon in the
+		// direction that would NOT win a merge — corruption, not fraud.
+		if res.Feasible {
+			bad := *res
+			bad.Score += bad.Score * c.workerEpsilon()
+			c.LiesReturned.Add(1)
+			return &bad, nil
+		}
+		return res, nil
+	case ChaosLie:
+		// Fraud: claim the shard's winner scored strictly better than it
+		// did, by a worker-specific margin. Structurally flawless; if
+		// believed, this answer wins the global merge.
+		if res.Feasible {
+			bad := *res
+			bad.Score -= bad.Score*0.25 + c.workerEpsilon()
+			c.LiesReturned.Add(1)
+			return &bad, nil
+		}
+		return res, nil
+	}
+	return res, nil
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -300,4 +301,126 @@ func TestCoordinatorHonorsBudgetWithinLimit(t *testing.T) {
 	oracle := singleProcessOracle(t, job)
 	sol, _ := runCoordinator(t, []Worker{&Loopback{Name: "a"}}, Options{}, job)
 	requireIdentical(t, "budget at the limit", oracle, sol)
+}
+
+// TestBackoffDelayJitteredWithinBounds: retry delays are exponential in
+// the failure count, land in [base<<n / 2, base<<n], and actually vary.
+func TestBackoffDelayJitteredWithinBounds(t *testing.T) {
+	c, err := NewCoordinator([]Worker{&Loopback{Name: "w"}},
+		Options{RetryBackoff: 100 * time.Millisecond, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 200; i++ {
+		d := c.backoffDelay(1)
+		if d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("backoffDelay(1) = %v, want within [50ms, 100ms]", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Error("200 draws produced a single delay; jitter is not jittering")
+	}
+	if d := c.backoffDelay(3); d < 200*time.Millisecond || d > 400*time.Millisecond {
+		t.Errorf("backoffDelay(3) = %v, want within [200ms, 400ms]", d)
+	}
+	if d := c.backoffDelay(50); d > 100*time.Millisecond<<10 {
+		t.Errorf("backoffDelay(50) = %v, want capped at 1024x the base", d)
+	}
+}
+
+// TestBackoffDelaySeedDeterminism: the same seed replays the same jitter
+// sequence, so a run is reproducible; a different seed varies it.
+func TestBackoffDelaySeedDeterminism(t *testing.T) {
+	draw := func(seed int64) []time.Duration {
+		c, err := NewCoordinator([]Worker{&Loopback{Name: "w"}},
+			Options{RetryBackoff: 64 * time.Millisecond, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]time.Duration, 32)
+		for i := range out {
+			out[i] = c.backoffDelay(1 + i%4)
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %v vs %v for the same seed", i, a[i], b[i])
+		}
+	}
+	other := draw(8)
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("32 draws identical across different seeds")
+	}
+}
+
+// TestCoordinatorGiveUpAccounting pins the give-up path exactly: with
+// one shard and MaxAttempts 3, the failure names the last worker and
+// wraps the underlying cause, and the retry counters are exact.
+func TestCoordinatorGiveUpAccounting(t *testing.T) {
+	job := testJob(t)
+	c, err := NewCoordinator([]Worker{&Loopback{Name: "solo", Intercept: func(*Job) Fault { return FaultCrash }}},
+		Options{Shards: 1, MaxAttempts: 3, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(context.Background(), job)
+	if !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("err = %v, want the underlying crash wrapped", err)
+	}
+	for _, want := range []string{"gave up", "worker solo", "3 failed attempts"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("give-up error %q should contain %q", err, want)
+		}
+	}
+	m := c.Metrics()
+	if got := m.WorkerErrors.Load(); got != 3 {
+		t.Errorf("WorkerErrors = %d, want exactly 3", got)
+	}
+	if got := m.ShardsRetried.Load(); got != 2 {
+		t.Errorf("ShardsRetried = %d, want exactly 2 (third failure gives up)", got)
+	}
+	if got := m.ShardsCompleted.Load(); got != 0 {
+		t.Errorf("ShardsCompleted = %d, want 0", got)
+	}
+}
+
+// TestCoordinatorRetryAccountingExact: two injected crashes then
+// success — the retry and duplicate counters match exactly and the
+// answer is still byte-identical.
+func TestCoordinatorRetryAccountingExact(t *testing.T) {
+	job := testJob(t)
+	oracle := singleProcessOracle(t, job)
+	var n int64
+	w := &Loopback{Name: "w", Intercept: func(*Job) Fault {
+		if atomic.AddInt64(&n, 1) <= 2 {
+			return FaultCrash
+		}
+		return FaultNone
+	}}
+	sol, m := runCoordinator(t, []Worker{w},
+		Options{Shards: 1, MaxAttempts: 5, RetryBackoff: time.Millisecond}, job)
+	requireIdentical(t, "retry then success", oracle, sol)
+	if got := m.WorkerErrors.Load(); got != 2 {
+		t.Errorf("WorkerErrors = %d, want exactly 2", got)
+	}
+	if got := m.ShardsRetried.Load(); got != 2 {
+		t.Errorf("ShardsRetried = %d, want exactly 2", got)
+	}
+	if got := m.DuplicatesDiscarded.Load(); got != 0 {
+		t.Errorf("DuplicatesDiscarded = %d, want 0 (no speculation ran)", got)
+	}
+	if got := m.ShardsCompleted.Load(); got != 1 {
+		t.Errorf("ShardsCompleted = %d, want 1", got)
+	}
 }

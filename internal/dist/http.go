@@ -18,7 +18,8 @@ const (
 	// lines while the shard evaluates, then exactly one terminal result
 	// or error line.
 	RunPath = "/v1/run"
-	// HealthPath reports liveness and the wire version.
+	// HealthPath reports liveness, the wire version, uptime, in-flight
+	// jobs and cumulative evaluations (the HealthInfo schema).
 	HealthPath = "/v1/health"
 )
 
@@ -34,8 +35,22 @@ type streamMsg struct {
 	Evals int64 `json:"evals,omitempty"`
 	// Result is the wire Result (terminal result line).
 	Result json.RawMessage `json:"result,omitempty"`
+	// Sig is Sign(token, Result) when the worker holds a shared secret,
+	// so the coordinator can authenticate the answer end to end.
+	Sig string `json:"sig,omitempty"`
 	// Error is the failure message (terminal error line).
 	Error string `json:"error,omitempty"`
+}
+
+// HealthInfo is the GET /v1/health response body. Uptime, in-flight
+// jobs and cumulative evaluations feed a Registry's eviction decisions
+// and let an operator spot a wedged or idle worker at a glance.
+type HealthInfo struct {
+	Status        string  `json:"status"`
+	Version       int     `json:"version"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	InFlight      int64   `json:"inflight"`
+	Evaluations   int64   `json:"evaluations"`
 }
 
 // HandlerOptions configures a worker's HTTP surface.
@@ -47,13 +62,25 @@ type HandlerOptions struct {
 	// initial heartbeat is always written before evaluation starts, so
 	// the coordinator sees liveness even on instant shards.
 	HeartbeatEvery time.Duration
+	// AuthToken, when non-empty, requires every job to carry a valid
+	// AuthHeader HMAC over its body; unauthenticated or wrong-token
+	// jobs are rejected with HTTP 401 before any evaluation. Results
+	// are signed with the same token.
+	AuthToken string
 	// Logf, when non-nil, receives one line per request.
 	Logf func(format string, args ...any)
 }
 
+// handlerState is the worker's liveness bookkeeping behind /v1/health.
+type handlerState struct {
+	start    time.Time
+	inflight atomic.Int64
+	evals    atomic.Int64
+}
+
 // NewHandler serves the worker protocol: POST RunPath evaluates a shard
-// and streams heartbeats, GET HealthPath reports liveness. A handler is
-// stateless between requests; concurrent jobs each get their own
+// and streams heartbeats, GET HealthPath reports liveness and load. A
+// handler holds no per-job state; concurrent jobs each get their own
 // evaluation pool, so capping Workers matters on shared hosts.
 func NewHandler(opts HandlerOptions) http.Handler {
 	if opts.HeartbeatEvery <= 0 {
@@ -62,10 +89,17 @@ func NewHandler(opts HandlerOptions) http.Handler {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
+	st := &handlerState{start: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc(HealthPath, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"status":"ok","version":%d}`+"\n", Version)
+		json.NewEncoder(w).Encode(HealthInfo{ //nolint:errcheck
+			Status:        "ok",
+			Version:       Version,
+			UptimeSeconds: time.Since(st.start).Seconds(),
+			InFlight:      st.inflight.Load(),
+			Evaluations:   st.evals.Load(),
+		})
 	})
 	mux.HandleFunc(RunPath, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -75,6 +109,14 @@ func NewHandler(opts HandlerOptions) http.Handler {
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if opts.AuthToken != "" && !Verify(opts.AuthToken, body, r.Header.Get(AuthHeader)) {
+			// Constant-time verification; rejected before the job is even
+			// decoded, so an unauthenticated coordinator cannot spend
+			// this worker's cycles.
+			opts.Logf("reject: unauthenticated job from %s", r.RemoteAddr)
+			http.Error(w, ErrUnauthenticated.Error(), http.StatusUnauthorized)
 			return
 		}
 		job, err := DecodeJob(body)
@@ -87,13 +129,15 @@ func NewHandler(opts HandlerOptions) http.Handler {
 			job.Workers = opts.Workers
 		}
 		opts.Logf("run shard %d/%d", job.Shard.Index, job.Shard.Count)
-		serveRun(w, r, job, opts)
+		st.inflight.Add(1)
+		defer st.inflight.Add(-1)
+		serveRun(w, r, job, opts, st)
 	})
 	return mux
 }
 
 // serveRun streams one job's evaluation as NDJSON.
-func serveRun(w http.ResponseWriter, r *http.Request, job *Job, opts HandlerOptions) {
+func serveRun(w http.ResponseWriter, r *http.Request, job *Job, opts HandlerOptions, st *handlerState) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
@@ -142,6 +186,7 @@ func serveRun(w http.ResponseWriter, r *http.Request, job *Job, opts HandlerOpti
 				writeMsg(streamMsg{Type: "error", Error: o.err.Error()})
 				return
 			}
+			st.evals.Add(int64(o.res.Evaluations))
 			data, err := o.res.Encode()
 			if err != nil {
 				writeMsg(streamMsg{Type: "error", Error: err.Error()})
@@ -149,19 +194,27 @@ func serveRun(w http.ResponseWriter, r *http.Request, job *Job, opts HandlerOpti
 			}
 			opts.Logf("done shard %d/%d: %d evaluations in %v",
 				job.Shard.Index, job.Shard.Count, o.res.Evaluations, time.Since(start).Round(time.Millisecond))
-			writeMsg(streamMsg{Type: "result", Result: data})
+			msg := streamMsg{Type: "result", Result: data}
+			if opts.AuthToken != "" {
+				msg.Sig = Sign(opts.AuthToken, data)
+			}
+			writeMsg(msg)
 			return
 		}
 	}
 }
 
 // HTTPWorker drives one remote worker process (cmd/worker) over the
-// NDJSON streaming protocol; it implements Worker for the coordinator.
+// NDJSON streaming protocol; it implements Worker for the coordinator
+// and Prober for the registry.
 type HTTPWorker struct {
 	// BaseURL locates the worker, e.g. "http://127.0.0.1:7701".
 	BaseURL string
 	// Name overrides the worker ID; default BaseURL.
 	Name string
+	// AuthToken, when non-empty, signs every job with AuthHeader and
+	// requires the worker's results to carry a valid signature back.
+	AuthToken string
 	// Client overrides the HTTP client; the default has no overall
 	// timeout (runs stream indefinitely; the coordinator's per-attempt
 	// context bounds them).
@@ -183,35 +236,43 @@ func (h *HTTPWorker) client() *http.Client {
 	return http.DefaultClient
 }
 
-// Health checks the worker's liveness endpoint and wire version.
-func (h *HTTPWorker) Health(ctx context.Context) error {
+// HealthInfo fetches the worker's liveness endpoint, checking the wire
+// version and status.
+func (h *HTTPWorker) HealthInfo(ctx context.Context) (*HealthInfo, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.BaseURL+HealthPath, nil)
 	if err != nil {
-		return fmt.Errorf("dist: worker %s: %w", h.ID(), err)
+		return nil, fmt.Errorf("dist: worker %s: %w", h.ID(), err)
 	}
 	resp, err := h.client().Do(req)
 	if err != nil {
-		return fmt.Errorf("dist: worker %s unreachable: %w", h.ID(), err)
+		return nil, fmt.Errorf("dist: worker %s unreachable: %w", h.ID(), err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("dist: worker %s health: HTTP %d", h.ID(), resp.StatusCode)
+		return nil, fmt.Errorf("dist: worker %s health: HTTP %d", h.ID(), resp.StatusCode)
 	}
-	var health struct {
-		Status  string `json:"status"`
-		Version int    `json:"version"`
-	}
+	var health HealthInfo
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&health); err != nil {
-		return fmt.Errorf("dist: worker %s health: %w", h.ID(), err)
+		return nil, fmt.Errorf("dist: worker %s health: %w", h.ID(), err)
 	}
 	if health.Version != Version {
-		return fmt.Errorf("%w: worker %s speaks version %d, want %d", ErrVersion, h.ID(), health.Version, Version)
+		return nil, fmt.Errorf("%w: worker %s speaks version %d, want %d", ErrVersion, h.ID(), health.Version, Version)
 	}
-	return nil
+	if health.Status != "ok" {
+		return nil, fmt.Errorf("dist: worker %s health status %q", h.ID(), health.Status)
+	}
+	return &health, nil
 }
 
-// Run implements Worker: POST the job, relay heartbeat lines, return
-// the terminal result.
+// Health implements Prober: it checks the worker's liveness endpoint
+// and wire version.
+func (h *HTTPWorker) Health(ctx context.Context) error {
+	_, err := h.HealthInfo(ctx)
+	return err
+}
+
+// Run implements Worker: POST the job (signed when AuthToken is set),
+// relay heartbeat lines, verify and return the terminal result.
 func (h *HTTPWorker) Run(ctx context.Context, job *Job, heartbeat func(evals int64)) (*Result, error) {
 	data, err := job.Encode()
 	if err != nil {
@@ -222,11 +283,18 @@ func (h *HTTPWorker) Run(ctx context.Context, job *Job, heartbeat func(evals int
 		return nil, fmt.Errorf("dist: worker %s: %w", h.ID(), err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if h.AuthToken != "" {
+		req.Header.Set(AuthHeader, Sign(h.AuthToken, data))
+	}
 	resp, err := h.client().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("dist: worker %s: %w", h.ID(), err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusUnauthorized {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("%w: worker %s rejected the job: %s", ErrUnauthenticated, h.ID(), bytes.TrimSpace(msg))
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return nil, fmt.Errorf("dist: worker %s: HTTP %d: %s", h.ID(), resp.StatusCode, bytes.TrimSpace(msg))
@@ -251,6 +319,9 @@ func (h *HTTPWorker) Run(ctx context.Context, job *Job, heartbeat func(evals int
 		case "error":
 			return nil, fmt.Errorf("dist: worker %s: %s", h.ID(), msg.Error)
 		case "result":
+			if h.AuthToken != "" && !Verify(h.AuthToken, msg.Result, msg.Sig) {
+				return nil, fmt.Errorf("%w: worker %s result signature invalid", ErrUnauthenticated, h.ID())
+			}
 			return DecodeResult(msg.Result)
 		default:
 			return nil, fmt.Errorf("%w: worker %s sent unknown stream message %q", ErrBadResult, h.ID(), msg.Type)

@@ -45,10 +45,22 @@ type Loopback struct {
 	// decoded job. Called sequentially per worker (a Loopback runs one
 	// attempt at a time), concurrently across workers.
 	Intercept func(job *Job) Fault
+	// HealthErr, when non-nil, decides the outcome of Health probes —
+	// the hook a Registry (or a flapping ChaosWorker) exercises. May be
+	// called concurrently with Run.
+	HealthErr func() error
 }
 
 // ID implements Worker.
 func (l *Loopback) ID() string { return l.Name }
+
+// Health implements Prober: healthy unless HealthErr says otherwise.
+func (l *Loopback) Health(ctx context.Context) error {
+	if l.HealthErr != nil {
+		return l.HealthErr()
+	}
+	return ctx.Err()
+}
 
 // Run implements Worker: encode the job, decode it back (exactly what a
 // remote worker receives), execute the shard, and round-trip the result

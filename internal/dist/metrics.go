@@ -31,6 +31,17 @@ type Metrics struct {
 	WorkerErrors atomic.Int64
 	// HeartbeatsReceived counts worker heartbeats seen.
 	HeartbeatsReceived atomic.Int64
+	// WorkersEvicted counts health-based removals from the live set:
+	// missed probes while live, or a failed probation probe.
+	WorkersEvicted atomic.Int64
+	// WorkersQuarantined counts failure- and byzantine-based removals:
+	// repeated dispatch failures, or losing a K-way validation vote.
+	WorkersQuarantined atomic.Int64
+	// WorkersReadmitted counts returns to the live set after quarantine.
+	WorkersReadmitted atomic.Int64
+	// ValidationMismatches counts K-way votes whose result digest
+	// disagreed with the shard's majority.
+	ValidationMismatches atomic.Int64
 
 	mu       sync.Mutex
 	lastSeen map[string]time.Time // worker -> last heartbeat or result
@@ -74,6 +85,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, now time.Time) error {
 		{"stordep_dist_duplicates_discarded_total", "Results for already-completed shards.", &m.DuplicatesDiscarded},
 		{"stordep_dist_worker_errors_total", "Attempts ending in error, timeout or invalid response.", &m.WorkerErrors},
 		{"stordep_dist_heartbeats_received_total", "Worker heartbeats seen.", &m.HeartbeatsReceived},
+		{"stordep_dist_workers_evicted_total", "Workers evicted for missed or failed health probes.", &m.WorkersEvicted},
+		{"stordep_dist_workers_quarantined_total", "Workers quarantined for repeated failures or byzantine votes.", &m.WorkersQuarantined},
+		{"stordep_dist_workers_readmitted_total", "Workers readmitted to the live set after quarantine.", &m.WorkersReadmitted},
+		{"stordep_dist_validation_mismatches_total", "K-way validation votes disagreeing with the shard majority.", &m.ValidationMismatches},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
