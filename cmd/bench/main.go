@@ -16,6 +16,13 @@
 // In -compare mode the two positional arguments are snapshot files;
 // cases are matched by name and the command exits nonzero if any case's
 // ns/op or allocs/op grew by more than -threshold (default 0.15 = 15%).
+// Snapshots taken under different environments (num_cpu, gomaxprocs)
+// compare with a warning rather than failing. When the new snapshot was
+// taken with real parallelism available (num_cpu > 1, GOMAXPROCS != 1),
+// -compare additionally gates the large exhaustive search's
+// parallel-vs-serial speedup against -min-scaling (default 2.0; <= 0
+// disarms) — a scaling regression fails the build even when no single
+// case slowed down.
 package main
 
 import (
@@ -39,6 +46,7 @@ type options struct {
 	filter     string
 	compare    bool
 	threshold  float64
+	minScaling float64
 	cpuProfile string
 	memProfile string
 	args       []string
@@ -54,6 +62,7 @@ func main() {
 	flag.StringVar(&o.filter, "filter", "", "run only cases whose name contains this substring")
 	flag.BoolVar(&o.compare, "compare", false, "diff two snapshot files (old.json new.json) instead of benchmarking")
 	flag.Float64Var(&o.threshold, "threshold", 0.15, "regression threshold for -compare (fraction: 0.15 = 15%)")
+	flag.Float64Var(&o.minScaling, "min-scaling", 2.0, "parallel-vs-serial speedup floor -compare enforces on multi-CPU snapshots (<= 0 disarms)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile (with optimizer phase labels) to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -144,6 +153,9 @@ func runCompare(w io.Writer, o options) error {
 	}
 	fmt.Fprintf(w, "comparing %s (%s) -> %s (%s), threshold %.0f%%\n",
 		o.args[0], oldSnap.Date, o.args[1], newSnap.Date, 100*o.threshold)
+	for _, warn := range bench.EnvMismatch(oldSnap, newSnap) {
+		fmt.Fprintf(w, "warning: %s\n", warn)
+	}
 	regressed := 0
 	for _, c := range bench.Compare(oldSnap, newSnap, o.threshold) {
 		fmt.Fprintln(w, c.Format())
@@ -155,5 +167,15 @@ func runCompare(w io.Writer, o options) error {
 		return fmt.Errorf("%d case(s) regressed beyond %.0f%%", regressed, 100*o.threshold)
 	}
 	fmt.Fprintf(w, "no regressions beyond %.0f%%\n", 100*o.threshold)
+	if err := bench.ScalingGate(newSnap, o.minScaling); err != nil {
+		return err
+	}
+	if ratio, ok := newSnap.Speedups[bench.ScalingKey]; ok {
+		status := fmt.Sprintf("gated, floor %.2fx", o.minScaling)
+		if o.minScaling <= 0 || newSnap.NumCPU <= 1 || newSnap.GOMAXPROCS == 1 {
+			status = "not gated on this host"
+		}
+		fmt.Fprintf(w, "%s = %.2fx (%s)\n", bench.ScalingKey, ratio, status)
+	}
 	return nil
 }

@@ -157,6 +157,59 @@ func TestRunCompare(t *testing.T) {
 	}
 }
 
+// TestRunCompareScalingGate: -compare enforces the parallel speedup
+// floor on multi-CPU snapshots, warns (without failing) on environment
+// mismatches, and leaves single-CPU snapshots ungated.
+func TestRunCompareScalingGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	results := []bench.Result{{Name: "a", NsPerOp: 1000, AllocsPerOp: 10}}
+	write := func(path string, cpus, procs int, scaling float64) {
+		s := &bench.Snapshot{
+			Date: "2026-08-08", NumCPU: cpus, GOMAXPROCS: procs, Results: results,
+		}
+		if scaling > 0 {
+			s.Speedups = map[string]float64{bench.ScalingKey: scaling}
+		}
+		if err := s.Write(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Healthy scaling on a 4-CPU host passes and is reported as gated.
+	write(oldPath, 1, 1, 0)
+	write(newPath, 4, 4, 2.4)
+	var buf strings.Builder
+	o := options{compare: true, threshold: 0.15, minScaling: 1.8, args: []string{oldPath, newPath}}
+	if err := run(&buf, o); err != nil {
+		t.Fatalf("healthy scaling failed: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{"warning: num_cpu differs", "2.40x", "gated, floor 1.80x"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	// A scaling collapse fails even though no individual case regressed.
+	write(newPath, 4, 4, 1.2)
+	buf.Reset()
+	if err := run(&buf, o); err == nil || !strings.Contains(err.Error(), "below") {
+		t.Errorf("scaling regression not reported: err = %v", err)
+	}
+
+	// The same numbers from a single-CPU host pass: the gate stays
+	// disarmed where parallelism was never available.
+	write(newPath, 1, 1, 0.9)
+	buf.Reset()
+	if err := run(&buf, o); err != nil {
+		t.Errorf("1-CPU snapshot gated: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "not gated on this host") {
+		t.Errorf("output missing disarmed note:\n%s", buf.String())
+	}
+}
+
 func TestRunCompareErrors(t *testing.T) {
 	var buf strings.Builder
 	if err := run(&buf, options{compare: true, threshold: 0.15, args: []string{"one.json"}}); err == nil {

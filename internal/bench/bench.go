@@ -270,14 +270,24 @@ type Result struct {
 	Iterations  int     `json:"iterations"`
 }
 
+// SnapshotSchemaVersion is the layout version NewSnapshot stamps.
+// Version 2 added schema_version itself and gomaxprocs; version-1 files
+// (both fields absent, decoding to 0) still load and compare.
+const SnapshotSchemaVersion = 2
+
 // Snapshot is one benchmark run's record, written as BENCH_<date>.json.
 type Snapshot struct {
-	Date      string   `json:"date"`
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	NumCPU    int      `json:"num_cpu"`
-	Results   []Result `json:"results"`
+	SchemaVersion int    `json:"schema_version"`
+	Date          string `json:"date"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+	// GOMAXPROCS records the scheduler limit the run was taken under —
+	// without it a "parallel4" number from a GOMAXPROCS=1 run would
+	// masquerade as a scaling measurement.
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
 	// Speedups derives the headline ratios from Results: the parallel
 	// clone-free exhaustive search against the seed inner loop, and the
 	// structural clone against the JSON round trip.
@@ -313,13 +323,15 @@ func Run(filter string, report func(Result)) []Result {
 // 2006-01-02.
 func NewSnapshot(date string, results []Result) *Snapshot {
 	s := &Snapshot{
-		Date:      date,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Results:   results,
-		Speedups:  map[string]float64{},
+		SchemaVersion: SnapshotSchemaVersion,
+		Date:          date,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Results:       results,
+		Speedups:      map[string]float64{},
 	}
 	ns := func(name string) float64 {
 		for _, r := range results {
@@ -339,7 +351,7 @@ func NewSnapshot(date string, results []Result) *Snapshot {
 		s.Speedups["clone_structural_vs_json"] = a / b
 	}
 	if a, b := ns("exhaustive/large-serial"), ns("exhaustive/large-parallel4"); a > 0 && b > 0 {
-		s.Speedups["exhaustive_large_parallel4_vs_serial"] = a / b
+		s.Speedups[ScalingKey] = a / b
 	}
 	if len(s.Speedups) == 0 {
 		s.Speedups = nil

@@ -85,6 +85,57 @@ func Compare(old, cur *Snapshot, threshold float64) []Comparison {
 	return out
 }
 
+// EnvMismatch reports environment differences between two snapshots that
+// make their timings only loosely comparable: CPU count and the
+// GOMAXPROCS limit. These are warnings, never failures — a laptop
+// comparing against a CI snapshot should see the caveat, not a red
+// build.
+func EnvMismatch(old, cur *Snapshot) []string {
+	gmp := func(s *Snapshot) string {
+		if s.GOMAXPROCS == 0 {
+			return "unrecorded (schema v1)"
+		}
+		return fmt.Sprintf("%d", s.GOMAXPROCS)
+	}
+	var warns []string
+	if old.NumCPU != cur.NumCPU {
+		warns = append(warns, fmt.Sprintf(
+			"num_cpu differs: %d (old) vs %d (new); timing deltas are indicative only",
+			old.NumCPU, cur.NumCPU))
+	}
+	if old.GOMAXPROCS != cur.GOMAXPROCS {
+		warns = append(warns, fmt.Sprintf(
+			"gomaxprocs differs: %s (old) vs %s (new); parallel-case deltas are indicative only",
+			gmp(old), gmp(cur)))
+	}
+	return warns
+}
+
+// ScalingKey is the derived speedup the scaling gate checks: the large
+// exhaustive search's serial time over its 4-worker time.
+const ScalingKey = "exhaustive_large_parallel4_vs_serial"
+
+// ScalingGate checks a snapshot's parallel-vs-serial speedup against a
+// floor. The gate arms only when the snapshot was taken with real
+// parallelism available (num_cpu > 1 and not pinned to GOMAXPROCS=1) —
+// on a single-CPU machine a parallel "speedup" measures scheduling
+// overhead, and gating it would punish the honest number. floor <= 0
+// disarms the gate explicitly. An armed gate with no recorded ratio
+// fails: a filtered suite cannot vouch for scaling.
+func ScalingGate(s *Snapshot, floor float64) error {
+	if floor <= 0 || s.NumCPU <= 1 || s.GOMAXPROCS == 1 {
+		return nil
+	}
+	ratio, ok := s.Speedups[ScalingKey]
+	if !ok {
+		return fmt.Errorf("bench: scaling gate armed (num_cpu=%d) but snapshot records no %s ratio", s.NumCPU, ScalingKey)
+	}
+	if ratio < floor {
+		return fmt.Errorf("bench: %s = %.2fx, below the %.2fx floor", ScalingKey, ratio, floor)
+	}
+	return nil
+}
+
 // Format renders one comparison as a fixed-width report line.
 func (c Comparison) Format() string {
 	if c.OnlyIn != "" {

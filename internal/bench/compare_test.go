@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestNewSnapshotRecordsEnvironment: snapshots carry the schema version
+// and the scheduler limit they were measured under.
+func TestNewSnapshotRecordsEnvironment(t *testing.T) {
+	s := NewSnapshot("2026-08-08", []Result{{Name: "x", NsPerOp: 1}})
+	if s.SchemaVersion != SnapshotSchemaVersion {
+		t.Errorf("SchemaVersion = %d, want %d", s.SchemaVersion, SnapshotSchemaVersion)
+	}
+	if s.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Errorf("GOMAXPROCS = %d, want %d", s.GOMAXPROCS, runtime.GOMAXPROCS(0))
+	}
+	if s.NumCPU != runtime.NumCPU() {
+		t.Errorf("NumCPU = %d, want %d", s.NumCPU, runtime.NumCPU())
+	}
+}
+
+// TestEnvMismatch: differing CPU counts or GOMAXPROCS produce warnings
+// (never an error), and a schema-v1 snapshot's missing gomaxprocs is
+// called out as unrecorded.
+func TestEnvMismatch(t *testing.T) {
+	same := &Snapshot{NumCPU: 4, GOMAXPROCS: 4}
+	if warns := EnvMismatch(same, &Snapshot{NumCPU: 4, GOMAXPROCS: 4}); len(warns) != 0 {
+		t.Errorf("identical environments warned: %v", warns)
+	}
+	warns := EnvMismatch(&Snapshot{NumCPU: 1}, &Snapshot{NumCPU: 4, GOMAXPROCS: 4})
+	if len(warns) != 2 {
+		t.Fatalf("got %d warnings, want 2: %v", len(warns), warns)
+	}
+	if !strings.Contains(warns[0], "num_cpu differs: 1 (old) vs 4 (new)") {
+		t.Errorf("cpu warning = %q", warns[0])
+	}
+	if !strings.Contains(warns[1], "unrecorded (schema v1)") {
+		t.Errorf("gomaxprocs warning = %q", warns[1])
+	}
+}
+
+// TestScalingGate: the parallel-speedup floor arms only on genuinely
+// multi-core snapshots, fails below the floor or when the ratio is
+// missing, and passes at or above it.
+func TestScalingGate(t *testing.T) {
+	multi := func(ratio float64) *Snapshot {
+		return &Snapshot{NumCPU: 4, GOMAXPROCS: 4, Speedups: map[string]float64{ScalingKey: ratio}}
+	}
+	if err := ScalingGate(multi(2.5), 2.0); err != nil {
+		t.Errorf("2.5x vs 2.0 floor failed: %v", err)
+	}
+	if err := ScalingGate(multi(1.3), 2.0); err == nil || !strings.Contains(err.Error(), "below") {
+		t.Errorf("1.3x vs 2.0 floor: err = %v", err)
+	}
+	// Single-CPU or pinned snapshots: a parallel "speedup" there measures
+	// scheduling overhead, so the gate must stay disarmed.
+	oneCPU := &Snapshot{NumCPU: 1, GOMAXPROCS: 1, Speedups: map[string]float64{ScalingKey: 0.9}}
+	if err := ScalingGate(oneCPU, 2.0); err != nil {
+		t.Errorf("1-CPU snapshot gated: %v", err)
+	}
+	pinned := &Snapshot{NumCPU: 8, GOMAXPROCS: 1, Speedups: map[string]float64{ScalingKey: 0.9}}
+	if err := ScalingGate(pinned, 2.0); err != nil {
+		t.Errorf("GOMAXPROCS=1 snapshot gated: %v", err)
+	}
+	if err := ScalingGate(multi(0.5), 0); err != nil {
+		t.Errorf("floor 0 did not disarm: %v", err)
+	}
+	// Armed but filtered: the ratio is absent, so the gate cannot vouch.
+	filtered := &Snapshot{NumCPU: 4, GOMAXPROCS: 4}
+	if err := ScalingGate(filtered, 2.0); err == nil {
+		t.Error("missing ratio passed an armed gate")
+	}
+}
+
+// TestReadSnapshotSchemaV1: version-1 files (no schema_version or
+// gomaxprocs keys) still load with both fields zero.
+func TestReadSnapshotSchemaV1(t *testing.T) {
+	path := t.TempDir() + "/v1.json"
+	v1 := &Snapshot{Date: "2026-08-05", NumCPU: 1, Results: []Result{{Name: "x"}}}
+	if err := v1.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != 0 || got.GOMAXPROCS != 0 || got.NumCPU != 1 {
+		t.Errorf("v1 snapshot = %+v", got)
+	}
+}

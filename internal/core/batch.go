@@ -1,0 +1,520 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"stordep/internal/cost"
+	"stordep/internal/device"
+	"stordep/internal/failure"
+	"stordep/internal/protect"
+	"stordep/internal/units"
+)
+
+// This file implements the columnar batch assessment kernel: the
+// scenario-evaluation arithmetic of AssessBrief restructured to run over
+// flat per-candidate parameter arrays instead of a built System per
+// candidate. A BatchKernel is compiled once per (base design, scenario
+// set) pair and captures everything a candidate's knob choices cannot
+// change — device placements, spare/facility resolution per scenario,
+// multi-sited survival, fixed access delays — while a Cols block carries
+// the per-candidate parameters that do vary (policy lags, retention
+// spans, restore sizes, routing indices, bandwidth headroom, outlay
+// totals). AssessBatch then walks N candidates per call with zero
+// steady-state allocations.
+//
+// The kernel is an arithmetic replica, not an approximation: for any
+// candidate whose columns were extracted from a built System (see
+// ExtractRow), the Briefs it produces are bitwise identical to
+// System.AssessBrief on that System. The batch_test property tests and
+// the compiled-space probe checks in internal/opt both enforce this.
+
+// Device resolution kinds, precomputed per (scenario, device): what
+// serves in the device's role after the failure.
+const (
+	// resNone: the device is gone and nothing replaces it — recovery
+	// through it is impossible.
+	resNone uint8 = iota
+	// resIntact: the device survives; recovery transfers are limited to
+	// its normal-mode available bandwidth.
+	resIntact
+	// resReplaced: spare or facility hardware stands in, fresh (full
+	// device bandwidth) after its provisioning delay.
+	resReplaced
+)
+
+// batchResolution is the precomputed outcome of resolveDevice for one
+// (scenario, device) pair — everything except the candidate-dependent
+// bandwidth numbers.
+type batchResolution struct {
+	kind      uint8
+	provision time.Duration
+	site      string
+}
+
+// batchMulti is the precomputed survival of one multi-sited level under
+// one scenario: whether the survival threshold holds, and the device
+// index of the first surviving fragment site (-1 when none survive).
+type batchMulti struct {
+	survives bool
+	readIdx  int32
+}
+
+// BatchKernel holds the scenario- and placement-dependent tables shared
+// by every candidate of a design space. Build one with NewBatchKernel;
+// it is immutable afterwards and safe for concurrent AssessBatch calls
+// with distinct Cols/BatchScratch.
+type BatchKernel struct {
+	scs      []failure.Scenario
+	reqs     cost.Requirements
+	nLevels  int
+	nDevices int
+	primary  int // device index of the primary array
+
+	devIndex map[string]int
+	devDelay []time.Duration
+	devKind  []device.Kind
+
+	// res[si*nDevices+d] resolves device d under scenario si.
+	res []batchResolution
+	// multiLevel[j] marks base levels implementing protect.MultiSited;
+	// their survival and fragment routing are placement-only and live in
+	// multi[si*nLevels+j]. Candidate columns must keep these levels'
+	// multi-sited configuration identical to the base design's.
+	multiLevel []bool
+	multi      []batchMulti
+	// multiSites/multiThreshold record the base configuration so
+	// ExtractRow can verify a foreign System still matches.
+	multiSites     [][]string
+	multiThreshold []int
+}
+
+// Cols is a columnar block of candidate parameters: row-major arrays
+// with one row per candidate, sized for the kernel's level and device
+// counts. All level-indexed arrays are len n*Levels, device-indexed
+// arrays len n*Devices. Obtain one from BatchKernel.NewCols and fill
+// rows with ExtractRow (or internal/opt's compiled space).
+type Cols struct {
+	levels  int
+	devices int
+
+	// Valid marks rows holding a buildable candidate; Err carries the
+	// build/validate error of invalid rows (AssessBatch skips them).
+	Valid []bool
+	Err   []error
+	// OutlaysTotal is the candidate's total annual outlay
+	// (System.Outlays().Total()).
+	OutlaysTotal []units.Money
+
+	// Per-level policy parameters (hierarchy.Policy derived).
+	LvlLag     []time.Duration // Policy.TransferLag
+	LvlAccW    []time.Duration // Policy.EffectiveAccW
+	LvlRetSpan []time.Duration // Policy.RetentionSpan
+	LvlRestore []units.ByteSize
+	// Per-level routing: device indices of CopyDevice/ReadDevice and
+	// TransportDevice (-1 when the technique names no transport).
+	LvlCopy      []int32
+	LvlRead      []int32
+	LvlTransport []int32
+
+	// Per-device bandwidth: the spec's MaxBandwidth and the normal-mode
+	// AvailableBandwidth after the candidate's demands.
+	DevMaxBW []units.Rate
+	DevAvail []units.Rate
+}
+
+// NewCols allocates a columnar block for n candidates.
+func (k *BatchKernel) NewCols(n int) *Cols {
+	return &Cols{
+		levels:       k.nLevels,
+		devices:      k.nDevices,
+		Valid:        make([]bool, n),
+		Err:          make([]error, n),
+		OutlaysTotal: make([]units.Money, n),
+		LvlLag:       make([]time.Duration, n*k.nLevels),
+		LvlAccW:      make([]time.Duration, n*k.nLevels),
+		LvlRetSpan:   make([]time.Duration, n*k.nLevels),
+		LvlRestore:   make([]units.ByteSize, n*k.nLevels),
+		LvlCopy:      make([]int32, n*k.nLevels),
+		LvlRead:      make([]int32, n*k.nLevels),
+		LvlTransport: make([]int32, n*k.nLevels),
+		DevMaxBW:     make([]units.Rate, n*k.nDevices),
+		DevAvail:     make([]units.Rate, n*k.nDevices),
+	}
+}
+
+// Rows returns how many candidate rows the block holds.
+func (c *Cols) Rows() int { return len(c.Valid) }
+
+// BatchScratch holds AssessBatch's output buffer so repeated calls reuse
+// one allocation. A BatchScratch must not be shared between concurrent
+// calls.
+type BatchScratch struct {
+	// Briefs is candidate-major: the brief for candidate i under
+	// scenario si lands at Briefs[i*len(scenarios)+si]. Valid until the
+	// next AssessBatch call with this scratch.
+	Briefs []Brief
+}
+
+// Scenarios returns the kernel's scenario set (shared slice; read-only).
+func (k *BatchKernel) Scenarios() []failure.Scenario { return k.scs }
+
+// Levels returns the kernel's hierarchy level count.
+func (k *BatchKernel) Levels() int { return k.nLevels }
+
+// Devices returns the kernel's device count.
+func (k *BatchKernel) Devices() int { return k.nDevices }
+
+// DeviceIndex returns the design-order index of the named device, or -1.
+func (k *BatchKernel) DeviceIndex(name string) int {
+	if i, ok := k.devIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// NewBatchKernel compiles the scenario- and placement-dependent
+// assessment tables for the system's design. The scenario set is
+// validated once here — AssessBatch never re-validates — and captured by
+// value. Knob choices evaluated against this kernel must not move
+// devices, change spare/facility configuration, or alter any
+// multi-sited level's fragment layout; internal/opt's space compiler
+// enforces that before routing candidates through the kernel.
+func NewBatchKernel(sys *System, scs []failure.Scenario) (*BatchKernel, error) {
+	d := sys.design
+	for _, sc := range scs {
+		if err := sc.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	k := &BatchKernel{
+		scs:      append([]failure.Scenario(nil), scs...),
+		reqs:     d.Requirements,
+		nLevels:  len(d.Levels),
+		nDevices: len(d.Devices),
+		devIndex: make(map[string]int, len(d.Devices)),
+		devDelay: make([]time.Duration, len(d.Devices)),
+		devKind:  make([]device.Kind, len(d.Devices)),
+	}
+	for i, pd := range d.Devices {
+		k.devIndex[pd.Spec.Name] = i
+		k.devDelay[i] = pd.Spec.Delay
+		k.devKind[i] = pd.Spec.Kind
+	}
+	primary, ok := k.devIndex[d.Primary.Array]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownLevel, d.Primary.Array)
+	}
+	k.primary = primary
+
+	at := d.PrimaryPlacement()
+	k.res = make([]batchResolution, len(scs)*k.nDevices)
+	for si, sc := range k.scs {
+		base := si * k.nDevices
+		for di, pd := range d.Devices {
+			r := &k.res[base+di]
+			switch {
+			case pd.Placement.Survives(sc.Scope, at):
+				r.kind = resIntact
+				r.site = pd.Placement.Site
+			default:
+				if sp, ok := sys.spareAt[pd.Spec.Name]; ok && sp.Survives(sc.Scope, at) {
+					r.kind = resReplaced
+					r.provision = pd.Spec.Spare.ProvisionTime
+					r.site = sp.Site
+				} else if f := d.Facility; f != nil && f.Placement.Survives(sc.Scope, at) {
+					r.kind = resReplaced
+					r.provision = f.ProvisionTime
+					r.site = f.Placement.Site
+				} else {
+					r.kind = resNone
+				}
+			}
+		}
+	}
+
+	k.multiLevel = make([]bool, k.nLevels)
+	k.multiSites = make([][]string, k.nLevels)
+	k.multiThreshold = make([]int, k.nLevels)
+	k.multi = make([]batchMulti, len(scs)*k.nLevels)
+	for j, tech := range d.Levels {
+		ms, ok := tech.(protect.MultiSited)
+		if !ok {
+			continue
+		}
+		k.multiLevel[j] = true
+		k.multiSites[j] = ms.CopyDevices()
+		k.multiThreshold[j] = ms.SurvivalThreshold()
+		for si, sc := range k.scs {
+			surviving := 0
+			first := int32(-1)
+			for _, name := range k.multiSites[j] {
+				pd, ok := d.placedDevice(name)
+				if !ok {
+					continue
+				}
+				if pd.Placement.Survives(sc.Scope, at) {
+					surviving++
+					if first < 0 {
+						first = int32(k.devIndex[name])
+					}
+				}
+			}
+			k.multi[si*k.nLevels+j] = batchMulti{
+				survives: surviving >= k.multiThreshold[j],
+				readIdx:  first,
+			}
+		}
+	}
+	return k, nil
+}
+
+// ExtractRow fills one Cols row from a built System: the candidate
+// parameters AssessBatch needs, pulled from the same models AssessBrief
+// consults. The system must structurally match the kernel's base design
+// — same device names in the same order, same level count, and identical
+// multi-sited configuration — or an error is returned.
+func (k *BatchKernel) ExtractRow(sys *System, cols *Cols, row int) error {
+	d := sys.design
+	if len(d.Levels) != k.nLevels {
+		return fmt.Errorf("core: batch kernel has %d levels, system has %d", k.nLevels, len(d.Levels))
+	}
+	if len(d.Devices) != k.nDevices {
+		return fmt.Errorf("core: batch kernel has %d devices, system has %d", k.nDevices, len(d.Devices))
+	}
+	dev := row * k.nDevices
+	for di, pd := range d.Devices {
+		if got, ok := k.devIndex[pd.Spec.Name]; !ok || got != di {
+			return fmt.Errorf("core: batch kernel device order mismatch at %q", pd.Spec.Name)
+		}
+		cols.DevMaxBW[dev+di] = pd.Spec.MaxBandwidth()
+		cols.DevAvail[dev+di] = sys.devices[pd.Spec.Name].AvailableBandwidth()
+	}
+	lvl := row * k.nLevels
+	for j, tech := range d.Levels {
+		if _, isMulti := tech.(protect.MultiSited); isMulti != k.multiLevel[j] {
+			return fmt.Errorf("core: batch kernel multi-sited mismatch at level %d", j+1)
+		}
+		if k.multiLevel[j] {
+			ms := tech.(protect.MultiSited)
+			if ms.SurvivalThreshold() != k.multiThreshold[j] {
+				return fmt.Errorf("core: batch kernel multi-sited threshold changed at level %d", j+1)
+			}
+			sites := ms.CopyDevices()
+			if len(sites) != len(k.multiSites[j]) {
+				return fmt.Errorf("core: batch kernel multi-sited fragment set changed at level %d", j+1)
+			}
+			for i := range sites {
+				if sites[i] != k.multiSites[j][i] {
+					return fmt.Errorf("core: batch kernel multi-sited fragment set changed at level %d", j+1)
+				}
+			}
+		}
+		pol := tech.Level().Policy
+		cols.LvlLag[lvl+j] = pol.TransferLag()
+		cols.LvlAccW[lvl+j] = pol.EffectiveAccW()
+		cols.LvlRetSpan[lvl+j] = pol.RetentionSpan()
+		cols.LvlRestore[lvl+j] = tech.RestoreSize(d.Workload)
+		copyIdx, ok := k.devIndex[tech.CopyDevice()]
+		if !ok {
+			return fmt.Errorf("core: batch kernel: level %d copy device %q unknown", j+1, tech.CopyDevice())
+		}
+		readIdx, ok := k.devIndex[tech.ReadDevice()]
+		if !ok {
+			return fmt.Errorf("core: batch kernel: level %d read device %q unknown", j+1, tech.ReadDevice())
+		}
+		cols.LvlCopy[lvl+j] = int32(copyIdx)
+		cols.LvlRead[lvl+j] = int32(readIdx)
+		cols.LvlTransport[lvl+j] = -1
+		if name := tech.TransportDevice(); name != "" {
+			// Mirrors transportSpec: a transport name absent from the
+			// design silently means "no transport".
+			if ti, ok := k.devIndex[name]; ok {
+				if _, placed := d.placedDevice(name); placed {
+					cols.LvlTransport[lvl+j] = int32(ti)
+				}
+			}
+		}
+	}
+	cols.OutlaysTotal[row] = sys.outlaysTotal
+	cols.Valid[row] = true
+	cols.Err[row] = nil
+	return nil
+}
+
+// AssessBatch assesses the first n candidate rows of cols under every
+// kernel scenario, writing Briefs into scratch (candidate-major, see
+// BatchScratch.Briefs). Rows with Valid=false get zero Briefs — callers
+// surface cols.Err for those. After the scratch's buffer has warmed up
+// the call performs no allocations.
+func (k *BatchKernel) AssessBatch(n int, cols *Cols, scratch *BatchScratch) {
+	ns := len(k.scs)
+	need := n * ns
+	if cap(scratch.Briefs) < need {
+		scratch.Briefs = make([]Brief, need)
+	}
+	scratch.Briefs = scratch.Briefs[:need]
+	for i := 0; i < n; i++ {
+		out := scratch.Briefs[i*ns : (i+1)*ns]
+		if !cols.Valid[i] {
+			for si := range out {
+				out[si] = Brief{}
+			}
+			continue
+		}
+		lvl := i * k.nLevels
+		dev := i * k.nDevices
+		for si := range k.scs {
+			out[si] = k.assessOne(cols, lvl, dev, si, cols.OutlaysTotal[i])
+		}
+	}
+}
+
+// assessOne is the flat-form replica of AssessBrief for one (candidate,
+// scenario) pair: source selection over the guaranteed ranges, then the
+// at-most-two-hop recovery path, then penalties. Pure arithmetic over
+// the kernel tables and the candidate's columns — no allocation.
+func (k *BatchKernel) assessOne(cols *Cols, lvl, dev, si int, outlays units.Money) Brief {
+	sc := &k.scs[si]
+	resBase := si * k.nDevices
+
+	// Source selection: argmin worst-case loss over surviving levels,
+	// ties to the lower level (§3.3.3). cum accumulates CumTransferLag —
+	// a level's own transfer lag is included in its cumulative lag.
+	bestLevel := -1
+	var bestLoss time.Duration
+	var cum time.Duration
+	for j := 0; j < k.nLevels; j++ {
+		cum += cols.LvlLag[lvl+j]
+		var surv bool
+		if k.multiLevel[j] {
+			surv = k.multi[si*k.nLevels+j].survives
+		} else {
+			surv = k.res[resBase+int(cols.LvlCopy[lvl+j])].kind == resIntact
+		}
+		if !surv {
+			continue
+		}
+		oldest := cols.LvlRetSpan[lvl+j] + cum
+		newest := cum + cols.LvlAccW[lvl+j]
+		if (oldest == 0 && newest == 0) || oldest < newest {
+			continue // guaranteed range empty: conservatively too old
+		}
+		var loss time.Duration
+		switch {
+		case sc.TargetAge < newest:
+			loss = newest // too recent: worst-case lag (MaxLag)
+		case sc.TargetAge > oldest:
+			continue // too old: cannot serve
+		default:
+			loss = cols.LvlAccW[lvl+j] // covered: one accumulation window
+		}
+		if bestLevel == -1 || loss < bestLoss {
+			bestLevel = j
+			bestLoss = loss
+		}
+	}
+	if bestLevel < 0 {
+		return k.lostBrief(outlays)
+	}
+
+	// Recovery path. Destination: the (possibly replaced) primary array.
+	dest := &k.res[resBase+k.primary]
+	if dest.kind == resNone {
+		return k.lostBrief(outlays)
+	}
+	readIdx := int(cols.LvlRead[lvl+bestLevel])
+	if k.multiLevel[bestLevel] {
+		if m := k.multi[si*k.nLevels+bestLevel]; m.readIdx >= 0 {
+			readIdx = int(m.readIdx)
+		}
+	}
+	read := &k.res[resBase+readIdx]
+	if read.kind == resNone {
+		return k.lostBrief(outlays)
+	}
+	tIdx := int(cols.LvlTransport[lvl+bestLevel])
+
+	var rt time.Duration
+	// Media-return hop: retained media on a different device than the
+	// reader (vault -> library); the transport's fixed delay serializes.
+	if cols.LvlCopy[lvl+bestLevel] != cols.LvlRead[lvl+bestLevel] {
+		if tIdx >= 0 {
+			rt += k.devDelay[tIdx]
+		}
+	}
+
+	size := sc.RecoverSize
+	if size <= 0 {
+		size = cols.LvlRestore[lvl+bestLevel]
+	}
+	parFix := read.provision
+	if dest.provision > parFix {
+		parFix = dest.provision
+	}
+	serFix := k.devDelay[readIdx]
+
+	destAvail := cols.DevMaxBW[dev+k.primary]
+	if dest.kind == resIntact {
+		destAvail = cols.DevAvail[dev+k.primary]
+	}
+	var bw units.Rate
+	if readIdx == k.primary && dest.kind == resIntact {
+		// Intra-array copy: reads and writes share one enclosure.
+		bw = destAvail / 2
+	} else {
+		readAvail := cols.DevMaxBW[dev+readIdx]
+		if read.kind == resIntact {
+			readAvail = cols.DevAvail[dev+readIdx]
+		}
+		bw = readAvail
+		if destAvail < bw {
+			bw = destAvail
+		}
+		// A network interconnect caps the rate and adds its propagation
+		// delay when the transfer crosses sites.
+		if tIdx >= 0 && k.devKind[tIdx] == device.KindInterconnect && read.site != dest.site {
+			if links := cols.DevAvail[dev+tIdx]; links < bw {
+				bw = links
+			}
+			serFix += k.devDelay[tIdx]
+		}
+	}
+
+	// recovery.Time fold for the transfer step.
+	if parFix > rt {
+		rt = parFix
+	}
+	d := serFix
+	forever := false
+	if size > 0 {
+		xfer := units.Div(size, bw)
+		if xfer == units.Forever {
+			forever = true
+		} else {
+			d += xfer
+		}
+	}
+	var b Brief
+	if forever {
+		b.RecoveryTime = units.Forever
+	} else {
+		b.RecoveryTime = rt + d
+	}
+	b.DataLoss = bestLoss
+	b.Penalties = cost.Assess(k.reqs, b.RecoveryTime, b.DataLoss).Total()
+	b.Total = outlays + b.Penalties
+	return b
+}
+
+// lostBrief fills the §3.3.3 whole-object-lost case.
+func (k *BatchKernel) lostBrief(outlays units.Money) Brief {
+	b := Brief{
+		RecoveryTime:    units.Forever,
+		DataLoss:        units.Forever,
+		WholeObjectLost: true,
+	}
+	b.Penalties = cost.Assess(k.reqs, units.Forever, units.Forever).Total()
+	b.Total = outlays + b.Penalties
+	return b
+}

@@ -90,8 +90,17 @@ type ExhaustiveOptions struct {
 	// Progress, when non-nil, is incremented once per evaluated
 	// candidate and may be read concurrently — a live evaluation counter
 	// for progress reporting and heartbeats (internal/dist streams it to
-	// the coordinator). It does not affect the search.
+	// the coordinator). It does not affect the search. The batched
+	// compiled path advances it once per batch rather than per
+	// candidate; the final total still equals Evaluations.
 	Progress *atomic.Int64
+	// BatchSize is the candidate count per batched assessment step on
+	// the compiled fast path. 0 picks the default (64) and only compiles
+	// spaces large enough to amortize the compilation pass; any positive
+	// value forces a compilation attempt regardless of space size (the
+	// search still falls back to the legacy fold when the space cannot
+	// be compiled). The result is byte-identical for every batch size.
+	BatchSize int
 }
 
 // SpaceSize returns the total candidate count of a knob set — the
@@ -185,12 +194,22 @@ func ExhaustiveWorkers(base *core.Design, knobs []Knob, scenarios []failure.Scen
 // Revertible, each worker also reuses a single cloned design across all
 // its candidates instead of cloning per candidate.
 //
-// The result is byte-identical for every worker count, and across
-// slice-based, streaming and sharded searches: the optimum is the lowest
-// score with ties broken to the lowest global candidate index, a rule
-// that is insensitive to how the index space was partitioned. Candidates
-// scoring +Inf (unbuildable or infeasible) are never selected; if nothing
-// scores below +Inf the search returns ErrNoFeasible.
+// Large spaces (or any search with Options.BatchSize set) first try to
+// compile the knob space into flat parameter tables (see compile.go)
+// and assess candidates in batches through core.BatchKernel — the same
+// argmin over the same scores with near-zero steady-state allocation.
+// Compilation is strictly an accelerator: candidates the tables cannot
+// represent take the legacy clone+build path row by row, and any
+// compile-time doubt (probe mismatch, oversized groups) falls back to
+// the legacy fold for the whole space.
+//
+// The result is byte-identical for every worker count and batch size,
+// and across slice-based, streaming, batched and sharded searches: the
+// optimum is the lowest score with ties broken to the lowest global
+// candidate index, a rule that is insensitive to how the index space
+// was partitioned. Candidates scoring +Inf (unbuildable or infeasible)
+// are never selected; if nothing scores below +Inf the search returns
+// ErrNoFeasible.
 func ExhaustiveOpts(base *core.Design, knobs []Knob, scenarios []failure.Scenario, objective Objective, opts ExhaustiveOptions) (*Solution, error) {
 	objective, err := validate(knobs, scenarios, objective)
 	if err != nil {
@@ -210,6 +229,51 @@ func ExhaustiveOpts(base *core.Design, knobs []Knob, scenarios []failure.Scenari
 	lo, hi := opts.Shard.bounds(space)
 	reuse := allRevertible(knobs)
 
+	var bestScore units.Money
+	var bestIdx, evals int
+	if cs := maybeCompile(base, knobs, scenarios, hi-lo, opts); cs != nil {
+		batch := opts.BatchSize
+		if batch <= 0 {
+			batch = defaultBatchSize
+		}
+		if batch > hi-lo {
+			batch = hi - lo
+		}
+		bestScore, bestIdx, evals, err = cs.search(lo, hi, batch, objective, opts, reuse)
+	} else {
+		bestScore, bestIdx, evals, err = exhaustiveFold(base, knobs, scenarios, objective, opts, lo, hi, reuse)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if bestIdx < 0 || math.IsInf(float64(bestScore), 1) {
+		return nil, ErrNoFeasible
+	}
+
+	choice := make([]int, len(knobs))
+	decodeChoice(choice, knobs, bestIdx)
+	tuned, err := applyChoice(base, knobs, choice)
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{
+		Design:         tuned,
+		Score:          bestScore,
+		Evaluations:    evals,
+		Passes:         1,
+		CandidateIndex: bestIdx,
+	}
+	for i, k := range knobs {
+		sol.Choices = append(sol.Choices, Choice{Knob: k.Name, Option: k.Options[choice[i]]})
+	}
+	return sol, nil
+}
+
+// exhaustiveFold is the legacy per-candidate streaming fold: one clone
+// (or scratch reuse) + build + assess per candidate. It remains the
+// reference semantics the compiled batched path must match bit for bit,
+// and the fallback whenever compilation is skipped or rejected.
+func exhaustiveFold(base *core.Design, knobs []Knob, scenarios []failure.Scenario, objective Objective, opts ExhaustiveOptions, lo, hi int, reuse bool) (units.Money, int, int, error) {
 	acc := func() *exhAcc {
 		return &exhAcc{
 			bestScore: units.Money(math.Inf(1)),
@@ -276,29 +340,9 @@ func ExhaustiveOpts(base *core.Design, knobs []Knob, scenarios []failure.Scenari
 
 	final, err := parallel.Reduce(opts.Workers, hi-lo, acc, fold, mergePhase)
 	if err != nil {
-		return nil, err
+		return 0, 0, 0, err
 	}
-	if final.bestIdx < 0 || math.IsInf(float64(final.bestScore), 1) {
-		return nil, ErrNoFeasible
-	}
-
-	choice := make([]int, len(knobs))
-	decodeChoice(choice, knobs, final.bestIdx)
-	tuned, err := applyChoice(base, knobs, choice)
-	if err != nil {
-		return nil, err
-	}
-	sol := &Solution{
-		Design:         tuned,
-		Score:          final.bestScore,
-		Evaluations:    final.evals,
-		Passes:         1,
-		CandidateIndex: final.bestIdx,
-	}
-	for i, k := range knobs {
-		sol.Choices = append(sol.Choices, Choice{Knob: k.Name, Option: k.Options[choice[i]]})
-	}
-	return sol, nil
+	return final.bestScore, final.bestIdx, final.evals, nil
 }
 
 // MergeShards combines the per-shard Solutions of one sharded exhaustive

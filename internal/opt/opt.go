@@ -29,6 +29,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"sync"
 
 	"stordep/internal/core"
 	"stordep/internal/failure"
@@ -226,6 +227,16 @@ func Tune(base *core.Design, knobs []Knob, scenarios []failure.Scenario, objecti
 	return TuneWorkers(base, knobs, scenarios, objective, 0)
 }
 
+// tuneAcc is one worker's reusable scoring machinery for TuneWorkers:
+// the optional Revertible scratch design plus the allocation-lean
+// evaluator with its Result buffer. Accs are pooled across sweeps so
+// the scratch lives for the whole descent, not one chunk of one sweep.
+type tuneAcc struct {
+	scratch *core.Design
+	eval    whatif.Evaluator
+	res     whatif.Result
+}
+
 // TuneWorkers runs coordinate descent from the base design: each pass
 // sweeps the knobs in order, evaluating every option for the current
 // knob with the other knobs held at their incumbent values, and keeps
@@ -234,7 +245,9 @@ func Tune(base *core.Design, knobs []Knob, scenarios []failure.Scenario, objecti
 // The options of the knob under sweep are scored concurrently on at most
 // workers goroutines (anything < 1 means runtime.NumCPU()); already-seen
 // choice vectors — the incumbent, and revisited options on later passes
-// — are served from a memo. The result is byte-identical for every
+// — are served from a memo. When every knob is Revertible, each scoring
+// accumulator keeps one cloned scratch design that is reused across
+// every sweep of the descent. The result is byte-identical for every
 // worker count: ties keep the incumbent, then prefer the lowest option
 // index, exactly as the serial scan did.
 func TuneWorkers(base *core.Design, knobs []Knob, scenarios []failure.Scenario, objective Objective, workers int) (*Solution, error) {
@@ -246,11 +259,34 @@ func TuneWorkers(base *core.Design, knobs []Knob, scenarios []failure.Scenario, 
 	sol := &Solution{CandidateIndex: -1}
 	memo := make(map[string]units.Money)
 	current := make([]int, len(knobs)) // incumbent option per knob
+	reuse := allRevertible(knobs)
+
+	// The acc pool outlives the per-sweep Reduce calls: a sweep checks
+	// accs out, its merge returns them, and the next sweep reuses their
+	// scratch designs and Result buffers instead of re-cloning.
+	var poolMu sync.Mutex
+	var pool []*tuneAcc
+	checkout := func() *tuneAcc {
+		poolMu.Lock()
+		defer poolMu.Unlock()
+		if n := len(pool); n > 0 {
+			a := pool[n-1]
+			pool = pool[:n-1]
+			return a
+		}
+		return &tuneAcc{}
+	}
+	checkin := func(a *tuneAcc) {
+		poolMu.Lock()
+		pool = append(pool, a)
+		poolMu.Unlock()
+	}
 
 	// scoreBatch scores choice vectors in input order: memo hits are
 	// served immediately, misses are evaluated on the pool and memoized.
 	// The set of vectors evaluated is therefore independent of the
-	// worker count, keeping Evaluations/MemoHits deterministic.
+	// worker count, keeping Evaluations/MemoHits deterministic. Misses
+	// write disjoint missScores slots, so the fold needs no locking.
 	scoreBatch := func(trials [][]int) ([]units.Money, error) {
 		scores := make([]units.Money, len(trials))
 		misses := make([]int, 0, len(trials))
@@ -262,11 +298,36 @@ func TuneWorkers(base *core.Design, knobs []Knob, scenarios []failure.Scenario, 
 				misses = append(misses, i)
 			}
 		}
-		missScores, err := parallel.Map(workers, len(misses), func(i int) (units.Money, error) {
-			return scoreCandidate(base, knobs, scenarios, objective, trials[misses[i]])
-		})
-		if err != nil {
-			return nil, err
+		missScores := make([]units.Money, len(misses))
+		if len(misses) > 0 {
+			fold := func(a *tuneAcc, i int) (*tuneAcc, error) {
+				d := a.scratch
+				if d == nil {
+					fresh, err := Clone(base)
+					if err != nil {
+						return a, err
+					}
+					d = fresh
+					if reuse {
+						a.scratch = fresh
+					}
+				}
+				if err := applyChoiceTo(d, knobs, trials[misses[i]]); err != nil {
+					return a, err
+				}
+				a.eval.EvaluateInto(d, scenarios, &a.res)
+				missScores[i] = objective(a.res)
+				return a, nil
+			}
+			merge := func(a, b *tuneAcc) *tuneAcc {
+				checkin(b)
+				return a
+			}
+			final, err := parallel.Reduce(workers, len(misses), checkout, fold, merge)
+			if err != nil {
+				return nil, err
+			}
+			checkin(final)
 		}
 		for j, mi := range misses {
 			scores[mi] = missScores[j]

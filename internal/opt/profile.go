@@ -8,13 +8,18 @@ import (
 
 // Profiler phase labels for the exhaustive inner loop: "build" covers
 // candidate construction (clone + knob application), "assess" the
-// evaluation of the candidate across scenarios, and "reduce" the argmin
-// merge. With labels on, `go tool pprof -tagfocus phase=assess` isolates
-// where an optimization run actually spends its time.
+// evaluation of the candidate across scenarios, "reduce" the argmin
+// merge, "compile" the one-time knob-space compilation (diffing,
+// group-table extraction, probe verification), and "batch" the compiled
+// path's fill+AssessBatch step. With labels on, `go tool pprof
+// -tagfocus phase=batch` isolates where an optimization run actually
+// spends its time.
 var (
-	labelsBuild  = pprof.Labels("phase", "build")
-	labelsAssess = pprof.Labels("phase", "assess")
-	labelsReduce = pprof.Labels("phase", "reduce")
+	labelsBuild   = pprof.Labels("phase", "build")
+	labelsAssess  = pprof.Labels("phase", "assess")
+	labelsReduce  = pprof.Labels("phase", "reduce")
+	labelsCompile = pprof.Labels("phase", "compile")
+	labelsBatch   = pprof.Labels("phase", "batch")
 )
 
 // phaseProfiling gates the per-candidate pprof labeling. Off by default:
@@ -22,8 +27,9 @@ var (
 // which the hot loop must not pay when nobody is profiling.
 var phaseProfiling atomic.Bool
 
-// PhaseProfiling toggles pprof phase labels (phase=build|assess|reduce)
-// on the exhaustive search's inner loop. Enable it together with CPU or
+// PhaseProfiling toggles pprof phase labels
+// (phase=build|assess|reduce|compile|batch) on the exhaustive search's
+// inner loop. Enable it together with CPU or
 // memory profiling (cmd/optimize -cpuprofile does); it is safe to toggle
 // concurrently with running searches — a search reads the flag at each
 // candidate.

@@ -30,6 +30,9 @@ func TestEvaluateSeqMatchesEvaluate(t *testing.T) {
 				if i != len(got) {
 					t.Fatalf("workers=%d: yielded index %d out of order (have %d)", workers, i, len(got))
 				}
+				// Yielded Results reuse chunk-slot buffers; retaining one
+				// past the yield call requires copying its Outcomes.
+				r.Outcomes = append([]Outcome(nil), r.Outcomes...)
 				got = append(got, r)
 				return nil
 			})

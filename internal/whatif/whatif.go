@@ -84,6 +84,9 @@ func EvaluateWorkers(designs []*core.Design, scenarios []failure.Scenario, worke
 	out := make([]Result, 0, len(designs))
 	err := EvaluateSeq(len(designs), func(i int) *core.Design { return designs[i] },
 		scenarios, workers, func(_ int, r Result) error {
+			// The yielded Result's Outcomes alias a chunk-slot buffer that
+			// the next chunk overwrites; buffering requires a copy.
+			r.Outcomes = append([]Outcome(nil), r.Outcomes...)
 			out = append(out, r)
 			return nil
 		})
@@ -107,6 +110,13 @@ func EvaluateWorkers(designs []*core.Design, scenarios []failure.Scenario, worke
 // starts. Workers are idle while yield runs, so a slow yield bounds
 // throughput; the chunk size (a small multiple of the worker count)
 // keeps that barrier cost amortized without unbounded reorder buffering.
+//
+// Each chunk slot keeps a persistent Evaluator and Result, so steady
+// state reuses the model scratch and Outcomes storage instead of
+// reallocating them per candidate. Consequently the yielded Result
+// (including its Outcomes slice) is valid only for the duration of the
+// yield call — a yield that retains results past its return must copy
+// the Outcomes slice, as EvaluateWorkers does.
 func EvaluateSeq(n int, design func(i int) *core.Design, scenarios []failure.Scenario, workers int, yield func(i int, r Result) error) error {
 	if len(scenarios) == 0 {
 		return ErrNoScenarios
@@ -119,13 +129,14 @@ func EvaluateSeq(n int, design func(i int) *core.Design, scenarios []failure.Sce
 		chunk = n
 	}
 	buf := make([]Result, chunk)
+	evals := make([]Evaluator, chunk)
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
 		if err := parallel.ForEach(workers, hi-lo, func(j int) error {
-			buf[j] = EvaluateOne(design(lo+j), scenarios)
+			evals[j].EvaluateInto(design(lo+j), scenarios, &buf[j])
 			return nil
 		}); err != nil {
 			return err
