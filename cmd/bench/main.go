@@ -22,7 +22,9 @@
 // -compare additionally gates the large exhaustive search's
 // parallel-vs-serial speedup against -min-scaling (default 2.0; <= 0
 // disarms) — a scaling regression fails the build even when no single
-// case slowed down.
+// case slowed down — and the pruned/large case's bound-pruning ratio
+// against -min-prune (default 0.3; <= 0 disarms), so a bound that
+// silently stops cutting the space fails the build too.
 package main
 
 import (
@@ -47,6 +49,7 @@ type options struct {
 	compare    bool
 	threshold  float64
 	minScaling float64
+	minPrune   float64
 	cpuProfile string
 	memProfile string
 	args       []string
@@ -63,6 +66,7 @@ func main() {
 	flag.BoolVar(&o.compare, "compare", false, "diff two snapshot files (old.json new.json) instead of benchmarking")
 	flag.Float64Var(&o.threshold, "threshold", 0.15, "regression threshold for -compare (fraction: 0.15 = 15%)")
 	flag.Float64Var(&o.minScaling, "min-scaling", 2.0, "parallel-vs-serial speedup floor -compare enforces on multi-CPU snapshots (<= 0 disarms)")
+	flag.Float64Var(&o.minPrune, "min-prune", 0.3, "bound-pruning ratio floor -compare enforces on the pruned/large case (<= 0 disarms)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile (with optimizer phase labels) to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -176,6 +180,16 @@ func runCompare(w io.Writer, o options) error {
 			status = "not gated on this host"
 		}
 		fmt.Fprintf(w, "%s = %.2fx (%s)\n", bench.ScalingKey, ratio, status)
+	}
+	if err := bench.PruneGate(newSnap, o.minPrune); err != nil {
+		return err
+	}
+	if ratio, ok := newSnap.Speedups[bench.PruneKey]; ok {
+		status := fmt.Sprintf("gated, floor %.0f%%", 100*o.minPrune)
+		if o.minPrune <= 0 {
+			status = "not gated"
+		}
+		fmt.Fprintf(w, "%s = %.0f%% (%s)\n", bench.PruneKey, 100*ratio, status)
 	}
 	return nil
 }

@@ -10,6 +10,8 @@
 //	optimize -links               # tune the asyncB mirror's link count
 //	optimize -rto 12h -rpo 1h     # cheapest design meeting objectives
 //	optimize -exhaustive          # streaming full enumeration (no space cap)
+//	optimize -exhaustive -prune   # bound-guided enumeration (same answer)
+//	optimize -pareto              # full RT/DL/cost non-dominated surface
 //	optimize -shard 1/4           # run one shard of a sharded enumeration
 //	optimize -shard 1/4 -out s1.json   # save the shard's result for -merge
 //	optimize -merge s0.json s1.json s2.json s3.json
@@ -19,7 +21,17 @@
 //
 // Exhaustive enumeration streams: candidates are decoded from their
 // global index on the fly, so memory stays O(workers) however large the
-// knob product is. -budget caps the space size (0 = unbounded); -shard
+// knob product is. -prune turns on branch-and-bound subtree pruning
+// (internal/opt/bound.go): admissible lower bounds from the compiled
+// group tables retire whole index ranges whose bound exceeds the best
+// score achieved so far. The printed solution is byte-identical to the
+// unpruned run — only the assessed/pruned split changes, reported on a
+// "Pruned:" line. -pareto sweeps the same space but returns the full
+// recovery-time/data-loss/outlay non-dominated surface instead of one
+// argmin (opt.Frontier); it runs locally only and ignores -objective,
+// since the frontier is what a decision-maker picks from before
+// committing to a single objective. -budget caps the space size
+// (0 = unbounded); -shard
 // k/m (0-based) evaluates only the k-th of m contiguous slices, so a big
 // space can be split across processes or hosts — each shard prints its
 // winner's global candidate index, and the overall optimum is the lowest
@@ -81,6 +93,8 @@ type options struct {
 	rto, rpo       string
 	workers        int
 	exhaustive     bool
+	prune          bool
+	pareto         bool
 	shard          string
 	budget         int
 	out            string
@@ -109,6 +123,8 @@ func main() {
 	flag.StringVar(&o.rpo, "rpo", "", "constrain to designs meeting this recovery point objective")
 	flag.IntVar(&o.workers, "workers", 0, "concurrent candidate evaluations (0 = all CPUs); any worker count returns the same solution")
 	flag.BoolVar(&o.exhaustive, "exhaustive", false, "enumerate every knob combination (streaming; no space cap) instead of coordinate descent")
+	flag.BoolVar(&o.prune, "prune", false, "bound-guided subtree pruning for -exhaustive / -pareto; identical answer, fewer candidates assessed")
+	flag.BoolVar(&o.pareto, "pareto", false, "sweep the space for the full RT/DL/cost non-dominated surface instead of a single optimum")
 	flag.StringVar(&o.shard, "shard", "", "evaluate one slice k/m (0-based) of the exhaustive space; implies -exhaustive")
 	flag.IntVar(&o.budget, "budget", 0, "refuse exhaustive spaces larger than this many combinations (0 = unbounded)")
 	flag.StringVar(&o.out, "out", "", "write the run's shard result (wire JSON) to this file, for -merge")
@@ -128,7 +144,11 @@ func main() {
 
 	var err error
 	if o.merge {
-		err = runMerge(os.Stdout, flag.Args())
+		if o.pareto {
+			err = fmt.Errorf("-pareto runs a local sweep; drop -merge")
+		} else {
+			err = runMerge(os.Stdout, flag.Args())
+		}
 	} else {
 		err = run(os.Stdout, o)
 	}
@@ -185,7 +205,7 @@ func run(w io.Writer, o options) error {
 		{Scope: failure.ScopeSite},
 	}
 
-	objective, objLabel, err := buildObjective(o.objective, o.rto, o.rpo)
+	objective, floor, objLabel, err := buildObjective(o.objective, o.rto, o.rpo)
 	if err != nil {
 		return err
 	}
@@ -207,6 +227,19 @@ func run(w io.Writer, o options) error {
 		return err
 	}
 
+	if o.pareto {
+		if o.coordinator != "" {
+			return fmt.Errorf("-pareto runs a local sweep; drop -coordinator")
+		}
+		if o.out != "" {
+			return fmt.Errorf("-out writes scalar shard results; it has no frontier form, drop it with -pareto")
+		}
+		return runPareto(w, o, base, knobs, scenarios, shard)
+	}
+	if o.prune && !o.exhaustive && o.shard == "" && o.coordinator == "" {
+		return fmt.Errorf("-prune needs an enumeration; add -exhaustive, -shard or -coordinator")
+	}
+
 	if o.coordinator != "" {
 		return runCoordinator(w, o, base, specs, scenarios, objLabel)
 	}
@@ -218,15 +251,19 @@ func run(w io.Writer, o options) error {
 			fmt.Fprintf(w, "Shard %s: merge shard winners by lowest score, ties to lowest candidate index (opt.MergeShards)\n", o.shard)
 		}
 		fmt.Fprintln(w)
+		var stats opt.SearchStats
 		sol, err = opt.ExhaustiveOpts(base, knobs, scenarios, objective, opt.ExhaustiveOptions{
 			Workers: o.workers,
 			Budget:  o.budget,
 			Shard:   shard,
+			Prune:   o.prune,
+			Floor:   floor,
+			Stats:   &stats,
 		})
 		if o.out != "" && isNoFeasible(err) {
 			// The shard's slice holds no feasible candidate: still a valid
 			// result — the merge needs its evaluation count.
-			return writeInfeasibleResult(w, o.out, specs, shard)
+			return writeInfeasibleResult(w, o.out, shard, stats)
 		}
 	} else {
 		fmt.Fprintf(w, "Tuning %q over %d knobs, objective: %s\n\n", base.Name, len(knobs), objLabel)
@@ -262,6 +299,35 @@ func run(w io.Writer, o options) error {
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			return fmt.Errorf("-memprofile: %w", err)
+		}
+	}
+	return nil
+}
+
+// runPareto sweeps the knob space for the full non-dominated surface
+// and prints it cheapest-first. The surface is byte-identical for every
+// -workers value and unchanged by -prune.
+func runPareto(w io.Writer, o options, base *core.Design, knobs []opt.Knob, scenarios []failure.Scenario, shard opt.Shard) error {
+	fmt.Fprintf(w, "Pareto sweep of %q over %d knobs: worst-case RT / worst-case DL / annual outlays\n", base.Name, len(knobs))
+	fr, err := opt.Frontier(base, knobs, scenarios, opt.FrontierOpts{
+		Workers: o.workers,
+		Budget:  o.budget,
+		Shard:   shard,
+		Prune:   o.prune,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%d non-dominated designs (%d candidates assessed", len(fr.Points), fr.Evaluations)
+	if fr.CandidatesPruned > 0 {
+		fmt.Fprintf(w, ", %d pruned", fr.CandidatesPruned)
+	}
+	fmt.Fprintf(w, ")\n")
+	for _, p := range fr.Points {
+		fmt.Fprintf(w, "\n  candidate #%-6d outlays %-12v RT %-10v DL %v\n",
+			p.CandidateIndex, p.Outlays, p.RecoveryTime.Round(time.Minute), p.DataLoss.Round(time.Minute))
+		for _, c := range p.Choices {
+			fmt.Fprintf(w, "    %-28s -> %s\n", c.Knob, c.Option)
 		}
 	}
 	return nil
@@ -306,6 +372,7 @@ func runCoordinator(w io.Writer, o options, base *core.Design, specs []dist.Knob
 		return err
 	}
 	job.Budget = o.budget
+	job.Prune = o.prune
 
 	// A live registry backs the run: workers that miss health probes are
 	// evicted into quarantine mid-run and readmitted when they recover.
@@ -386,6 +453,10 @@ func printSolution(w io.Writer, sol *opt.Solution, scenarios []failure.Scenario)
 		fmt.Fprintf(w, "\nScore: %v (%d evaluations, %d passes)\n",
 			sol.Score, sol.Evaluations, sol.Passes)
 	}
+	if sol.CandidatesPruned > 0 {
+		fmt.Fprintf(w, "Pruned: %d candidates retired by bound (%d bounds computed)\n",
+			sol.CandidatesPruned, sol.BoundsComputed)
+	}
 
 	results, err := whatif.Evaluate([]*core.Design{sol.Design}, scenarios)
 	if err != nil {
@@ -406,21 +477,18 @@ func isNoFeasible(err error) bool {
 }
 
 // writeInfeasibleResult records an infeasible shard for -merge: no
-// winner, but the slice's evaluation count must reach the merged total.
-func writeInfeasibleResult(w io.Writer, path string, specs []dist.KnobSpec, shard opt.Shard) error {
-	knobs, err := dist.BuildKnobs(specs)
-	if err != nil {
-		return err
-	}
-	space, err := opt.SpaceSize(knobs)
-	if err != nil {
-		return err
-	}
+// winner, but the slice's assessed and pruned counts must reach the
+// merged totals (a pruned infeasible shard assesses fewer candidates,
+// and under-reporting either count would break the sharded-vs-whole
+// accounting equivalence).
+func writeInfeasibleResult(w io.Writer, path string, shard opt.Shard, stats opt.SearchStats) error {
 	res := &dist.Result{
 		Version:        dist.Version,
 		Shard:          dist.ShardSpec{Index: shard.Index, Count: shard.Count},
 		Feasible:       false,
-		Evaluations:    shard.Size(space),
+		Evaluations:    stats.Assessed,
+		Pruned:         stats.Pruned,
+		BoundsComputed: stats.BoundsComputed,
 		CandidateIndex: -1,
 	}
 	if err := writeResult(path, res); err != nil {
@@ -448,34 +516,37 @@ func objectiveSpec(o options) dist.ObjectiveSpec {
 	return dist.ObjectiveSpec{Kind: o.objective}
 }
 
-func buildObjective(name, rto, rpo string) (opt.Objective, string, error) {
+// buildObjective resolves the objective flags into the scoring closure,
+// its admissible pruning floor (the -prune counterpart, see
+// opt.ObjectiveFloor), and a display label.
+func buildObjective(name, rto, rpo string) (opt.Objective, opt.ObjectiveFloor, string, error) {
 	if rto != "" || rpo != "" {
 		obj := whatif.Objectives{RTO: units.Forever, RPO: units.Forever}
 		if rto != "" {
 			d, err := units.ParseDuration(rto)
 			if err != nil {
-				return nil, "", fmt.Errorf("bad -rto: %w", err)
+				return nil, nil, "", fmt.Errorf("bad -rto: %w", err)
 			}
 			obj.RTO = d
 		}
 		if rpo != "" {
 			d, err := units.ParseDuration(rpo)
 			if err != nil {
-				return nil, "", fmt.Errorf("bad -rpo: %w", err)
+				return nil, nil, "", fmt.Errorf("bad -rpo: %w", err)
 			}
 			obj.RPO = d
 		}
-		return opt.ConstrainedOutlayObjective(obj),
+		return opt.ConstrainedOutlayObjective(obj), opt.ConstrainedOutlayFloor(obj),
 			fmt.Sprintf("cheapest outlays meeting RTO %s / RPO %s", orAny(rto), orAny(rpo)), nil
 	}
 	switch name {
 	case "worst":
-		return opt.WorstTotalObjective(), "minimize worst-scenario total cost", nil
+		return opt.WorstTotalObjective(), opt.WorstTotalFloor(), "minimize worst-scenario total cost", nil
 	case "expected":
-		return opt.ExpectedObjective(whatif.TypicalFrequencies()),
+		return opt.ExpectedObjective(whatif.TypicalFrequencies()), opt.ExpectedFloor(whatif.TypicalFrequencies()),
 			"minimize expected annual cost (typical failure frequencies)", nil
 	default:
-		return nil, "", fmt.Errorf("unknown objective %q", name)
+		return nil, nil, "", fmt.Errorf("unknown objective %q", name)
 	}
 }
 

@@ -193,6 +193,38 @@ func exhaustiveLargeCase(name string, workers int) Case {
 	}}
 }
 
+// lastPruneRatio records the fraction of the pruned/large case's
+// candidate space retired by bounds rather than assessed, from the most
+// recent run of that case; NewSnapshot publishes it under PruneKey. The
+// suite runs cases serially and the search aggregates its stats before
+// returning, so a plain variable suffices.
+var lastPruneRatio float64
+
+// prunedLargeCase is the bound-guided counterpart of exhaustive/large:
+// the same 6144-candidate space, searched with subtree pruning against
+// the worst-total floor. The answer is identical; the point is how much
+// of the space never needs assessing (the ratio CI gates) and how much
+// wall time that buys.
+func prunedLargeCase(name string, workers int) Case {
+	return Case{Name: name, Bench: func(b *testing.B) {
+		base := casestudy.Baseline()
+		knobs := largeKnobs()
+		scs := scenarios()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var stats opt.SearchStats
+			if _, err := opt.ExhaustiveOpts(base, knobs, scs, nil, opt.ExhaustiveOptions{
+				Workers: workers, Prune: true, Floor: opt.WorstTotalFloor(), Stats: &stats,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if total := stats.Assessed + stats.Pruned; total > 0 {
+				lastPruneRatio = float64(stats.Pruned) / float64(total)
+			}
+		}
+	}}
+}
+
 func tuneCase(name string, workers int) Case {
 	return Case{Name: name, Bench: func(b *testing.B) {
 		base := casestudy.Baseline()
@@ -252,6 +284,7 @@ func Suite() []Case {
 		exhaustiveCase("exhaustive/parallel4", 4),
 		exhaustiveLargeCase("exhaustive/large-serial", 1),
 		exhaustiveLargeCase("exhaustive/large-parallel4", 4),
+		prunedLargeCase("pruned/large", 1),
 		tuneCase("tune/serial", 1),
 		tuneCase("tune/parallel4", 4),
 		whatIfCase("whatif/serial", 1),
@@ -352,6 +385,12 @@ func NewSnapshot(date string, results []Result) *Snapshot {
 	}
 	if a, b := ns("exhaustive/large-serial"), ns("exhaustive/large-parallel4"); a > 0 && b > 0 {
 		s.Speedups[ScalingKey] = a / b
+	}
+	if a, b := ns("exhaustive/large-serial"), ns("pruned/large"); a > 0 && b > 0 {
+		s.Speedups["pruned_large_vs_exhaustive_large"] = a / b
+	}
+	if ns("pruned/large") > 0 && lastPruneRatio > 0 {
+		s.Speedups[PruneKey] = lastPruneRatio
 	}
 	if len(s.Speedups) == 0 {
 		s.Speedups = nil

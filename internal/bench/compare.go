@@ -136,6 +136,31 @@ func ScalingGate(s *Snapshot, floor float64) error {
 	return nil
 }
 
+// PruneKey is the derived ratio the prune gate checks: the fraction of
+// the pruned/large case's candidate space retired by bounds instead of
+// assessed. It lives in Speedups despite being a ratio of counts, not
+// times — the map is the snapshot's one slot for derived scalars.
+const PruneKey = "pruned_large_prune_ratio"
+
+// PruneGate checks a snapshot's bound-pruning ratio against a floor.
+// Unlike ScalingGate there is no CPU condition — pruning is a property
+// of the bounds, not the host. floor <= 0 disarms the gate explicitly;
+// an armed gate with no recorded ratio fails, because a filtered suite
+// cannot vouch for pruning.
+func PruneGate(s *Snapshot, floor float64) error {
+	if floor <= 0 {
+		return nil
+	}
+	ratio, ok := s.Speedups[PruneKey]
+	if !ok {
+		return fmt.Errorf("bench: prune gate armed but snapshot records no %s ratio", PruneKey)
+	}
+	if ratio < floor {
+		return fmt.Errorf("bench: %s = %.0f%%, below the %.0f%% floor", PruneKey, 100*ratio, 100*floor)
+	}
+	return nil
+}
+
 // Format renders one comparison as a fixed-width report line.
 func (c Comparison) Format() string {
 	if c.OnlyIn != "" {

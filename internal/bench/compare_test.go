@@ -74,6 +74,27 @@ func TestScalingGate(t *testing.T) {
 	}
 }
 
+// TestPruneGate: the bound-pruning floor fails below the floor or when
+// the ratio is missing, passes at or above it, and has no host
+// condition — pruning is a property of the bounds, not the CPU count.
+func TestPruneGate(t *testing.T) {
+	snap := func(ratio float64) *Snapshot {
+		return &Snapshot{NumCPU: 1, GOMAXPROCS: 1, Speedups: map[string]float64{PruneKey: ratio}}
+	}
+	if err := PruneGate(snap(0.8), 0.3); err != nil {
+		t.Errorf("80%% vs 30%% floor failed: %v", err)
+	}
+	if err := PruneGate(snap(0.1), 0.3); err == nil || !strings.Contains(err.Error(), "below") {
+		t.Errorf("10%% vs 30%% floor: err = %v", err)
+	}
+	if err := PruneGate(snap(0.1), 0); err != nil {
+		t.Errorf("floor 0 did not disarm: %v", err)
+	}
+	if err := PruneGate(&Snapshot{NumCPU: 4, GOMAXPROCS: 4}, 0.3); err == nil {
+		t.Error("missing ratio passed an armed gate")
+	}
+}
+
 // TestReadSnapshotSchemaV1: version-1 files (no schema_version or
 // gomaxprocs keys) still load with both fields zero.
 func TestReadSnapshotSchemaV1(t *testing.T) {

@@ -173,6 +173,58 @@ func (k *BatchKernel) DeviceIndex(name string) int {
 	return -1
 }
 
+// The accessors below expose the kernel's precomputed per-scenario
+// resolution tables read-only, so bound constructions (internal/opt's
+// branch-and-bound pruner) can derive admissible floors from the same
+// arithmetic assessOne uses without re-deriving placement survival.
+
+// DeviceIntact reports whether device di survives scenario si untouched
+// (neither lost nor replaced by spare/facility hardware).
+func (k *BatchKernel) DeviceIntact(si, di int) bool {
+	return k.res[si*k.nDevices+di].kind == resIntact
+}
+
+// PrimaryResolution reports how the primary array resolves under
+// scenario si: lost means no spare or facility stands in (every
+// candidate is unrecoverable for that scenario), otherwise provision is
+// the stand-in's provisioning delay (zero when the array survives).
+func (k *BatchKernel) PrimaryResolution(si int) (lost bool, provision time.Duration) {
+	r := &k.res[si*k.nDevices+k.primary]
+	return r.kind == resNone, r.provision
+}
+
+// MultiLevel reports whether base level j is multi-sited (survival
+// decided by fragment placement, not the candidate's copy device).
+func (k *BatchKernel) MultiLevel(j int) bool { return k.multiLevel[j] }
+
+// MultiServe reports a multi-sited level's survival under scenario si
+// and the device index serving reads (-1 when no fragment site
+// survives). Only meaningful when MultiLevel(j) is true.
+func (k *BatchKernel) MultiServe(si, j int) (survives bool, readIdx int) {
+	m := &k.multi[si*k.nLevels+j]
+	return m.survives, int(m.readIdx)
+}
+
+// DeviceFixedDelay returns device di's fixed access delay (Spec.Delay),
+// the serial term assessOne charges for every read through the device.
+func (k *BatchKernel) DeviceFixedDelay(di int) time.Duration { return k.devDelay[di] }
+
+// PenaltyFloor evaluates the scenario-independent penalty arithmetic for
+// a given recovery time and data loss — the same cost.Assess fold
+// assessOne applies, so a lower bound on (RT, DL) maps to a lower bound
+// on penalties whenever the penalty rates are nonnegative (see
+// NonNegativeRates).
+func (k *BatchKernel) PenaltyFloor(rt, dl time.Duration) units.Money {
+	return cost.Assess(k.reqs, rt, dl).Total()
+}
+
+// NonNegativeRates reports whether both penalty rates are >= 0, the
+// condition under which cost.Assess is monotone nondecreasing in its
+// duration arguments and PenaltyFloor yields admissible bounds.
+func (k *BatchKernel) NonNegativeRates() bool {
+	return k.reqs.UnavailPenaltyRate >= 0 && k.reqs.LossPenaltyRate >= 0
+}
+
 // NewBatchKernel compiles the scenario- and placement-dependent
 // assessment tables for the system's design. The scenario set is
 // validated once here — AssessBatch never re-validates — and captured by

@@ -265,6 +265,21 @@ func (d *Device) AddDemand(dem Demand) {
 	d.demands = append(d.demands, dem)
 }
 
+// ResetDemands removes every registered demand while keeping the backing
+// array, so one device can be reused for repeated demand capture without
+// reallocating.
+func (d *Device) ResetDemands() {
+	d.demands = d.demands[:0]
+}
+
+// ScanDemands calls fn for each registered demand in registration order,
+// without the defensive copy Demands makes.
+func (d *Device) ScanDemands(fn func(Demand)) {
+	for _, dem := range d.demands {
+		fn(dem)
+	}
+}
+
 // Demands returns a copy of the registered demands in registration order.
 func (d *Device) Demands() []Demand {
 	out := make([]Demand, len(d.demands))

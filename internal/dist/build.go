@@ -190,32 +190,34 @@ func parseScope(name string) (failure.Scope, error) {
 	return 0, fmt.Errorf("%w: unknown failure scope %q", ErrBadJob, name)
 }
 
-// BuildObjective rebuilds the scoring rule from its wire spec.
-func BuildObjective(spec ObjectiveSpec) (opt.Objective, error) {
+// BuildObjective rebuilds the scoring rule from its wire spec, paired
+// with its admissible pruning floor — every wire objective has one, so
+// a pruning worker never has to guess which bound matches which score.
+func BuildObjective(spec ObjectiveSpec) (opt.Objective, opt.ObjectiveFloor, error) {
 	switch spec.Kind {
 	case "", "worst":
-		return opt.WorstTotalObjective(), nil
+		return opt.WorstTotalObjective(), opt.WorstTotalFloor(), nil
 	case "expected":
-		return opt.ExpectedObjective(whatif.TypicalFrequencies()), nil
+		return opt.ExpectedObjective(whatif.TypicalFrequencies()), opt.ExpectedFloor(whatif.TypicalFrequencies()), nil
 	case "constrained":
 		obj := whatif.Objectives{RTO: units.Forever, RPO: units.Forever}
 		if spec.RTO != "" {
 			d, err := units.ParseDuration(spec.RTO)
 			if err != nil {
-				return nil, fmt.Errorf("%w: objective RTO: %v", ErrBadJob, err)
+				return nil, nil, fmt.Errorf("%w: objective RTO: %v", ErrBadJob, err)
 			}
 			obj.RTO = d
 		}
 		if spec.RPO != "" {
 			d, err := units.ParseDuration(spec.RPO)
 			if err != nil {
-				return nil, fmt.Errorf("%w: objective RPO: %v", ErrBadJob, err)
+				return nil, nil, fmt.Errorf("%w: objective RPO: %v", ErrBadJob, err)
 			}
 			obj.RPO = d
 		}
-		return opt.ConstrainedOutlayObjective(obj), nil
+		return opt.ConstrainedOutlayObjective(obj), opt.ConstrainedOutlayFloor(obj), nil
 	default:
-		return nil, fmt.Errorf("%w: unknown objective kind %q", ErrBadJob, spec.Kind)
+		return nil, nil, fmt.Errorf("%w: unknown objective kind %q", ErrBadJob, spec.Kind)
 	}
 }
 
@@ -239,26 +241,31 @@ func ExecuteJob(job *Job, progress *atomic.Int64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	objective, err := BuildObjective(job.Objective)
+	objective, floor, err := BuildObjective(job.Objective)
 	if err != nil {
 		return nil, err
 	}
+	var stats opt.SearchStats
 	sol, err := opt.ExhaustiveOpts(base, knobs, scenarios, objective, opt.ExhaustiveOptions{
-		Workers:  job.Workers,
-		Budget:   job.Budget,
-		Shard:    job.Shard.Shard(),
-		Progress: progress,
+		Workers:   job.Workers,
+		Budget:    job.Budget,
+		Shard:     job.Shard.Shard(),
+		Progress:  progress,
+		Prune:     job.Prune,
+		Floor:     floor,
+		Incumbent: units.Money(job.Incumbent),
+		Stats:     &stats,
 	})
 	if errors.Is(err, opt.ErrNoFeasible) {
-		space, serr := opt.SpaceSize(knobs)
-		if serr != nil {
-			return nil, serr
-		}
+		// Stats keep the accounting honest even without a winner: a
+		// pruning shard may retire its whole slice without assessing it.
 		return &Result{
 			Version:        Version,
 			Shard:          job.Shard,
 			Feasible:       false,
-			Evaluations:    job.Shard.Shard().Size(space),
+			Evaluations:    stats.Assessed,
+			Pruned:         stats.Pruned,
+			BoundsComputed: stats.BoundsComputed,
 			CandidateIndex: -1,
 		}, nil
 	}
@@ -277,8 +284,8 @@ func ExecuteJob(job *Job, progress *atomic.Int64) (*Result, error) {
 // twice) are deduped, first occurrence wins. Feasible results merge
 // through opt.MergeShards (lowest score, ties to the lowest global
 // candidate index); infeasible shards contribute only their evaluation
-// counts, so the merged Evaluations equals the space size exactly as a
-// single-process search reports it.
+// and pruning counts, so merged Evaluations+CandidatesPruned equals the
+// space size exactly as a single-process search reports it.
 func MergeResults(results []*Result) (*opt.Solution, error) {
 	if len(results) == 0 {
 		return nil, fmt.Errorf("%w: no results to merge", ErrBadResult)
@@ -286,7 +293,7 @@ func MergeResults(results []*Result) (*opt.Solution, error) {
 	count := results[0].Shard.Count
 	seen := make(map[int]bool, len(results))
 	var sols []*opt.Solution
-	extraEvals := 0
+	extraEvals, extraPruned, extraBounds := 0, 0, 0
 	for i, r := range results {
 		if r == nil {
 			return nil, fmt.Errorf("%w: result %d is missing", ErrBadResult, i)
@@ -305,6 +312,8 @@ func MergeResults(results []*Result) (*opt.Solution, error) {
 		}
 		if sol == nil {
 			extraEvals += r.Evaluations
+			extraPruned += r.Pruned
+			extraBounds += r.BoundsComputed
 			continue
 		}
 		sols = append(sols, sol)
@@ -327,5 +336,7 @@ func MergeResults(results []*Result) (*opt.Solution, error) {
 		return nil, err
 	}
 	merged.Evaluations += extraEvals
+	merged.CandidatesPruned += extraPruned
+	merged.BoundsComputed += extraBounds
 	return merged, nil
 }

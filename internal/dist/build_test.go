@@ -3,6 +3,7 @@ package dist
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -99,17 +100,25 @@ func TestBuildScenariosRejects(t *testing.T) {
 
 func TestBuildObjective(t *testing.T) {
 	for _, kind := range []string{"", "worst", "expected"} {
-		if _, err := BuildObjective(ObjectiveSpec{Kind: kind}); err != nil {
+		obj, floor, err := BuildObjective(ObjectiveSpec{Kind: kind})
+		if err != nil {
 			t.Errorf("kind %q: %v", kind, err)
 		}
+		if obj == nil || floor == nil {
+			t.Errorf("kind %q: objective and floor must both be built", kind)
+		}
 	}
-	if _, err := BuildObjective(ObjectiveSpec{Kind: "constrained", RTO: "4h", RPO: "1h"}); err != nil {
+	obj, floor, err := BuildObjective(ObjectiveSpec{Kind: "constrained", RTO: "4h", RPO: "1h"})
+	if err != nil {
 		t.Errorf("constrained: %v", err)
 	}
-	if _, err := BuildObjective(ObjectiveSpec{Kind: "best-effort"}); !errors.Is(err, ErrBadJob) {
+	if obj == nil || floor == nil {
+		t.Error("constrained: objective and floor must both be built")
+	}
+	if _, _, err := BuildObjective(ObjectiveSpec{Kind: "best-effort"}); !errors.Is(err, ErrBadJob) {
 		t.Error("unknown kind should be ErrBadJob")
 	}
-	if _, err := BuildObjective(ObjectiveSpec{Kind: "constrained", RTO: "whenever"}); !errors.Is(err, ErrBadJob) {
+	if _, _, err := BuildObjective(ObjectiveSpec{Kind: "constrained", RTO: "whenever"}); !errors.Is(err, ErrBadJob) {
 		t.Error("bad RTO should be ErrBadJob")
 	}
 }
@@ -249,5 +258,95 @@ func TestExecuteJobInfeasibleShardReportsSliceSize(t *testing.T) {
 	}
 	if want := sub.Shard.Shard().Size(space); res.Evaluations != want {
 		t.Errorf("infeasible shard reports %d evaluations, want its slice size %d", res.Evaluations, want)
+	}
+}
+
+// TestExecuteJobPrunedMatchesLocal: a pruning shard answers identically
+// to the unpruned oracle on the answer fields, whole-space and across
+// shard splits, and its assessed/pruned split always sums to the slice
+// size so MergeResults totals stay honest.
+func TestExecuteJobPrunedMatchesLocal(t *testing.T) {
+	job := testJob(t)
+	oracle := singleProcessOracle(t, job)
+	knobs, err := BuildKnobs(job.Knobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := opt.SpaceSize(knobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pjob := *job
+	pjob.Prune = true
+	for _, shards := range []int{1, 3, 5} {
+		results := make([]*Result, shards)
+		for s := 0; s < shards; s++ {
+			sub := pjob
+			if shards > 1 {
+				sub.Shard = ShardSpec{Index: s, Count: shards}
+			}
+			if results[s], err = ExecuteJob(&sub, nil); err != nil {
+				t.Fatalf("%d shards: shard %d: %v", shards, s, err)
+			}
+			if size := sub.Shard.Shard().Size(space); results[s].Evaluations+results[s].Pruned != size {
+				t.Errorf("%d shards: shard %d assessed %d + pruned %d != slice size %d",
+					shards, s, results[s].Evaluations, results[s].Pruned, size)
+			}
+		}
+		merged, err := MergeResults(results)
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		requireAnswerIdentical(t, fmt.Sprintf("pruned merge over %d shards", shards), oracle, merged)
+		if merged.Evaluations+merged.CandidatesPruned != space {
+			t.Errorf("%d shards: merged assessed %d + pruned %d != space %d",
+				shards, merged.Evaluations, merged.CandidatesPruned, space)
+		}
+	}
+
+	// Seeding the incumbent with the known optimum — the tightest honest
+	// bound any coordinator could hand a shard — must not change the
+	// answer either.
+	pjob.Incumbent = float64(oracle.Score)
+	res, err := ExecuteJob(&pjob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := res.Solution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAnswerIdentical(t, "seeded incumbent", oracle, sol)
+	if res.Evaluations+res.Pruned != space {
+		t.Errorf("seeded: assessed %d + pruned %d != space %d", res.Evaluations, res.Pruned, space)
+	}
+}
+
+// TestExecuteJobPrunedInfeasibleKeepsTotalsHonest: even a shard with no
+// feasible candidate reports an assessed/pruned split covering its slice.
+func TestExecuteJobPrunedInfeasibleKeepsTotalsHonest(t *testing.T) {
+	job := testJob(t)
+	job.Objective = ObjectiveSpec{Kind: "constrained", RTO: "1us", RPO: "1us"}
+	job.Prune = true
+	job.Shard = ShardSpec{Index: 1, Count: 4}
+	res, err := ExecuteJob(job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible || res.CandidateIndex != -1 {
+		t.Fatalf("expected an infeasible result, got %+v", res)
+	}
+	knobs, err := BuildKnobs(job.Knobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := opt.SpaceSize(knobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := job.Shard.Shard().Size(space); res.Evaluations+res.Pruned != want {
+		t.Errorf("infeasible pruned shard: assessed %d + pruned %d != slice size %d",
+			res.Evaluations, res.Pruned, want)
 	}
 }

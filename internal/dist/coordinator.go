@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"time"
@@ -196,13 +197,19 @@ type vote struct {
 
 // resultDigest canonicalizes a Result for exact-compare voting: the
 // deterministic enumeration makes honest answers byte-identical, so the
-// digest is a hash of the wire encoding. MemoHits is zeroed first — it
-// is the one field that reflects a worker's evaluation schedule rather
-// than the answer (it is always 0 for exhaustive shards, but the digest
-// must not depend on that staying true).
+// digest is a hash of the wire encoding. The schedule-dependent fields
+// are zeroed first: MemoHits reflects the worker's evaluation schedule,
+// and under pruning so do Evaluations/Pruned/BoundsComputed — the
+// incumbent tightens as local scores land, so which subtrees get
+// skipped varies between two honest runs of the identical job even
+// though the answer fields (Feasible, CandidateIndex, Score, Choices,
+// Design) cannot.
 func resultDigest(r *Result) [sha256.Size]byte {
 	n := *r
 	n.MemoHits = 0
+	n.Evaluations = 0
+	n.Pruned = 0
+	n.BoundsComputed = 0
 	data, err := n.Encode()
 	if err != nil {
 		// A decoded Result always re-encodes; if it somehow cannot, give
@@ -237,6 +244,15 @@ type runState struct {
 	failures map[int]int
 	// speculated caps speculative duplication at one per shard.
 	speculated map[int]bool
+	// best is the lowest score among validated feasible shards (+Inf
+	// until one lands): the incumbent pool later dispatches prune
+	// against. pinned freezes the incumbent each shard is dispatched
+	// with, at its first dispatch (-1 = not yet dispatched) — a shard's
+	// Result depends on its incumbent, so every re-dispatch, speculative
+	// duplicate and K-way validation vote must carry the same one or
+	// honest votes would not be byte-identical.
+	best   float64
+	pinned []float64
 	// validated is the final result per shard; launched tracks worker
 	// loops already spawned (registry members may join mid-run).
 	validated []*Result
@@ -339,9 +355,19 @@ func (c *Coordinator) Run(ctx context.Context, job *Job) (*opt.Solution, error) 
 		failedBy:   make(map[int]map[string]bool),
 		failures:   make(map[int]int),
 		speculated: make(map[int]bool),
+		best:       math.Inf(1),
+		pinned:     make([]float64, shards),
 		validated:  make([]*Result, shards),
 		launched:   make(map[string]bool),
 		remaining:  shards,
+	}
+	if job.Incumbent > 0 {
+		// A caller-seeded incumbent (e.g. a previous run's winner) is the
+		// starting pool every shard may prune against.
+		st.best = job.Incumbent
+	}
+	for s := range st.pinned {
+		st.pinned[s] = -1
 	}
 	st.cond = sync.NewCond(&st.mu)
 	// One pending entry per wanted vote, round-robin across shards so K
@@ -450,23 +476,26 @@ func (c *Coordinator) speculate(ctx context.Context, st *runState) {
 // registry readmits it.
 func (c *Coordinator) workerLoop(ctx context.Context, w Worker, st *runState, job *Job, shards int) {
 	for {
-		s, ok := c.next(st, w)
+		s, inc, ok := c.next(st, w)
 		if !ok {
 			return
 		}
-		res, err := c.attempt(ctx, w, job, s, shards)
+		res, err := c.attempt(ctx, w, job, s, shards, inc)
 		c.record(st, w, s, res, err)
 	}
 }
 
 // next blocks until an assignment is available for this worker, the run
-// completes, or it fails.
-func (c *Coordinator) next(st *runState, w Worker) (int, bool) {
+// completes, or it fails. The second return is the shard's pinned
+// pruning incumbent: the coordinator's best validated score at the
+// shard's first dispatch, frozen so later votes on the same shard see
+// the identical job (0 = none achieved yet).
+func (c *Coordinator) next(st *runState, w Worker) (int, float64, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	for {
 		if st.err != nil || st.remaining == 0 {
-			return 0, false
+			return 0, 0, false
 		}
 		idx := -1
 		if c.reg.IsLive(w.ID()) {
@@ -502,18 +531,28 @@ func (c *Coordinator) next(st *runState, w Worker) (int, bool) {
 		if len(st.assigned[s]) == 1 {
 			st.started[s] = time.Now()
 		}
+		if st.pinned[s] < 0 {
+			if math.IsInf(st.best, 1) {
+				st.pinned[s] = 0
+			} else {
+				st.pinned[s] = st.best
+			}
+		}
 		c.m.ShardsDispatched.Add(1)
-		return s, true
+		return s, st.pinned[s], true
 	}
 }
 
 // attempt runs one dispatch with the per-attempt timeout and validates
 // the response shape: a result for the wrong shard or wire version is a
 // worker failure, exactly like an error or a timeout.
-func (c *Coordinator) attempt(ctx context.Context, w Worker, job *Job, s, shards int) (*Result, error) {
+func (c *Coordinator) attempt(ctx context.Context, w Worker, job *Job, s, shards int, incumbent float64) (*Result, error) {
 	sub := *job
 	sub.Shard = ShardSpec{Index: s, Count: shards}
 	sub.Workers = c.opts.WorkersPerJob
+	if job.Prune && incumbent > 0 {
+		sub.Incumbent = incumbent
+	}
 	actx := ctx
 	if c.opts.AttemptTimeout > 0 {
 		var cancel context.CancelFunc
@@ -693,6 +732,15 @@ func (c *Coordinator) finalizeShard(st *runState, s int, winner [sha256.Size]byt
 	for _, v := range st.votes[s] {
 		if st.validated[s] == nil && v.digest == winner {
 			st.validated[s] = v.res
+			if v.res.Feasible && v.res.Score < st.best {
+				// A validated (majority-backed) score is trustworthy enough
+				// to tighten the incumbent later dispatches prune against; a
+				// single unvalidated vote is not — a lying low score could
+				// prune the true argmin everywhere.
+				st.best = v.res.Score
+			}
+			c.m.CandidatesPruned.Add(int64(v.res.Pruned))
+			c.m.BoundsComputed.Add(int64(v.res.BoundsComputed))
 		}
 		if v.digest == winner {
 			continue

@@ -424,3 +424,57 @@ func TestCoordinatorRetryAccountingExact(t *testing.T) {
 		t.Errorf("ShardsCompleted = %d, want 1", got)
 	}
 }
+
+// TestCoordinatorPrunedMatchesExhaustive: a pruning fleet returns the
+// same answer as the unpruned single-process oracle for any worker
+// count, the merged assessed/pruned split covers the space exactly, and
+// the validated pruning counters surface in the coordinator's metrics.
+// The K-way cell also pins the incumbent story: every vote on a shard
+// carries the same frozen incumbent, so honest votes stay byte-identical
+// and validation never misfires on schedule-dependent counters.
+func TestCoordinatorPrunedMatchesExhaustive(t *testing.T) {
+	job := testJob(t)
+	oracle := singleProcessOracle(t, job)
+	knobs, err := BuildKnobs(job.Knobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := opt.SpaceSize(knobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pjob := *job
+	pjob.Prune = true
+
+	for _, n := range []int{1, 2, 4} {
+		workers := make([]Worker, n)
+		for i := range workers {
+			workers[i] = &Loopback{Name: fmt.Sprintf("w%d", i)}
+		}
+		sol, m := runCoordinator(t, workers, Options{}, &pjob)
+		requireAnswerIdentical(t, fmt.Sprintf("%d pruning workers", n), oracle, sol)
+		if sol.Evaluations+sol.CandidatesPruned != space {
+			t.Errorf("%d workers: assessed %d + pruned %d != space %d",
+				n, sol.Evaluations, sol.CandidatesPruned, space)
+		}
+		if m.CandidatesPruned.Load() != int64(sol.CandidatesPruned) {
+			t.Errorf("%d workers: metrics pruned %d, merged solution says %d",
+				n, m.CandidatesPruned.Load(), sol.CandidatesPruned)
+		}
+		if m.BoundsComputed.Load() != int64(sol.BoundsComputed) {
+			t.Errorf("%d workers: metrics bounds %d, merged solution says %d",
+				n, m.BoundsComputed.Load(), sol.BoundsComputed)
+		}
+	}
+
+	workers := []Worker{&Loopback{Name: "a"}, &Loopback{Name: "b"}, &Loopback{Name: "c"}}
+	sol, m := runCoordinator(t, workers, Options{ValidateK: 2}, &pjob)
+	requireAnswerIdentical(t, "pruned under 2-way validation", oracle, sol)
+	if sol.Evaluations+sol.CandidatesPruned != space {
+		t.Errorf("validated: assessed %d + pruned %d != space %d",
+			sol.Evaluations, sol.CandidatesPruned, space)
+	}
+	if m.ValidationMismatches.Load() != 0 {
+		t.Errorf("honest pruning workers produced %d validation mismatches", m.ValidationMismatches.Load())
+	}
+}

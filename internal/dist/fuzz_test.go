@@ -38,7 +38,7 @@ func FuzzDecodeJob(f *testing.F) {
 		}
 		_, _ = BuildKnobs(j.Knobs)
 		_, _ = BuildScenarios(j.Scenarios)
-		_, _ = BuildObjective(j.Objective)
+		_, _, _ = BuildObjective(j.Objective)
 	})
 }
 

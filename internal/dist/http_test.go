@@ -222,7 +222,7 @@ func TestHTTPLargeSpace6144(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	obj, err := BuildObjective(job.Objective)
+	obj, _, err := BuildObjective(job.Objective)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -42,6 +42,12 @@ type Metrics struct {
 	// ValidationMismatches counts K-way votes whose result digest
 	// disagreed with the shard's majority.
 	ValidationMismatches atomic.Int64
+	// CandidatesPruned sums candidates retired by an admissible bound
+	// without assessment, across validated shard results.
+	CandidatesPruned atomic.Int64
+	// BoundsComputed sums subtree lower bounds evaluated across
+	// validated shard results.
+	BoundsComputed atomic.Int64
 
 	mu       sync.Mutex
 	lastSeen map[string]time.Time // worker -> last heartbeat or result
@@ -89,6 +95,8 @@ func (m *Metrics) WritePrometheus(w io.Writer, now time.Time) error {
 		{"stordep_dist_workers_quarantined_total", "Workers quarantined for repeated failures or byzantine votes.", &m.WorkersQuarantined},
 		{"stordep_dist_workers_readmitted_total", "Workers readmitted to the live set after quarantine.", &m.WorkersReadmitted},
 		{"stordep_dist_validation_mismatches_total", "K-way validation votes disagreeing with the shard majority.", &m.ValidationMismatches},
+		{"stordep_dist_candidates_pruned_total", "Candidates retired by an admissible bound without assessment.", &m.CandidatesPruned},
+		{"stordep_dist_bounds_computed_total", "Subtree lower bounds evaluated across validated shards.", &m.BoundsComputed},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",

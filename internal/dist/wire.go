@@ -111,6 +111,17 @@ type Job struct {
 	// Workers hints the worker's local pool size; 0 means all CPUs. Any
 	// value returns the same Solution.
 	Workers int `json:"workers,omitempty"`
+	// Prune enables bound-guided subtree pruning on the worker (the
+	// admissible floor is derived from Objective, so no extra wire state
+	// is needed). The merged Solution is byte-identical either way; only
+	// the pruned-vs-assessed split in the Result changes.
+	Prune bool `json:"prune,omitempty"`
+	// Incumbent, when > 0, seeds the worker's pruning incumbent with a
+	// score already achieved by a validated shard of the same search, so
+	// later dispatches prune harder. The coordinator pins one incumbent
+	// per shard (at first dispatch) because the shard's Result depends on
+	// it — K-way validation votes must see identical jobs.
+	Incumbent float64 `json:"incumbent,omitempty"`
 }
 
 // Encode marshals the job, stamping the current wire version.
@@ -151,6 +162,9 @@ func DecodeJob(data []byte) (*Job, error) {
 	if j.Budget < 0 || j.Workers < 0 {
 		return nil, fmt.Errorf("%w: negative budget or workers", ErrBadJob)
 	}
+	if j.Incumbent < 0 {
+		return nil, fmt.Errorf("%w: negative pruning incumbent", ErrBadJob)
+	}
 	return &j, nil
 }
 
@@ -169,9 +183,15 @@ type Result struct {
 	Shard   ShardSpec `json:"shard"`
 	// Feasible reports whether the shard found any candidate scoring
 	// below +Inf. The solution fields below are only present when true.
-	Feasible    bool `json:"feasible"`
-	Evaluations int  `json:"evaluations"`
-	MemoHits    int  `json:"memoHits,omitempty"`
+	Feasible bool `json:"feasible"`
+	// Evaluations counts candidates actually assessed; Pruned counts
+	// candidates retired wholesale by an admissible bound without being
+	// assessed. Their sum is the shard's slice size, so merged totals
+	// stay honest whether or not the worker pruned.
+	Evaluations    int `json:"evaluations"`
+	Pruned         int `json:"pruned,omitempty"`
+	BoundsComputed int `json:"boundsComputed,omitempty"`
+	MemoHits       int `json:"memoHits,omitempty"`
 	// CandidateIndex is the winner's global index (see opt.Solution);
 	// -1 when infeasible.
 	CandidateIndex int          `json:"candidateIndex"`
@@ -204,7 +224,7 @@ func DecodeResult(data []byte) (*Result, error) {
 	if err := r.Shard.Shard().Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadResult, err)
 	}
-	if r.Evaluations < 0 {
+	if r.Evaluations < 0 || r.Pruned < 0 || r.BoundsComputed < 0 {
 		return nil, fmt.Errorf("%w: negative evaluation count", ErrBadResult)
 	}
 	if r.Feasible {
@@ -235,6 +255,8 @@ func SolutionResult(sol *opt.Solution, shard ShardSpec) (*Result, error) {
 		Shard:          shard,
 		Feasible:       true,
 		Evaluations:    sol.Evaluations,
+		Pruned:         sol.CandidatesPruned,
+		BoundsComputed: sol.BoundsComputed,
 		MemoHits:       sol.MemoHits,
 		CandidateIndex: sol.CandidateIndex,
 		Score:          float64(sol.Score),
@@ -258,12 +280,14 @@ func (r *Result) Solution() (*opt.Solution, error) {
 		return nil, fmt.Errorf("%w: design: %v", ErrBadResult, err)
 	}
 	sol := &opt.Solution{
-		Design:         design,
-		Score:          units.Money(r.Score),
-		Evaluations:    r.Evaluations,
-		MemoHits:       r.MemoHits,
-		Passes:         1,
-		CandidateIndex: r.CandidateIndex,
+		Design:           design,
+		Score:            units.Money(r.Score),
+		Evaluations:      r.Evaluations,
+		CandidatesPruned: r.Pruned,
+		BoundsComputed:   r.BoundsComputed,
+		MemoHits:         r.MemoHits,
+		Passes:           1,
+		CandidateIndex:   r.CandidateIndex,
 	}
 	for _, c := range r.Choices {
 		sol.Choices = append(sol.Choices, opt.Choice{Knob: c.Knob, Option: c.Option})

@@ -13,6 +13,8 @@ func TestJobRoundTrip(t *testing.T) {
 	job.Shard = ShardSpec{Index: 2, Count: 5}
 	job.Budget = 100
 	job.Workers = 3
+	job.Prune = true
+	job.Incumbent = 1234.5
 
 	data, err := job.Encode()
 	if err != nil {
@@ -31,6 +33,9 @@ func TestJobRoundTrip(t *testing.T) {
 	}
 	if decoded.Shard != job.Shard || decoded.Budget != 100 || decoded.Workers != 3 {
 		t.Errorf("round trip lost fields: %+v", decoded)
+	}
+	if !decoded.Prune || decoded.Incumbent != 1234.5 {
+		t.Errorf("round trip lost pruning fields: %+v", decoded)
 	}
 	if len(decoded.Knobs) != len(job.Knobs) || len(decoded.Scenarios) != len(job.Scenarios) {
 		t.Errorf("round trip lost knobs or scenarios: %+v", decoded)
@@ -77,6 +82,7 @@ func TestDecodeJobRejects(t *testing.T) {
 		{"negative shard", mutateJob(t, job, func(m map[string]json.RawMessage) { m["shard"] = raw(`{"index":-1,"count":3}`) }), ErrBadJob},
 		{"negative budget", mutateJob(t, job, func(m map[string]json.RawMessage) { m["budget"] = raw("-1") }), ErrBadJob},
 		{"negative workers", mutateJob(t, job, func(m map[string]json.RawMessage) { m["workers"] = raw("-2") }), ErrBadJob},
+		{"negative incumbent", mutateJob(t, job, func(m map[string]json.RawMessage) { m["incumbent"] = raw("-0.5") }), ErrBadJob},
 	}
 	for _, tc := range cases {
 		if _, err := DecodeJob(tc.data); !errors.Is(err, tc.want) {
@@ -144,6 +150,8 @@ func TestDecodeResultRejects(t *testing.T) {
 		{"infeasible with index", Result{Feasible: false, CandidateIndex: 2}, ErrBadResult},
 		{"infeasible zero index", Result{Feasible: false, CandidateIndex: 0}, ErrBadResult},
 		{"negative evaluations", Result{Evaluations: -1, CandidateIndex: -1}, ErrBadResult},
+		{"negative pruned", Result{Pruned: -1, CandidateIndex: -1}, ErrBadResult},
+		{"negative bounds", Result{BoundsComputed: -3, CandidateIndex: -1}, ErrBadResult},
 		{"bad shard", Result{Shard: ShardSpec{Index: 9, Count: 2}, CandidateIndex: -1}, ErrBadResult},
 	}
 	for _, tc := range cases {

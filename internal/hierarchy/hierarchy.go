@@ -95,6 +95,20 @@ func (p Policy) Clone() Policy {
 	return out
 }
 
+// Equal reports whether two policies are deeply equal: every value field
+// matches and the Secondary window sets are both nil or equal. It is the
+// allocation-free equivalent of reflect.DeepEqual on two policies.
+func (p *Policy) Equal(q *Policy) bool {
+	if p.Primary != q.Primary || p.CycleCnt != q.CycleCnt ||
+		p.RetCnt != q.RetCnt || p.RetW != q.RetW || p.CopyRep != q.CopyRep {
+		return false
+	}
+	if (p.Secondary == nil) != (q.Secondary == nil) {
+		return false
+	}
+	return p.Secondary == nil || *p.Secondary == *q.Secondary
+}
+
 // CyclePeriod returns cyclePer: the length of one complete policy cycle.
 // For a simple policy this is the primary accumulation window; for a
 // cyclic policy it is the primary window plus CycleCnt secondary windows.

@@ -1,0 +1,1024 @@
+package opt
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"stordep/internal/core"
+	"stordep/internal/device"
+	"stordep/internal/failure"
+	"stordep/internal/units"
+	"stordep/internal/whatif"
+)
+
+// This file implements the branch-and-bound layer over the compiled
+// batched search (compile.go): before a batch of candidates is filled
+// and assessed, an admissible lower bound on every candidate's objective
+// score in that contiguous index range is computed from the compiled
+// group tables, and the whole batch is pruned when the bound exceeds the
+// best score achieved so far (the incumbent, shared across workers via
+// an atomic).
+//
+// The bound exploits the paper's utility decomposition (§4.2): a
+// candidate's score is outlays (scenario-independent) plus penalties
+// that are monotone nondecreasing in recovery time and data loss. Three
+// component floors are assembled per subtree:
+//
+//   - Outlay floor: the candidate outlay total is a sum of per-device
+//     terms (fixed cost + per-demand marginal annual cost, spare and
+//     facility-retainer multipliers). Terms from the base design are
+//     constant; terms a knob group controls are tabulated per joint
+//     option entry, and the floor takes the cheapest entry reachable in
+//     the batch's index range, independently per group. Devices whose
+//     spec one group owns but whose demands another group feeds are
+//     dropped from the floor entirely (their contribution is verified
+//     nonnegative at construction).
+//   - Recovery-time floor, per scenario: assessOne's recovery time is at
+//     least the destination's provisioning delay plus the read device's
+//     fixed access delay, so the floor is destProvision + min over
+//     may-serve levels of the serving device's delay.
+//   - Data-loss floor, per scenario: every loss assessOne can report for
+//     a level is at least the level's accumulation window (cumulative
+//     lags are nonnegative), so the floor is the min accW over may-serve
+//     levels. "May serve" over-approximates true serving (it ignores the
+//     guaranteed-range and target-age checks, which only remove levels),
+//     keeping the min a valid floor.
+//
+// Scenarios where the primary array cannot be replaced (or no level can
+// possibly serve) lose the object for every candidate; their penalty
+// floor is the exact whole-object-lost penalty.
+//
+// Admissibility discipline: the floors rely on every folded component
+// being nonnegative (penalty rates, cost marginals, fixed costs,
+// discounts, policy lags and windows, device delays). newPruner verifies
+// all of them numerically and refuses to build a pruner — disabling
+// pruning, never correctness — on any violation. Candidates the tables
+// cannot represent keep their exact error semantics: a batch whose index
+// range can reach any suspect knob option or suspect group entry is
+// never bounded. Candidates that fail the duplicate-level-name or
+// device-capacity checks score +Inf through the legacy path, which no
+// finite bound can exceed. Finally the prune test is strict with a
+// relative slack (boundSlack) absorbing float non-associativity between
+// the floor's fold order and fill's, and the incumbent is only ever an
+// achieved candidate score — so a pruned candidate scores strictly worse
+// than the incumbent and can never be the argmin nor tie with it. The
+// pruned search's Solution is byte-identical to the exhaustive one.
+
+const (
+	// boundSlack is the relative slack applied to a subtree bound before
+	// comparing it to the incumbent: prune only when
+	// bound*(1-boundSlack) > incumbent. It absorbs the float rounding
+	// difference between the floor's sum order and fill's outlay fold.
+	boundSlack = 1e-9
+	// seedProbes is how many spread candidate indices are assessed up
+	// front to seed the incumbent, so pruning can begin with the first
+	// batch instead of waiting for enumeration to reach a good score.
+	seedProbes = 16
+)
+
+// SubtreeFloor carries admissible per-component lower bounds holding for
+// every candidate in one contiguous slice of the enumeration: any
+// candidate's outlay total is >= Outlays, and under scenario si its
+// recovery time, data loss and penalties are >= the si-th entries.
+// Lost[si] means every candidate in the slice loses the object under
+// scenario si (certain loss, not merely possible loss).
+type SubtreeFloor struct {
+	Outlays   units.Money
+	Scenarios []failure.Scenario
+	// RecoveryTime, DataLoss, Penalties and Lost are indexed like
+	// Scenarios. Penalties[si] is the penalty arithmetic applied to the
+	// (RecoveryTime[si], DataLoss[si]) floor — monotone, so itself a
+	// floor on every candidate's penalties.
+	RecoveryTime []time.Duration
+	DataLoss     []time.Duration
+	Penalties    []units.Money
+	Lost         []bool
+}
+
+// ObjectiveFloor maps a subtree's component floors to a lower bound on
+// the Objective score of every candidate in the subtree. It must be
+// paired with the search's Objective: WorstTotalFloor with
+// WorstTotalObjective, and so on. A floor may always return
+// -Inf ("no bound"); it must never exceed any candidate's true score,
+// or pruning would change the search result.
+type ObjectiveFloor func(*SubtreeFloor) units.Money
+
+// WorstTotalFloor lower-bounds WorstTotalObjective: outlay floor plus
+// the worst per-scenario penalty floor.
+func WorstTotalFloor() ObjectiveFloor {
+	return func(fl *SubtreeFloor) units.Money {
+		if len(fl.Penalties) == 0 {
+			return fl.Outlays
+		}
+		worst := fl.Penalties[0]
+		for _, p := range fl.Penalties[1:] {
+			if p > worst {
+				worst = p
+			}
+		}
+		return fl.Outlays + worst
+	}
+}
+
+// ExpectedFloor lower-bounds ExpectedObjective under the same frequency
+// table: outlay floor plus the frequency-weighted penalty floors. A
+// certainly-lost scenario with nonzero frequency bounds every candidate
+// at +Inf, mirroring whatif.ExpectedAnnualCost. Negative or NaN
+// frequencies disable the floor (it returns -Inf).
+func ExpectedFloor(freqs whatif.Frequencies) ObjectiveFloor {
+	bad := false
+	for _, f := range freqs {
+		if f < 0 || math.IsNaN(f) {
+			bad = true
+		}
+	}
+	return func(fl *SubtreeFloor) units.Money {
+		if bad {
+			return units.Money(math.Inf(-1))
+		}
+		total := fl.Outlays
+		for si, sc := range fl.Scenarios {
+			f := freqs[sc.Scope]
+			if f == 0 {
+				continue
+			}
+			if fl.Lost[si] {
+				return units.Money(math.Inf(1))
+			}
+			total += units.Money(f) * fl.Penalties[si]
+		}
+		return total
+	}
+}
+
+// ConstrainedOutlayFloor lower-bounds ConstrainedOutlayObjective: when
+// any scenario's floor already violates the objectives (certain loss, or
+// RT/DL floor beyond RTO/RPO), every candidate in the subtree scores
+// +Inf; otherwise candidates may conform and the bound is the outlay
+// floor.
+func ConstrainedOutlayFloor(obj whatif.Objectives) ObjectiveFloor {
+	return func(fl *SubtreeFloor) units.Money {
+		for si := range fl.Scenarios {
+			if fl.Lost[si] || fl.RecoveryTime[si] > obj.RTO || fl.DataLoss[si] > obj.RPO {
+				return units.Money(math.Inf(1))
+			}
+		}
+		return fl.Outlays
+	}
+}
+
+// atomicScore is a float64 score behind an atomic, with a
+// compare-by-value min so concurrent workers can tighten a shared
+// incumbent without locks.
+type atomicScore struct{ bits atomic.Uint64 }
+
+func (a *atomicScore) store(v units.Money) { a.bits.Store(math.Float64bits(float64(v))) }
+func (a *atomicScore) load() units.Money   { return units.Money(math.Float64frombits(a.bits.Load())) }
+
+// min lowers the stored score to v when v is smaller. Comparison is on
+// the float values, not the bit patterns, so it is correct for every
+// ordering of scores; NaN never replaces anything.
+func (a *atomicScore) min(v units.Money) {
+	f := float64(v)
+	for {
+		cur := a.bits.Load()
+		if !(f < math.Float64frombits(cur)) {
+			return
+		}
+		if a.bits.CompareAndSwap(cur, math.Float64bits(f)) {
+			return
+		}
+	}
+}
+
+// prunedGroup is one knob group's bound tables: per joint-option entry,
+// the member options (for the allowed-range test), the outlay floor
+// delta, and the owned levels' serve parameters.
+type prunedGroup struct {
+	members []int
+	radix   []int
+	size    int
+	// opts[t*len(members)+mi] is member mi's option index in entry t.
+	opts    []uint16
+	suspect []bool
+	// outlay[t] is entry t's exact additive contribution to the
+	// candidate outlay total (over the devices attributable to this
+	// group); nonnegativity is verified at construction.
+	outlay []units.Money
+	// levels lists the group's owned level indices; multi marks
+	// kernel-resolved multi-sited ones. copyIdx/accW/lag/readDelay are
+	// flattened [t*len(levels)+li].
+	levels    []int
+	multi     []bool
+	copyIdx   []int32
+	accW      []time.Duration
+	lag       []time.Duration
+	readDelay []time.Duration
+}
+
+// pruner holds every precomputed table the per-batch bound needs. Built
+// once per compiled search by newPruner; immutable afterwards except for
+// the shared incumbent, so concurrent workers bound batches with
+// distinct pruneScratch.
+type pruner struct {
+	cs    *compiledSpace
+	floor ObjectiveFloor
+
+	ns, nLevels, nDevices int
+
+	knobRadix  []int
+	knobWeight []int // mixed-radix suffix weights (last knob = 1)
+
+	outlayConst units.Money
+	groups      []prunedGroup
+
+	// Candidate-independent serve parameters for levels no group owns,
+	// indexed [si*nLevels+j]; owned levels hold (false, Forever, Forever)
+	// so a straight copy initializes a batch's scan state.
+	baseServe []bool
+	baseAccW  []time.Duration
+	baseSer   []time.Duration
+
+	// Multi-sited survival per (scenario, level); mRead is the surviving
+	// fragment reader's fixed delay, or -1 meaning "the level's own read
+	// device serves" (use the entry's readDelay).
+	mServe []bool
+	mRead  []time.Duration
+
+	intact   []bool // [si*nDevices+di]: device survives untouched
+	destLost []bool
+	destProv []time.Duration
+	lostPen  units.Money
+
+	// baseLag[j] is level j's transfer-lag floor when no group owns it
+	// (the base design's constant lag); owned levels hold Forever and are
+	// minimized over reachable entries per batch. tgtZero[si] marks
+	// scenarios with TargetAge 0, where the kernel's loss is exactly the
+	// cumulative lag through the serving level plus its accumulation
+	// window — so the data-loss floor may add the lag prefix sum.
+	baseLag []time.Duration
+	tgtZero []bool
+
+	incumbent atomicScore
+}
+
+// pruneScratch is one worker's reusable bound-computation state.
+type pruneScratch struct {
+	// Allowed option range per knob over the batch's index slice: all
+	// options, or the cyclic interval [a..b].
+	allAll     []bool
+	allA, allB []int
+
+	serve   []bool
+	minAccW []time.Duration
+	minSer  []time.Duration
+	minLag  []time.Duration // per level; cum holds its prefix sums
+	cum     []time.Duration
+
+	fl SubtreeFloor
+}
+
+// newPruner builds the bound tables for a compiled space, returning nil
+// when any admissibility precondition fails — negative penalty rates,
+// negative cost components, negative policy windows — so pruning is
+// silently disabled rather than ever risking a wrong prune. incumbent
+// (> 0) pre-seeds the shared best score with an externally achieved
+// candidate score (e.g. another shard's winner).
+func newPruner(cs *compiledSpace, floor ObjectiveFloor, incumbent units.Money) *pruner {
+	if floor == nil {
+		return nil
+	}
+	kern := cs.kern
+	if !kern.NonNegativeRates() {
+		return nil
+	}
+	ns, nL, nD := len(cs.scs), cs.nLevels, cs.nDevices
+	p := &pruner{
+		cs:       cs,
+		floor:    floor,
+		ns:       ns,
+		nLevels:  nL,
+		nDevices: nD,
+	}
+
+	nk := len(cs.knobs)
+	p.knobRadix = make([]int, nk)
+	p.knobWeight = make([]int, nk)
+	w := 1
+	for k := nk - 1; k >= 0; k-- {
+		p.knobRadix[k] = len(cs.knobs[k].Options)
+		p.knobWeight[k] = w
+		w *= p.knobRadix[k] // cannot overflow: spaceSize validated the product
+	}
+
+	p.intact = make([]bool, ns*nD)
+	for si := 0; si < ns; si++ {
+		for di := 0; di < nD; di++ {
+			p.intact[si*nD+di] = kern.DeviceIntact(si, di)
+		}
+	}
+	p.destLost = make([]bool, ns)
+	p.destProv = make([]time.Duration, ns)
+	for si := 0; si < ns; si++ {
+		lost, prov := kern.PrimaryResolution(si)
+		if prov < 0 {
+			return nil
+		}
+		p.destLost[si] = lost
+		p.destProv[si] = prov
+	}
+	for di := 0; di < nD; di++ {
+		if kern.DeviceFixedDelay(di) < 0 {
+			return nil
+		}
+	}
+	p.lostPen = kern.PenaltyFloor(units.Forever, units.Forever)
+
+	p.mServe = make([]bool, ns*nL)
+	p.mRead = make([]time.Duration, ns*nL)
+	for j := 0; j < nL; j++ {
+		if !kern.MultiLevel(j) {
+			continue
+		}
+		for si := 0; si < ns; si++ {
+			surv, ri := kern.MultiServe(si, j)
+			p.mServe[si*nL+j] = surv
+			if ri >= 0 {
+				p.mRead[si*nL+j] = kern.DeviceFixedDelay(ri)
+			} else {
+				p.mRead[si*nL+j] = -1
+			}
+		}
+	}
+
+	p.tgtZero = make([]bool, ns)
+	for si := 0; si < ns; si++ {
+		p.tgtZero[si] = cs.scs[si].TargetAge == 0
+	}
+
+	p.baseServe = make([]bool, ns*nL)
+	p.baseAccW = make([]time.Duration, ns*nL)
+	p.baseSer = make([]time.Duration, ns*nL)
+	p.baseLag = make([]time.Duration, nL)
+	for i := range p.baseAccW {
+		p.baseAccW[i] = units.Forever
+		p.baseSer[i] = units.Forever
+	}
+	for j := 0; j < nL; j++ {
+		f := &cs.baseFrags[j]
+		if !fragSane(f) {
+			return nil
+		}
+		if cs.levelOwner[j] >= 0 {
+			p.baseLag[j] = units.Forever
+			continue
+		}
+		p.baseLag[j] = f.lag
+		for si := 0; si < ns; si++ {
+			idx := si*nL + j
+			ser := kern.DeviceFixedDelay(int(f.readIdx))
+			if kern.MultiLevel(j) {
+				p.baseServe[idx] = p.mServe[idx]
+				if d := p.mRead[idx]; d >= 0 {
+					ser = d
+				}
+			} else {
+				p.baseServe[idx] = p.intact[si*nD+int(f.copyIdx)]
+			}
+			p.baseAccW[idx] = f.accW
+			p.baseSer[idx] = ser
+		}
+	}
+
+	if !p.buildGroups() {
+		return nil
+	}
+	if !p.buildOutlays() {
+		return nil
+	}
+
+	p.incumbent.store(units.Money(math.Inf(1)))
+	if incumbent > 0 {
+		p.incumbent.min(incumbent)
+	}
+	return p
+}
+
+// fragSane verifies the nonnegativity the duration floors rely on:
+// cumulative lags stay nonnegative and every loss is >= the level's
+// accumulation window.
+func fragSane(f *levelFrag) bool {
+	return f.lag >= 0 && f.accW >= 0 && f.retSpan >= 0
+}
+
+// buildGroups fills each group's member-option, suspect and owned-level
+// tables (outlay deltas are added by buildOutlays). Returns false on any
+// frag sanity violation.
+func (p *pruner) buildGroups() bool {
+	cs := p.cs
+	p.groups = make([]prunedGroup, len(cs.groups))
+	for gi := range cs.groups {
+		g := &cs.groups[gi]
+		pg := &p.groups[gi]
+		pg.members = g.members
+		pg.radix = g.radix
+		pg.size = g.size
+		pg.levels = g.levels
+		nm, nl := len(g.members), len(g.levels)
+		pg.opts = make([]uint16, g.size*nm)
+		pg.suspect = make([]bool, g.size)
+		pg.outlay = make([]units.Money, g.size)
+		pg.multi = make([]bool, nl)
+		for li, j := range g.levels {
+			pg.multi[li] = cs.kern.MultiLevel(j)
+		}
+		pg.copyIdx = make([]int32, g.size*nl)
+		pg.accW = make([]time.Duration, g.size*nl)
+		pg.lag = make([]time.Duration, g.size*nl)
+		pg.readDelay = make([]time.Duration, g.size*nl)
+		for t := 0; t < g.size; t++ {
+			rem := t
+			for mi := nm - 1; mi >= 0; mi-- {
+				pg.opts[t*nm+mi] = uint16(rem % g.radix[mi])
+				rem /= g.radix[mi]
+			}
+			e := &g.entries[t]
+			pg.suspect[t] = e.suspect
+			if e.suspect {
+				continue
+			}
+			for li := range e.frags {
+				f := &e.frags[li]
+				if !fragSane(f) {
+					return false
+				}
+				pg.copyIdx[t*nl+li] = f.copyIdx
+				pg.accW[t*nl+li] = f.accW
+				pg.lag[t*nl+li] = f.lag
+				pg.readDelay[t*nl+li] = cs.kern.DeviceFixedDelay(int(f.readIdx))
+			}
+		}
+	}
+	return true
+}
+
+// buildOutlays decomposes the candidate outlay total into a constant
+// part plus one exact additive delta per group entry, verifying every
+// folded component is nonnegative and finite. Returns false on any
+// violation (pruning is then disabled).
+//
+// Per device, fill's outlay fold sums to
+//
+//	mult * (fixedTerm*[present] + sum of per-demand marginals)
+//
+// where mult folds the spare discount and facility-retainer factor
+// (both frozen by the compile diff), fixedTerm is the fixed cost plus an
+// interconnect's provisioned-bandwidth cost, present means the device
+// received any demand, and each marginal is Annual(rec) - Fixed under
+// the candidate's spec. Devices with a base (constant) spec split
+// exactly into constant-source terms plus per-group own-record terms;
+// devices whose spec a group owns are tabulated per entry of that group
+// — unless another group also feeds them demands, in which case the
+// device's (verified nonnegative) contribution is dropped from the
+// floor entirely.
+func (p *pruner) buildOutlays() bool {
+	cs := p.cs
+	nD := cs.nDevices
+
+	mult := make([]float64, nD)
+	for di := 0; di < nD; di++ {
+		m := 1.0
+		sp := &cs.baseSpecs[di]
+		if sp.HasSpare() {
+			if sp.Spare.Discount < 0 {
+				return false
+			}
+			m += sp.Spare.Discount
+		}
+		if cs.retainer && cs.covered[di] {
+			if cs.costFactor < 0 {
+				return false
+			}
+			m += cs.costFactor
+		}
+		mult[di] = m
+	}
+
+	// Constant-source records per device: the primary plus every level
+	// no group owns.
+	constRecs := make([][]*demandRec, nD)
+	for i := range cs.primaryDemands {
+		r := &cs.primaryDemands[i]
+		constRecs[r.dev] = append(constRecs[r.dev], r)
+	}
+	for j := 0; j < cs.nLevels; j++ {
+		if cs.levelOwner[j] >= 0 {
+			continue
+		}
+		f := &cs.baseFrags[j]
+		for i := range f.demands {
+			r := &f.demands[i]
+			constRecs[r.dev] = append(constRecs[r.dev], r)
+		}
+	}
+
+	// feeds[gi][di]: any non-suspect entry of group gi demands device di.
+	feeds := make([][]bool, len(cs.groups))
+	for gi := range cs.groups {
+		feeds[gi] = make([]bool, nD)
+		g := &cs.groups[gi]
+		for t := range g.entries {
+			e := &g.entries[t]
+			if e.suspect {
+				continue
+			}
+			for li := range e.frags {
+				for ri := range e.frags[li].demands {
+					feeds[gi][e.frags[li].demands[ri].dev] = true
+				}
+			}
+		}
+	}
+
+	marginal := func(sp *device.Spec, r *demandRec) (units.Money, bool) {
+		bw := r.bw
+		if sp.Kind == device.KindInterconnect {
+			bw = 0 // fill charges interconnects at provisioned capacity
+		}
+		m := sp.Cost.Annual(sp.RawCapacityFor(r.cap), bw, r.ship) - sp.Cost.Fixed
+		if !(m >= 0) || math.IsInf(float64(m), 1) {
+			return 0, false
+		}
+		return m, true
+	}
+	fixedTerm := func(sp *device.Spec) (units.Money, bool) {
+		ft := sp.Cost.Fixed
+		if sp.Kind == device.KindInterconnect {
+			ft += units.Money(sp.Cost.PerMBPerSec * sp.MaxBandwidth().MBPS())
+		}
+		if !(ft >= 0) || math.IsInf(float64(ft), 1) {
+			return 0, false
+		}
+		return ft, true
+	}
+
+	var constTotal units.Money
+	for di := 0; di < nD; di++ {
+		owner := cs.specOwner[di]
+		if owner < 0 {
+			// Base spec governs for every candidate: constant-source terms
+			// are constant, own-record terms are added per group entry
+			// below.
+			sp := &cs.baseSpecs[di]
+			ft, ok := fixedTerm(sp)
+			if !ok {
+				return false
+			}
+			var constMarg units.Money
+			for _, r := range constRecs[di] {
+				m, ok := marginal(sp, r)
+				if !ok {
+					return false
+				}
+				constMarg += m
+			}
+			if len(constRecs[di]) > 0 {
+				constTotal += units.Money(mult[di]) * (ft + constMarg)
+			}
+			continue
+		}
+
+		crossFed := false
+		for gi := range cs.groups {
+			if gi != owner && feeds[gi][di] {
+				crossFed = true
+			}
+		}
+		slot := cs.specSlot[di]
+		g := &cs.groups[owner]
+		for t := range g.entries {
+			e := &g.entries[t]
+			if e.suspect {
+				continue
+			}
+			sp := &e.specs[slot]
+			ft, ok := fixedTerm(sp)
+			if !ok {
+				return false
+			}
+			present := len(constRecs[di]) > 0
+			var margSum units.Money
+			for _, r := range constRecs[di] {
+				m, ok := marginal(sp, r)
+				if !ok {
+					return false
+				}
+				margSum += m
+			}
+			for li := range e.frags {
+				for ri := range e.frags[li].demands {
+					r := &e.frags[li].demands[ri]
+					if int(r.dev) != di {
+						continue
+					}
+					m, ok := marginal(sp, r)
+					if !ok {
+						return false
+					}
+					margSum += m
+					present = true
+				}
+			}
+			if crossFed {
+				// Another group's chosen entry also lands demands here, so
+				// the device's cost is not separable per group. Drop it
+				// from the floor — admissible only if its true
+				// contribution is nonnegative under every reachable spec,
+				// so verify those foreign marginals too.
+				for gj := range cs.groups {
+					if gj == owner || !feeds[gj][di] {
+						continue
+					}
+					gg := &cs.groups[gj]
+					for tt := range gg.entries {
+						ee := &gg.entries[tt]
+						if ee.suspect {
+							continue
+						}
+						for li := range ee.frags {
+							for ri := range ee.frags[li].demands {
+								r := &ee.frags[li].demands[ri]
+								if int(r.dev) != di {
+									continue
+								}
+								if _, ok := marginal(sp, r); !ok {
+									return false
+								}
+							}
+						}
+					}
+				}
+				continue
+			}
+			var delta units.Money
+			if present {
+				delta = units.Money(mult[di]) * (ft + margSum)
+			}
+			p.groups[owner].outlay[t] += delta
+		}
+	}
+
+	// Own-record marginals on base-spec devices, per group entry.
+	for gi := range cs.groups {
+		g := &cs.groups[gi]
+		pg := &p.groups[gi]
+		for t := range g.entries {
+			e := &g.entries[t]
+			if e.suspect {
+				continue
+			}
+			for li := range e.frags {
+				for ri := range e.frags[li].demands {
+					r := &e.frags[li].demands[ri]
+					di := int(r.dev)
+					if cs.specOwner[di] >= 0 {
+						// Own-group devices were handled in the per-entry
+						// pass above; other groups' devices were dropped
+						// (crossFed) there, with this record's marginal
+						// verified under every reachable spec.
+						continue
+					}
+					m, ok := marginal(&cs.baseSpecs[di], r)
+					if !ok {
+						return false
+					}
+					pg.outlay[t] += units.Money(mult[di]) * m
+				}
+			}
+		}
+	}
+
+	if !(constTotal >= 0) || math.IsInf(float64(constTotal), 1) {
+		return false
+	}
+	for gi := range p.groups {
+		pg := &p.groups[gi]
+		for t, v := range pg.outlay {
+			if pg.suspect[t] {
+				continue
+			}
+			if !(v >= 0) || math.IsInf(float64(v), 1) {
+				return false
+			}
+		}
+	}
+	p.outlayConst = constTotal
+	return true
+}
+
+// newScratch allocates one worker's bound-computation state.
+func (p *pruner) newScratch() *pruneScratch {
+	nk := len(p.knobRadix)
+	n := p.ns * p.nLevels
+	return &pruneScratch{
+		allAll:  make([]bool, nk),
+		allA:    make([]int, nk),
+		allB:    make([]int, nk),
+		serve:   make([]bool, n),
+		minAccW: make([]time.Duration, n),
+		minSer:  make([]time.Duration, n),
+		minLag:  make([]time.Duration, p.nLevels),
+		cum:     make([]time.Duration, p.nLevels),
+		fl: SubtreeFloor{
+			Scenarios:    p.cs.scs,
+			RecoveryTime: make([]time.Duration, p.ns),
+			DataLoss:     make([]time.Duration, p.ns),
+			Penalties:    make([]units.Money, p.ns),
+			Lost:         make([]bool, p.ns),
+		},
+	}
+}
+
+// computeAllowed derives, per knob, the set of option values candidates
+// in [blo, bhi) can take: all options when the slice spans a full cycle
+// of the knob's digit, else the cyclic interval from the first to the
+// last index's digit (a superset of the values actually visited, which
+// keeps the bound admissible). Returns false — no bound — when any
+// reachable option is suspect, preserving the slow path's exact
+// apply-error semantics.
+func (p *pruner) computeAllowed(ps *pruneScratch, blo, bhi int) bool {
+	span := bhi - blo
+	for k := range p.knobRadix {
+		n, w := p.knobRadix[k], p.knobWeight[k]
+		sus := p.cs.knobSuspect[k]
+		if span >= w*n {
+			ps.allAll[k] = true
+			for _, s := range sus {
+				if s {
+					return false
+				}
+			}
+			continue
+		}
+		ps.allAll[k] = false
+		a := (blo / w) % n
+		b := ((bhi - 1) / w) % n
+		ps.allA[k], ps.allB[k] = a, b
+		if a <= b {
+			for o := a; o <= b; o++ {
+				if sus[o] {
+					return false
+				}
+			}
+		} else {
+			for o := a; o < n; o++ {
+				if sus[o] {
+					return false
+				}
+			}
+			for o := 0; o <= b; o++ {
+				if sus[o] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// allowed reports whether option o of knob k is reachable in the batch
+// whose ranges computeAllowed last derived.
+func (ps *pruneScratch) allowed(k, o int) bool {
+	if ps.allAll[k] {
+		return true
+	}
+	a, b := ps.allA[k], ps.allB[k]
+	if a <= b {
+		return o >= a && o <= b
+	}
+	return o >= a || o <= b
+}
+
+// bound computes the subtree objective floor for candidates [blo, bhi),
+// filling ps.fl. ok=false means no admissible bound exists for this
+// slice (a suspect option or entry is reachable); the batch must then be
+// assessed normally.
+func (p *pruner) bound(ps *pruneScratch, blo, bhi int) (units.Money, bool) {
+	if !p.computeAllowed(ps, blo, bhi) {
+		return 0, false
+	}
+	ns, nL := p.ns, p.nLevels
+	copy(ps.serve, p.baseServe)
+	copy(ps.minAccW, p.baseAccW)
+	copy(ps.minSer, p.baseSer)
+	copy(ps.minLag, p.baseLag)
+
+	outlay := p.outlayConst
+	for gi := range p.groups {
+		pg := &p.groups[gi]
+		nm, nl := len(pg.members), len(pg.levels)
+		minOut := units.Money(math.Inf(1))
+		found := false
+		for t := 0; t < pg.size; t++ {
+			reachable := true
+			for mi := 0; mi < nm; mi++ {
+				if !ps.allowed(pg.members[mi], int(pg.opts[t*nm+mi])) {
+					reachable = false
+					break
+				}
+			}
+			if !reachable {
+				continue
+			}
+			if pg.suspect[t] {
+				return 0, false
+			}
+			found = true
+			if pg.outlay[t] < minOut {
+				minOut = pg.outlay[t]
+			}
+			for li := 0; li < nl; li++ {
+				j := pg.levels[li]
+				accW := pg.accW[t*nl+li]
+				if lag := pg.lag[t*nl+li]; lag < ps.minLag[j] {
+					ps.minLag[j] = lag
+				}
+				if pg.multi[li] {
+					for si := 0; si < ns; si++ {
+						idx := si*nL + j
+						if !p.mServe[idx] {
+							continue
+						}
+						ser := p.mRead[idx]
+						if ser < 0 {
+							ser = pg.readDelay[t*nl+li]
+						}
+						if !ps.serve[idx] {
+							ps.serve[idx] = true
+							ps.minAccW[idx] = accW
+							ps.minSer[idx] = ser
+							continue
+						}
+						if accW < ps.minAccW[idx] {
+							ps.minAccW[idx] = accW
+						}
+						if ser < ps.minSer[idx] {
+							ps.minSer[idx] = ser
+						}
+					}
+					continue
+				}
+				ci := int(pg.copyIdx[t*nl+li])
+				ser := pg.readDelay[t*nl+li]
+				for si := 0; si < ns; si++ {
+					if !p.intact[si*p.nDevices+ci] {
+						continue
+					}
+					idx := si*nL + j
+					if !ps.serve[idx] {
+						ps.serve[idx] = true
+						ps.minAccW[idx] = accW
+						ps.minSer[idx] = ser
+						continue
+					}
+					if accW < ps.minAccW[idx] {
+						ps.minAccW[idx] = accW
+					}
+					if ser < ps.minSer[idx] {
+						ps.minSer[idx] = ser
+					}
+				}
+			}
+		}
+		if !found {
+			return 0, false
+		}
+		outlay += minOut
+	}
+
+	// Lag prefix sums: the kernel accumulates every level's transfer lag
+	// in level order before the serving level, so the per-level data-loss
+	// floor under a TargetAge-0 scenario is this prefix plus the level's
+	// own accumulation-window floor. Every group found a reachable entry
+	// above, so owned levels' minLag is finite.
+	var cum time.Duration
+	for j := 0; j < nL; j++ {
+		cum += ps.minLag[j]
+		ps.cum[j] = cum
+	}
+
+	fl := &ps.fl
+	fl.Outlays = outlay
+	for si := 0; si < ns; si++ {
+		lost := p.destLost[si]
+		minSer := units.Forever
+		minAccW := units.Forever
+		if !lost {
+			any := false
+			for j := 0; j < nL; j++ {
+				idx := si*nL + j
+				if !ps.serve[idx] {
+					continue
+				}
+				any = true
+				if ps.minSer[idx] < minSer {
+					minSer = ps.minSer[idx]
+				}
+				loss := ps.minAccW[idx]
+				if p.tgtZero[si] {
+					loss += ps.cum[j]
+				}
+				if loss < minAccW {
+					minAccW = loss
+				}
+			}
+			lost = !any
+		}
+		if lost {
+			fl.Lost[si] = true
+			fl.RecoveryTime[si] = units.Forever
+			fl.DataLoss[si] = units.Forever
+			fl.Penalties[si] = p.lostPen
+			continue
+		}
+		rt := p.destProv[si] + minSer
+		fl.Lost[si] = false
+		fl.RecoveryTime[si] = rt
+		fl.DataLoss[si] = minAccW
+		fl.Penalties[si] = p.cs.kern.PenaltyFloor(rt, minAccW)
+	}
+	return p.floor(fl), true
+}
+
+// pruneBatch decides whether every candidate in [blo, bhi) can be
+// eliminated: computed reports whether a bound was evaluated at all,
+// pruned whether it (with slack) exceeds the current incumbent. With no
+// incumbent yet, no bound is computed — nothing could prune.
+func (p *pruner) pruneBatch(ps *pruneScratch, blo, bhi int) (computed, pruned bool) {
+	inc := p.incumbent.load()
+	if math.IsInf(float64(inc), 1) {
+		return false, false
+	}
+	v, ok := p.bound(ps, blo, bhi)
+	if !ok {
+		return false, false
+	}
+	return true, float64(v)*(1-boundSlack) > float64(inc)
+}
+
+// noteScore offers an achieved candidate score to the shared incumbent.
+func (p *pruner) noteScore(s units.Money) { p.incumbent.min(s) }
+
+// seed assesses up to seedProbes evenly spread candidates of [lo, hi)
+// through the compiled fast path and seeds the incumbent with the best
+// achieved score, so enumeration order cannot delay pruning (a good
+// candidate in the last shard half would otherwise leave early batches
+// unbounded). Slow-path probes are skipped — seeding is an accelerator
+// and must not duplicate the legacy path's error semantics. Probe
+// scores are achieved scores, so seeding never changes the argmin; the
+// probes are not counted as Evaluations.
+func (p *pruner) seed(objective Objective, lo, hi int) {
+	cs := p.cs
+	n := hi - lo
+	probes := seedProbes
+	if n < probes {
+		probes = n
+	}
+	if probes <= 0 {
+		return
+	}
+	cols := cs.kern.NewCols(1)
+	fs := newFillScratch(cs)
+	var bs core.BatchScratch
+	choice := make([]int, len(cs.knobs))
+	var res whatif.Result
+	ns := len(cs.scs)
+	for pi := 0; pi < probes; pi++ {
+		idx := lo
+		if probes > 1 {
+			idx = lo + pi*(n-1)/(probes-1)
+		}
+		decodeChoice(choice, cs.knobs, idx)
+		if cs.fill(fs, cols, 0, choice) {
+			continue
+		}
+		cs.kern.AssessBatch(1, cols, &bs)
+		res.Design = cs.base.Name
+		res.Err = nil
+		res.Outlays = cols.OutlaysTotal[0]
+		res.Outcomes = res.Outcomes[:0]
+		for si := 0; si < ns; si++ {
+			b := bs.Briefs[si]
+			res.Outcomes = append(res.Outcomes, whatif.Outcome{
+				Scenario:     cs.scs[si],
+				RecoveryTime: b.RecoveryTime,
+				DataLoss:     b.DataLoss,
+				Penalties:    b.Penalties,
+				Total:        b.Total,
+				Lost:         b.WholeObjectLost,
+			})
+		}
+		p.noteScore(objective(res))
+	}
+}

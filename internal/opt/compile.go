@@ -897,14 +897,26 @@ type batchAcc struct {
 	bestScore units.Money
 	bestIdx   int
 	evals     int
+	pruned    int
+	bounds    int
 	choice    []int
 	cols      *core.Cols
 	bscratch  core.BatchScratch
 	fs        *fillScratch
 	slow      []bool
-	scratch   *core.Design // slow-path reuse when all knobs are revertible
+	ps        *pruneScratch // non-nil only when pruning
+	scratch   *core.Design  // slow-path reuse when all knobs are revertible
 	eval      whatif.Evaluator
 	res       whatif.Result
+}
+
+// searchTally is the candidate accounting of one compiled search:
+// assessed candidates, candidates pruned wholesale, and subtree bounds
+// computed.
+type searchTally struct {
+	evals  int
+	pruned int
+	bounds int
 }
 
 // search runs the batched fold over global candidate range [lo, hi):
@@ -913,13 +925,28 @@ type batchAcc struct {
 // global order within a batch, and batches keep parallel.Reduce's
 // lowest-index-first error semantics, so errors and the argmin are
 // byte-identical to the legacy per-candidate fold.
-func (cs *compiledSpace) search(lo, hi, batch int, objective Objective, opts ExhaustiveOptions, reuse bool) (units.Money, int, int, error) {
+//
+// A non-nil pr enables branch-and-bound: the incumbent is seeded from
+// spread probes, each batch is bounded before being filled, and batches
+// whose bound exceeds the incumbent are retired wholesale without
+// assessment. Pruned candidates score strictly worse than an achieved
+// score, so the argmin (and its tie-break) is unchanged — only the
+// tally's assessed/pruned split depends on scheduling.
+func (cs *compiledSpace) search(lo, hi, batch int, objective Objective, opts ExhaustiveOptions, reuse bool, pr *pruner) (units.Money, int, searchTally, error) {
 	n := hi - lo
 	nb := (n + batch - 1) / batch
 	ns := len(cs.scs)
 
+	if pr != nil {
+		if profilingEnabled() {
+			doPhase(labelsPrune, func() { pr.seed(objective, lo, hi) })
+		} else {
+			pr.seed(objective, lo, hi)
+		}
+	}
+
 	acc := func() *batchAcc {
-		return &batchAcc{
+		a := &batchAcc{
 			bestScore: units.Money(math.Inf(1)),
 			bestIdx:   -1,
 			choice:    make([]int, len(cs.knobs)),
@@ -927,6 +954,10 @@ func (cs *compiledSpace) search(lo, hi, batch int, objective Objective, opts Exh
 			fs:        newFillScratch(cs),
 			slow:      make([]bool, batch),
 		}
+		if pr != nil {
+			a.ps = pr.newScratch()
+		}
+		return a
 	}
 	fillAndAssess := func(a *batchAcc, blo, m int) {
 		for r := 0; r < m; r++ {
@@ -940,6 +971,24 @@ func (cs *compiledSpace) search(lo, hi, batch int, objective Objective, opts Exh
 		m := batch
 		if blo+m > hi {
 			m = hi - blo
+		}
+		if pr != nil {
+			var computed, pruned bool
+			if profilingEnabled() {
+				doPhase(labelsPrune, func() { computed, pruned = pr.pruneBatch(a.ps, blo, blo+m) })
+			} else {
+				computed, pruned = pr.pruneBatch(a.ps, blo, blo+m)
+			}
+			if computed {
+				a.bounds++
+			}
+			if pruned {
+				a.pruned += m
+				if opts.Progress != nil {
+					opts.Progress.Add(int64(m))
+				}
+				return a, nil
+			}
 		}
 		if profilingEnabled() {
 			doPhase(labelsBatch, func() { fillAndAssess(a, blo, m) })
@@ -1003,6 +1052,9 @@ func (cs *compiledSpace) search(lo, hi, batch int, objective Objective, opts Exh
 				a.bestIdx = global
 			}
 		}
+		if pr != nil && a.bestIdx >= 0 {
+			pr.noteScore(a.bestScore)
+		}
 		if opts.Progress != nil {
 			opts.Progress.Add(int64(m))
 		}
@@ -1010,6 +1062,8 @@ func (cs *compiledSpace) search(lo, hi, batch int, objective Objective, opts Exh
 	}
 	merge := func(a, b *batchAcc) *batchAcc {
 		a.evals += b.evals
+		a.pruned += b.pruned
+		a.bounds += b.bounds
 		if b.bestIdx >= 0 && (a.bestIdx < 0 || b.bestScore < a.bestScore ||
 			(b.bestScore == a.bestScore && b.bestIdx < a.bestIdx)) {
 			a.bestScore, a.bestIdx = b.bestScore, b.bestIdx
@@ -1025,9 +1079,10 @@ func (cs *compiledSpace) search(lo, hi, batch int, objective Objective, opts Exh
 	}
 	final, err := parallel.Reduce(opts.Workers, nb, acc, fold, mergePhase)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, searchTally{}, err
 	}
-	return final.bestScore, final.bestIdx, final.evals, nil
+	tally := searchTally{evals: final.evals, pruned: final.pruned, bounds: final.bounds}
+	return final.bestScore, final.bestIdx, tally, nil
 }
 
 // maybeCompile decides whether to compile the space for this search and
@@ -1038,7 +1093,7 @@ func maybeCompile(base *core.Design, knobs []Knob, scenarios []failure.Scenario,
 	if shardSize <= 0 {
 		return nil
 	}
-	if opts.BatchSize <= 0 && shardSize < minCompileSpace {
+	if opts.BatchSize <= 0 && shardSize < minCompileSpace && !(opts.Prune && opts.Floor != nil) {
 		return nil
 	}
 	var cs *compiledSpace

@@ -345,11 +345,11 @@ func TestExhaustiveBatchedAllocBudget(t *testing.T) {
 	}
 	objective := WorstTotalObjective()
 	// Warm-up, then measure full batched search passes over the space.
-	if _, _, _, err := cs.search(0, space, defaultBatchSize, objective, ExhaustiveOptions{Workers: 1}, true); err != nil {
+	if _, _, _, err := cs.search(0, space, defaultBatchSize, objective, ExhaustiveOptions{Workers: 1}, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(5, func() {
-		if _, _, _, err := cs.search(0, space, defaultBatchSize, objective, ExhaustiveOptions{Workers: 1}, true); err != nil {
+		if _, _, _, err := cs.search(0, space, defaultBatchSize, objective, ExhaustiveOptions{Workers: 1}, true, nil); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -87,12 +87,13 @@ type ExhaustiveOptions struct {
 	// Shard restricts the search to one slice of the space; the zero
 	// value searches everything.
 	Shard Shard
-	// Progress, when non-nil, is incremented once per evaluated
-	// candidate and may be read concurrently — a live evaluation counter
-	// for progress reporting and heartbeats (internal/dist streams it to
-	// the coordinator). It does not affect the search. The batched
-	// compiled path advances it once per batch rather than per
-	// candidate; the final total still equals Evaluations.
+	// Progress, when non-nil, is incremented once per retired candidate
+	// — evaluated, or pruned wholesale when Prune is set — and may be
+	// read concurrently: a live counter for progress reporting and
+	// heartbeats (internal/dist streams it to the coordinator). It does
+	// not affect the search. The batched compiled path advances it once
+	// per batch rather than per candidate; the final total equals
+	// Evaluations plus CandidatesPruned.
 	Progress *atomic.Int64
 	// BatchSize is the candidate count per batched assessment step on
 	// the compiled fast path. 0 picks the default (64) and only compiles
@@ -101,6 +102,47 @@ type ExhaustiveOptions struct {
 	// search still falls back to the legacy fold when the space cannot
 	// be compiled). The result is byte-identical for every batch size.
 	BatchSize int
+	// Prune enables bound-guided subtree pruning on the compiled batched
+	// path: before a batch is assessed, an admissible lower bound on
+	// every candidate in its index range is computed from the compiled
+	// group tables (see bound.go), and the batch is skipped wholesale
+	// when the bound exceeds the best score achieved so far. Requires
+	// Floor; a Prune search also forces a compilation attempt, and runs
+	// unpruned (still exact) whenever the space cannot be compiled or
+	// the bound tables fail their admissibility verification. Pruning
+	// never changes the returned Solution — score, CandidateIndex,
+	// Choices and Design are byte-identical to the unpruned search —
+	// only Evaluations/CandidatesPruned accounting differs. Up to 16
+	// spread candidates are pre-assessed to seed the incumbent; they are
+	// not counted in Evaluations.
+	Prune bool
+	// Floor derives an objective lower bound from a subtree's component
+	// floors. It must be the admissible counterpart of the search's
+	// Objective: WorstTotalFloor for WorstTotalObjective, ExpectedFloor
+	// for ExpectedObjective, ConstrainedOutlayFloor for
+	// ConstrainedOutlayObjective. Ignored unless Prune is set.
+	Floor ObjectiveFloor
+	// Incumbent, when > 0, seeds the pruning incumbent with an already
+	// achieved score — e.g. another shard's validated winner — so bounds
+	// tighten from the first batch. It must be a score truly achieved by
+	// some candidate of the same space and objective; an unachievable
+	// value could prune the true argmin.
+	Incumbent units.Money
+	// Stats, when non-nil, receives the search's candidate accounting —
+	// assessed vs pruned — even when the search ends in ErrNoFeasible,
+	// so distributed shards report honest totals either way.
+	Stats *SearchStats
+}
+
+// SearchStats reports how an exhaustive search's candidate slice was
+// retired: every candidate is either assessed (scored) or pruned
+// (eliminated wholesale by an admissible bound), so Assessed+Pruned
+// equals the searched slice's size. BoundsComputed counts the subtree
+// bounds evaluated, whether or not they pruned.
+type SearchStats struct {
+	Assessed       int
+	Pruned         int
+	BoundsComputed int
 }
 
 // SpaceSize returns the total candidate count of a knob set — the
@@ -230,7 +272,8 @@ func ExhaustiveOpts(base *core.Design, knobs []Knob, scenarios []failure.Scenari
 	reuse := allRevertible(knobs)
 
 	var bestScore units.Money
-	var bestIdx, evals int
+	var bestIdx int
+	var tally searchTally
 	if cs := maybeCompile(base, knobs, scenarios, hi-lo, opts); cs != nil {
 		batch := opts.BatchSize
 		if batch <= 0 {
@@ -239,9 +282,16 @@ func ExhaustiveOpts(base *core.Design, knobs []Knob, scenarios []failure.Scenari
 		if batch > hi-lo {
 			batch = hi - lo
 		}
-		bestScore, bestIdx, evals, err = cs.search(lo, hi, batch, objective, opts, reuse)
+		var pr *pruner
+		if opts.Prune {
+			pr = newPruner(cs, opts.Floor, opts.Incumbent)
+		}
+		bestScore, bestIdx, tally, err = cs.search(lo, hi, batch, objective, opts, reuse, pr)
 	} else {
-		bestScore, bestIdx, evals, err = exhaustiveFold(base, knobs, scenarios, objective, opts, lo, hi, reuse)
+		bestScore, bestIdx, tally.evals, err = exhaustiveFold(base, knobs, scenarios, objective, opts, lo, hi, reuse)
+	}
+	if opts.Stats != nil {
+		*opts.Stats = SearchStats{Assessed: tally.evals, Pruned: tally.pruned, BoundsComputed: tally.bounds}
 	}
 	if err != nil {
 		return nil, err
@@ -257,11 +307,13 @@ func ExhaustiveOpts(base *core.Design, knobs []Knob, scenarios []failure.Scenari
 		return nil, err
 	}
 	sol := &Solution{
-		Design:         tuned,
-		Score:          bestScore,
-		Evaluations:    evals,
-		Passes:         1,
-		CandidateIndex: bestIdx,
+		Design:           tuned,
+		Score:            bestScore,
+		Evaluations:      tally.evals,
+		Passes:           1,
+		CandidateIndex:   bestIdx,
+		CandidatesPruned: tally.pruned,
+		BoundsComputed:   tally.bounds,
 	}
 	for i, k := range knobs {
 		sol.Choices = append(sol.Choices, Choice{Knob: k.Name, Option: k.Options[choice[i]]})
@@ -351,7 +403,8 @@ func exhaustiveFold(base *core.Design, knobs []Knob, scenarios []failure.Scenari
 // found nothing feasible (or covered an empty slice) contribute nil;
 // MergeShards returns ErrNoFeasible only when every entry is nil. The
 // merged Solution shares the winning shard's Design and Choices, with
-// Evaluations and MemoHits summed over the non-nil shards.
+// Evaluations, MemoHits, CandidatesPruned and BoundsComputed summed
+// over the non-nil shards.
 //
 // Shards cover disjoint index slices, so two entries with the same
 // CandidateIndex can only be duplicate reports of the same shard —
@@ -367,7 +420,7 @@ func exhaustiveFold(base *core.Design, knobs []Knob, scenarios []failure.Scenari
 // tie-break, so MergeShards rejects it with ErrBadShard.
 func MergeShards(sols []*Solution) (*Solution, error) {
 	var best *Solution
-	evals, memo := 0, 0
+	evals, memo, pruned, bounds := 0, 0, 0, 0
 	seen := make(map[int]bool, len(sols))
 	for i, s := range sols {
 		if s == nil {
@@ -383,6 +436,8 @@ func MergeShards(sols []*Solution) (*Solution, error) {
 		seen[s.CandidateIndex] = true
 		evals += s.Evaluations
 		memo += s.MemoHits
+		pruned += s.CandidatesPruned
+		bounds += s.BoundsComputed
 		if best == nil || s.Score < best.Score ||
 			(s.Score == best.Score && s.CandidateIndex < best.CandidateIndex) {
 			best = s
@@ -394,5 +449,7 @@ func MergeShards(sols []*Solution) (*Solution, error) {
 	merged := *best
 	merged.Evaluations = evals
 	merged.MemoHits = memo
+	merged.CandidatesPruned = pruned
+	merged.BoundsComputed = bounds
 	return &merged, nil
 }

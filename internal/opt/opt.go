@@ -127,6 +127,15 @@ type Solution struct {
 	// shards mergeable with a deterministic tie-break (see MergeShards).
 	// Coordinate descent (Tune) does not enumerate, so it records -1.
 	CandidateIndex int
+	// CandidatesPruned counts candidates eliminated wholesale by
+	// bound-guided pruning without being assessed. Evaluations plus
+	// CandidatesPruned equals the searched slice size. Always 0 for
+	// Tune and for unpruned searches.
+	CandidatesPruned int
+	// BoundsComputed counts subtree lower bounds actually evaluated by
+	// the pruner (batches skipped because no incumbent was known yet are
+	// not counted).
+	BoundsComputed int
 }
 
 // Optimizer configuration errors.
@@ -136,6 +145,13 @@ var (
 	ErrNoScenarios = errors.New("opt: at least one scenario required")
 	ErrNoFeasible  = errors.New("opt: no knob combination produced a feasible design")
 )
+
+// tuneDeltaProbes is how many incremental AssessDelta scores TuneWorkers
+// cross-checks against the full Build-and-assess evaluator before
+// trusting the delta path for the rest of the descent (on top of the
+// bit-exact base self-check NewDeltaAssessor already performs). Any
+// divergence permanently disables incremental scoring for the run.
+const tuneDeltaProbes = 2
 
 // maxPasses bounds coordinate descent; with monotone improvement it
 // always converges far earlier.
@@ -282,6 +298,22 @@ func TuneWorkers(base *core.Design, knobs []Knob, scenarios []failure.Scenario, 
 		poolMu.Unlock()
 	}
 
+	// Incremental scoring: most Tune misses differ from the base by a
+	// handful of knob values, which core.DeltaAssessor re-assesses
+	// without rebuilding the whole system. The first few delta scores
+	// are probe-verified against the legacy evaluator; any divergence,
+	// or a change outside the delta protocol, falls back to the full
+	// Build-and-assess path. Scores are bit-identical either way, so
+	// Solutions (Score, Choices, Evaluations, MemoHits) do not change.
+	var (
+		delta        *core.DeltaAssessor
+		deltaScratch *core.Design
+		deltaRes     whatif.Result
+		deltaProbe   tuneAcc
+		deltaProbes  int
+		deltaState   int // 0 = untried, 1 = active, 2 = disabled
+	)
+
 	// scoreBatch scores choice vectors in input order: memo hits are
 	// served immediately, misses are evaluated on the pool and memoized.
 	// The set of vectors evaluated is therefore independent of the
@@ -299,8 +331,73 @@ func TuneWorkers(base *core.Design, knobs []Knob, scenarios []failure.Scenario, 
 			}
 		}
 		missScores := make([]units.Money, len(misses))
-		if len(misses) > 0 {
+		// legacy collects the positions in misses still needing the full
+		// evaluator after the incremental pass.
+		legacy := make([]int, 0, len(misses))
+		if len(misses) > 0 && deltaState == 0 {
+			deltaState = 2
+			if da, err := core.NewDeltaAssessor(base, scenarios); err == nil {
+				delta, deltaState = da, 1
+			}
+		}
+		if deltaState == 1 {
+			for j, mi := range misses {
+				if deltaState != 1 { // probe mismatch mid-batch
+					legacy = append(legacy, j)
+					continue
+				}
+				d := deltaScratch
+				if d == nil {
+					fresh, err := Clone(base)
+					if err != nil {
+						return nil, err
+					}
+					d = fresh
+					if reuse {
+						deltaScratch = fresh
+					}
+				}
+				if err := applyChoiceTo(d, knobs, trials[mi]); err != nil {
+					return nil, err
+				}
+				out, briefs, ok := delta.AssessDelta(d)
+				if !ok {
+					legacy = append(legacy, j)
+					continue
+				}
+				deltaRes.Design = base.Name
+				deltaRes.Outlays = out
+				deltaRes.Err = nil
+				deltaRes.Outcomes = deltaRes.Outcomes[:0]
+				for si, b := range briefs {
+					deltaRes.Outcomes = append(deltaRes.Outcomes, whatif.Outcome{
+						Scenario:     scenarios[si],
+						RecoveryTime: b.RecoveryTime,
+						DataLoss:     b.DataLoss,
+						Penalties:    b.Penalties,
+						Total:        b.Total,
+						Lost:         b.WholeObjectLost,
+					})
+				}
+				s := objective(deltaRes)
+				if deltaProbes < tuneDeltaProbes {
+					deltaProbes++
+					deltaProbe.eval.EvaluateInto(d, scenarios, &deltaProbe.res)
+					if want := objective(deltaProbe.res); want != s {
+						deltaState = 2
+						s = want
+					}
+				}
+				missScores[j] = s
+			}
+		} else {
+			for j := range misses {
+				legacy = append(legacy, j)
+			}
+		}
+		if len(legacy) > 0 {
 			fold := func(a *tuneAcc, i int) (*tuneAcc, error) {
+				j := legacy[i]
 				d := a.scratch
 				if d == nil {
 					fresh, err := Clone(base)
@@ -312,18 +409,18 @@ func TuneWorkers(base *core.Design, knobs []Knob, scenarios []failure.Scenario, 
 						a.scratch = fresh
 					}
 				}
-				if err := applyChoiceTo(d, knobs, trials[misses[i]]); err != nil {
+				if err := applyChoiceTo(d, knobs, trials[misses[j]]); err != nil {
 					return a, err
 				}
 				a.eval.EvaluateInto(d, scenarios, &a.res)
-				missScores[i] = objective(a.res)
+				missScores[j] = objective(a.res)
 				return a, nil
 			}
 			merge := func(a, b *tuneAcc) *tuneAcc {
 				checkin(b)
 				return a
 			}
-			final, err := parallel.Reduce(workers, len(misses), checkout, fold, merge)
+			final, err := parallel.Reduce(workers, len(legacy), checkout, fold, merge)
 			if err != nil {
 				return nil, err
 			}

@@ -10,16 +10,18 @@ import (
 // candidate construction (clone + knob application), "assess" the
 // evaluation of the candidate across scenarios, "reduce" the argmin
 // merge, "compile" the one-time knob-space compilation (diffing,
-// group-table extraction, probe verification), and "batch" the compiled
-// path's fill+AssessBatch step. With labels on, `go tool pprof
-// -tagfocus phase=batch` isolates where an optimization run actually
-// spends its time.
+// group-table extraction, probe verification), "batch" the compiled
+// path's fill+AssessBatch step, and "prune" the branch-and-bound layer
+// (incumbent seeding plus per-subtree bound computation). With labels
+// on, `go tool pprof -tagfocus phase=batch` isolates where an
+// optimization run actually spends its time.
 var (
 	labelsBuild   = pprof.Labels("phase", "build")
 	labelsAssess  = pprof.Labels("phase", "assess")
 	labelsReduce  = pprof.Labels("phase", "reduce")
 	labelsCompile = pprof.Labels("phase", "compile")
 	labelsBatch   = pprof.Labels("phase", "batch")
+	labelsPrune   = pprof.Labels("phase", "prune")
 )
 
 // phaseProfiling gates the per-candidate pprof labeling. Off by default:
@@ -28,7 +30,7 @@ var (
 var phaseProfiling atomic.Bool
 
 // PhaseProfiling toggles pprof phase labels
-// (phase=build|assess|reduce|compile|batch) on the exhaustive search's
+// (phase=build|assess|reduce|compile|batch|prune) on the exhaustive search's
 // inner loop. Enable it together with CPU or
 // memory profiling (cmd/optimize -cpuprofile does); it is safe to toggle
 // concurrently with running searches — a search reads the flag at each

@@ -43,6 +43,26 @@ type Workload struct {
 	BatchCurve []BatchPoint
 }
 
+// Equal reports whether two workloads are deeply equal, comparing the
+// batch curve point by point. It is the allocation-free equivalent of
+// reflect.DeepEqual on two workloads.
+func (w *Workload) Equal(v *Workload) bool {
+	if w == nil || v == nil {
+		return w == v
+	}
+	if w.Name != v.Name || w.DataCap != v.DataCap ||
+		w.AvgAccessRate != v.AvgAccessRate || w.AvgUpdateRate != v.AvgUpdateRate ||
+		w.BurstMult != v.BurstMult || len(w.BatchCurve) != len(v.BatchCurve) {
+		return false
+	}
+	for i := range w.BatchCurve {
+		if w.BatchCurve[i] != v.BatchCurve[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Validation errors returned by Workload.Validate.
 var (
 	ErrNoCapacity     = errors.New("workload: data capacity must be positive")
