@@ -7,6 +7,7 @@
 //
 //	optimize                      # tune the tape-based baseline
 //	optimize -objective expected  # minimize frequency-weighted expected cost
+//	optimize -objective expected -trials 1000  # Monte Carlo expected cost
 //	optimize -links               # tune the asyncB mirror's link count
 //	optimize -rto 12h -rpo 1h     # cheapest design meeting objectives
 //	optimize -exhaustive          # streaming full enumeration (no space cap)
@@ -56,6 +57,14 @@
 // -dist-metrics dumps the coordinator's Prometheus-style counters to
 // stderr afterwards.
 //
+// -trials N swaps the analytic expected-cost objective for a Monte
+// Carlo one: every candidate is scored by expected annual cost (outlay
+// plus expected annualized penalties) estimated from N seeded trials
+// (internal/mc). All candidates share one seed — common random numbers —
+// so they are compared on identical sampled fault schedules and the
+// sampling noise cancels out of the comparison. It composes only with
+// -objective expected and local coordinate descent.
+//
 // -cpuprofile and -memprofile write pprof profiles; the CPU profile is
 // labeled with phase=build|assess|reduce on the optimizer's inner loop,
 // so `go tool pprof -tagfocus phase=assess` isolates model evaluation
@@ -81,6 +90,7 @@ import (
 	"stordep/internal/dist"
 	"stordep/internal/failure"
 	"stordep/internal/hierarchy"
+	"stordep/internal/mc"
 	"stordep/internal/opt"
 	"stordep/internal/units"
 	"stordep/internal/whatif"
@@ -91,6 +101,8 @@ type options struct {
 	objective      string
 	links          bool
 	rto, rpo       string
+	trials         int
+	seed           int64
 	workers        int
 	exhaustive     bool
 	prune          bool
@@ -121,6 +133,8 @@ func main() {
 	flag.BoolVar(&o.links, "links", false, "tune the asyncB mirror link count instead of the tape design")
 	flag.StringVar(&o.rto, "rto", "", "constrain to designs meeting this recovery time objective")
 	flag.StringVar(&o.rpo, "rpo", "", "constrain to designs meeting this recovery point objective")
+	flag.IntVar(&o.trials, "trials", 0, "score candidates by Monte Carlo expected cost over this many seeded trials (requires -objective expected; 0 = analytic)")
+	flag.Int64Var(&o.seed, "seed", 1, "campaign seed for -trials; all candidates share it (common random numbers)")
 	flag.IntVar(&o.workers, "workers", 0, "concurrent candidate evaluations (0 = all CPUs); any worker count returns the same solution")
 	flag.BoolVar(&o.exhaustive, "exhaustive", false, "enumerate every knob combination (streaming; no space cap) instead of coordinate descent")
 	flag.BoolVar(&o.prune, "prune", false, "bound-guided subtree pruning for -exhaustive / -pareto; identical answer, fewer candidates assessed")
@@ -227,6 +241,16 @@ func run(w io.Writer, o options) error {
 		return err
 	}
 
+	if o.trials > 0 {
+		if o.objective != "expected" || o.rto != "" || o.rpo != "" {
+			return fmt.Errorf("-trials scores candidates by Monte Carlo expected cost; it requires -objective expected and no -rto/-rpo")
+		}
+		if o.exhaustive || o.shard != "" || o.coordinator != "" || o.pareto || o.prune || o.out != "" {
+			return fmt.Errorf("-trials runs local coordinate descent; drop -exhaustive/-shard/-coordinator/-pareto/-prune/-out")
+		}
+		return runMC(w, o, base, knobs)
+	}
+
 	if o.pareto {
 		if o.coordinator != "" {
 			return fmt.Errorf("-pareto runs a local sweep; drop -coordinator")
@@ -301,6 +325,34 @@ func run(w io.Writer, o options) error {
 			return fmt.Errorf("-memprofile: %w", err)
 		}
 	}
+	return nil
+}
+
+// runMC tunes by Monte Carlo expected cost: coordinate descent where
+// every candidate is scored by a seeded campaign sharing one trial
+// budget (common random numbers — see mc.(*Campaign).Scorer), then the
+// winner's full dependability report is printed so the nines and
+// confidence intervals behind the score are visible.
+func runMC(w io.Writer, o options, base *core.Design, knobs []opt.Knob) error {
+	camp := &mc.Campaign{Seed: o.seed, Trials: o.trials, Workers: o.workers}
+	fmt.Fprintf(w, "Tuning %q over %d knobs, objective: minimize Monte Carlo expected annual cost (%d trials per candidate, seed %d)\n\n",
+		base.Name, len(knobs), o.trials, o.seed)
+	sol, err := opt.TuneScored(base, knobs, camp.Scorer())
+	if err != nil {
+		return err
+	}
+	for _, c := range sol.Choices {
+		fmt.Fprintf(w, "  %-28s -> %s\n", c.Knob, c.Option)
+	}
+	fmt.Fprintf(w, "\nScore: %v expected annual cost (%d campaigns, %d memo hits, %d passes)\n\n",
+		sol.Score, sol.Evaluations, sol.MemoHits, sol.Passes)
+	final := *camp
+	final.Design = sol.Design
+	rep, err := final.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, rep.String())
 	return nil
 }
 

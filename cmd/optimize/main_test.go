@@ -183,3 +183,47 @@ func TestRunWorkerCountsAgree(t *testing.T) {
 		}
 	}
 }
+
+// TestRunMCTrials: -trials swaps the analytic expected objective for
+// the Monte Carlo one; the run reports the winner's nines table and is
+// deterministic (seeded, worker-count-independent).
+func TestRunMCTrials(t *testing.T) {
+	var a, b strings.Builder
+	opts := options{objective: "expected", trials: 15, seed: 7, workers: 1}
+	if err := run(&a, opts); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Monte Carlo expected annual cost (15 trials per candidate, seed 7)",
+		"expected annual cost",
+		"availability",
+		"nines",
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, a.String())
+		}
+	}
+	opts.workers = 4
+	if err := run(&b, opts); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("-trials output depends on worker count:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestRunMCTrialsErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, options{objective: "worst", trials: 10}); err == nil || !strings.Contains(err.Error(), "-objective expected") {
+		t.Errorf("-trials with worst objective: %v", err)
+	}
+	if err := run(&buf, options{objective: "expected", trials: 10, rto: "12h"}); err == nil || !strings.Contains(err.Error(), "-objective expected") {
+		t.Errorf("-trials with -rto: %v", err)
+	}
+	if err := run(&buf, options{objective: "expected", trials: 10, exhaustive: true}); err == nil || !strings.Contains(err.Error(), "coordinate descent") {
+		t.Errorf("-trials with -exhaustive: %v", err)
+	}
+	if err := run(&buf, options{objective: "expected", trials: 10, coordinator: "http://x"}); err == nil || !strings.Contains(err.Error(), "coordinate descent") {
+		t.Errorf("-trials with -coordinator: %v", err)
+	}
+}

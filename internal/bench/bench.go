@@ -27,6 +27,7 @@ import (
 	"stordep/internal/core"
 	"stordep/internal/failure"
 	"stordep/internal/hierarchy"
+	"stordep/internal/mc"
 	"stordep/internal/opt"
 	"stordep/internal/units"
 	"stordep/internal/whatif"
@@ -239,6 +240,23 @@ func tuneCase(name string, workers int) Case {
 	}}
 }
 
+// mcCase measures a full Monte Carlo campaign on the baseline design —
+// trial sampling, sim replay, bound checks, and the sequential estimate
+// fold. Workers is pinned so snapshots from different machines measure
+// the same schedule.
+func mcCase(name string, workers, trials int) Case {
+	return Case{Name: name, Bench: func(b *testing.B) {
+		design := casestudy.Baseline()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := &mc.Campaign{Design: design, Seed: 1, Trials: trials, Workers: workers}
+			if _, err := c.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}}
+}
+
 func chaosCase(name string, workers, runs int) Case {
 	return Case{Name: name, Bench: func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -291,6 +309,7 @@ func Suite() []Case {
 		whatIfCase("whatif/parallel4", 4),
 		chaosCase("chaos/serial", 1, 10),
 		chaosCase("chaos/parallel4", 4, 10),
+		mcCase("mc/1k-trials", 4, 1000),
 	}
 }
 

@@ -227,12 +227,3 @@ func (c *Campaign) Run() (*Summary, error) {
 	sum.Digest = digest.Sum64()
 	return sum, nil
 }
-
-// splitmix64 is the SplitMix64 mixer; it decorrelates per-run seeds so
-// adjacent run indices draw unrelated streams.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}

@@ -12,6 +12,7 @@ import (
 	"stordep/internal/failure"
 	"stordep/internal/hierarchy"
 	"stordep/internal/protect"
+	"stordep/internal/rng"
 	"stordep/internal/sim"
 	"stordep/internal/units"
 	"stordep/internal/workload"
@@ -38,8 +39,10 @@ var (
 )
 
 // runRNG derives the deterministic random stream for one campaign run.
+// The derivation lives in internal/rng so the Monte Carlo engine splits
+// seeds identically; committed digests depend on it staying fixed.
 func runRNG(seed int64, run int) *rand.Rand {
-	return rand.New(rand.NewSource(int64(splitmix64(uint64(seed) ^ splitmix64(uint64(run))))))
+	return rng.Run(seed, run)
 }
 
 // quantize truncates to whole minutes, with a one-minute floor.

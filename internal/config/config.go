@@ -68,17 +68,29 @@ type placedJSON struct {
 }
 
 type specJSON struct {
-	Name        string     `json:"name"`
-	Kind        string     `json:"kind"`
-	MaxCapSlots int        `json:"maxCapSlots,omitempty"`
-	SlotCap     string     `json:"slotCap,omitempty"`
-	MaxBWSlots  int        `json:"maxBWSlots,omitempty"`
-	SlotBW      string     `json:"slotBW,omitempty"`
-	EnclBW      string     `json:"enclBW,omitempty"`
-	Delay       string     `json:"delay,omitempty"`
-	CapOverhead float64    `json:"capOverhead,omitempty"`
-	Cost        costJSON   `json:"cost"`
-	Spare       *spareJSON `json:"spare,omitempty"`
+	Name        string           `json:"name"`
+	Kind        string           `json:"kind"`
+	MaxCapSlots int              `json:"maxCapSlots,omitempty"`
+	SlotCap     string           `json:"slotCap,omitempty"`
+	MaxBWSlots  int              `json:"maxBWSlots,omitempty"`
+	SlotBW      string           `json:"slotBW,omitempty"`
+	EnclBW      string           `json:"enclBW,omitempty"`
+	Delay       string           `json:"delay,omitempty"`
+	CapOverhead float64          `json:"capOverhead,omitempty"`
+	Cost        costJSON         `json:"cost"`
+	Spare       *spareJSON       `json:"spare,omitempty"`
+	Reliability *reliabilityJSON `json:"reliability,omitempty"`
+}
+
+type reliabilityJSON struct {
+	Failure distJSON `json:"failure"`
+	Repair  distJSON `json:"repair"`
+}
+
+type distJSON struct {
+	Kind  string  `json:"kind"`
+	Mean  string  `json:"mean"`
+	Shape float64 `json:"shape,omitempty"`
 }
 
 type costJSON struct {
@@ -338,7 +350,21 @@ func encodeSpec(s device.Spec) specJSON {
 			Discount:      s.Spare.Discount,
 		}
 	}
+	if !s.Reliability.IsZero() {
+		sj.Reliability = &reliabilityJSON{
+			Failure: encodeDist(s.Reliability.Failure),
+			Repair:  encodeDist(s.Reliability.Repair),
+		}
+	}
 	return sj
+}
+
+func encodeDist(d device.Distribution) distJSON {
+	dj := distJSON{Kind: d.Kind.String(), Mean: units.FormatDuration(d.Mean)}
+	if d.Kind == device.DistWeibull {
+		dj.Shape = d.Shape
+	}
+	return dj
 }
 
 func encodePlacement(p failure.Placement) placementJSON {
@@ -548,7 +574,27 @@ func decodeSpec(sj *specJSON) (device.Spec, error) {
 		}
 		spec.Spare = device.Spare{Kind: sk, ProvisionTime: prov, Discount: sj.Spare.Discount}
 	}
+	if sj.Reliability != nil {
+		if spec.Reliability.Failure, err = decodeDist(sj.Reliability.Failure); err != nil {
+			return device.Spec{}, err
+		}
+		if spec.Reliability.Repair, err = decodeDist(sj.Reliability.Repair); err != nil {
+			return device.Spec{}, err
+		}
+	}
 	return spec, nil
+}
+
+func decodeDist(dj distJSON) (device.Distribution, error) {
+	kind, err := device.ParseDistKind(dj.Kind)
+	if err != nil {
+		return device.Distribution{}, fmt.Errorf("%w: %v", ErrBadDesign, err)
+	}
+	mean, err := parseDuration(dj.Mean)
+	if err != nil {
+		return device.Distribution{}, err
+	}
+	return device.Distribution{Kind: kind, Mean: mean, Shape: dj.Shape}, nil
 }
 
 func decodePlacement(p placementJSON) failure.Placement {

@@ -3,9 +3,11 @@ package config
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"stordep/internal/casestudy"
 	"stordep/internal/core"
+	"stordep/internal/device"
 )
 
 // FuzzUnmarshal checks the decoder never panics on arbitrary input and
@@ -42,6 +44,61 @@ func FuzzUnmarshal(f *testing.F) {
 				// regular error, not a bug.
 				t.Logf("build rejected validated design: %v", err)
 			}
+		}
+	})
+}
+
+// FuzzDistributionRoundTrip checks the failure/repair distribution
+// config is lossless: any Reliability that validates must marshal
+// (embedded in a design's device spec), unmarshal, and deep-equal the
+// original. Means are quantized to whole seconds — the resolution
+// units.FormatDuration is exact at, and the resolution every generator
+// in this repo emits.
+func FuzzDistributionRoundTrip(f *testing.F) {
+	f.Add(int8(1), int64(time.Hour), 0.0, int8(2), int64(24*time.Hour), 1.5)
+	f.Add(int8(2), int64(52*7*24*time.Hour), 0.7, int8(1), int64(8*time.Hour), 0.0)
+	f.Add(int8(0), int64(0), 0.0, int8(0), int64(0), 0.0)
+	f.Add(int8(2), int64(time.Second), 1e308, int8(1), int64(-5), 0.0)
+
+	f.Fuzz(func(t *testing.T, fKind int8, fMean int64, fShape float64,
+		rKind int8, rMean int64, rShape float64) {
+		rel := device.Reliability{
+			Failure: device.Distribution{
+				Kind:  device.DistKind(fKind),
+				Mean:  time.Duration(fMean).Truncate(time.Second),
+				Shape: fShape,
+			},
+			Repair: device.Distribution{
+				Kind:  device.DistKind(rKind),
+				Mean:  time.Duration(rMean).Truncate(time.Second),
+				Shape: rShape,
+			},
+		}
+		if rel.Validate() != nil {
+			return
+		}
+		d := casestudy.Baseline()
+		d.Devices[0].Spec.Reliability = rel
+		data, err := Marshal(d)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		d2, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("unmarshal our own encoding: %v", err)
+		}
+		got := d2.Devices[0].Spec.Reliability
+		// The codec omits the ignored shape of exponential distributions;
+		// normalize before comparing.
+		want := rel
+		if want.Failure.Kind == device.DistExponential {
+			want.Failure.Shape = 0
+		}
+		if want.Repair.Kind == device.DistExponential {
+			want.Repair.Shape = 0
+		}
+		if got != want {
+			t.Fatalf("reliability did not round-trip:\n got %+v\nwant %+v", got, want)
 		}
 	})
 }

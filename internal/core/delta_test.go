@@ -73,7 +73,7 @@ func TestDeltaAssessorMatchesLegacy(t *testing.T) {
 			bk.Pol.RetCnt = 28
 			bk.Pol.RetW = 28 * bk.Pol.CyclePeriod()
 		},
-		"mirror-accw":   func(d *core.Design) { d.Levels[0].(*protect.SplitMirror).Pol.Primary.AccW = 6 * time.Hour },
+		"mirror-accw": func(d *core.Design) { d.Levels[0].(*protect.SplitMirror).Pol.Primary.AccW = 6 * time.Hour },
 		"spec-slots": func(d *core.Design) {
 			for i := range d.Devices {
 				if d.Devices[i].Spec.Name == device.NameTapeLibrary {

@@ -139,6 +139,10 @@ type Spec struct {
 
 	Cost  CostModel
 	Spare Spare
+
+	// Reliability is the optional failure/repair rate model used by the
+	// Monte Carlo engine. The zero value defers to DefaultReliability.
+	Reliability Reliability
 }
 
 // Validation errors.
@@ -173,6 +177,9 @@ func (s *Spec) Validate() error {
 		}
 	default:
 		return fmt.Errorf("%w (%s: kind %d)", ErrBadSpare, s.Name, int(s.Spare.Kind))
+	}
+	if err := s.Reliability.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", s.Name, err)
 	}
 	return nil
 }

@@ -1,0 +1,200 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// The paper's framework takes the fault *scenario* as an input and
+// reports worst-case bounds; the related reliability literature
+// (Cleversafe's fault-tolerance models, k-out-of-n analyses) instead
+// derives dependability from per-device failure/repair distributions.
+// Reliability carries that rate-space parameterization so a Monte Carlo
+// driver (internal/mc) can sample fault schedules for the same designs
+// the analytic framework bounds.
+
+// DistKind selects a lifetime distribution family.
+type DistKind int
+
+// Distribution families.
+const (
+	// DistExponential is the memoryless constant-rate distribution; Mean
+	// is the MTTF/MTTR and Shape is ignored (must be 0 or 1).
+	DistExponential DistKind = iota + 1
+	// DistWeibull generalizes to age-dependent hazard: Shape < 1 models
+	// infant mortality, Shape > 1 wear-out — the two ends of the bathtub
+	// curve. Mean is still the distribution mean (the scale parameter is
+	// derived as mean / Gamma(1 + 1/shape)).
+	DistWeibull
+)
+
+// String returns the family name.
+func (k DistKind) String() string {
+	switch k {
+	case DistExponential:
+		return "exponential"
+	case DistWeibull:
+		return "weibull"
+	default:
+		return fmt.Sprintf("DistKind(%d)", int(k))
+	}
+}
+
+// ParseDistKind inverts String for config decoding.
+func ParseDistKind(s string) (DistKind, error) {
+	switch s {
+	case "exponential":
+		return DistExponential, nil
+	case "weibull":
+		return DistWeibull, nil
+	default:
+		return 0, fmt.Errorf("%w: %q", ErrBadDistKind, s)
+	}
+}
+
+// Distribution is one lifetime distribution, parameterized by its mean
+// so MTTF/MTTR read directly off the spec. The zero value means "not
+// modeled".
+type Distribution struct {
+	Kind DistKind
+	// Mean is the distribution mean: MTTF for failure, MTTR for repair.
+	Mean time.Duration
+	// Shape is the Weibull shape parameter k (ignored for exponential).
+	Shape float64
+}
+
+// IsZero reports whether the distribution is unset.
+func (d Distribution) IsZero() bool { return d == Distribution{} }
+
+// Reliability validation errors.
+var (
+	ErrBadDistKind  = errors.New("device: unknown distribution kind")
+	ErrBadDistMean  = errors.New("device: distribution mean must be positive")
+	ErrBadDistShape = errors.New("device: weibull shape must be positive")
+	ErrHalfModeled  = errors.New("device: reliability needs both failure and repair distributions")
+)
+
+// Validate checks the distribution parameters. The zero value is valid
+// ("not modeled").
+func (d Distribution) Validate() error {
+	if d.IsZero() {
+		return nil
+	}
+	switch d.Kind {
+	case DistExponential:
+		if d.Shape != 0 && d.Shape != 1 {
+			return fmt.Errorf("%w: exponential takes no shape (got %g)", ErrBadDistShape, d.Shape)
+		}
+	case DistWeibull:
+		// The negated comparison also rejects NaN; infinities are finite-
+		// math hazards and don't survive JSON encoding either.
+		if !(d.Shape > 0) || math.IsInf(d.Shape, 1) {
+			return fmt.Errorf("%w: %g", ErrBadDistShape, d.Shape)
+		}
+	default:
+		return fmt.Errorf("%w: %d", ErrBadDistKind, int(d.Kind))
+	}
+	if d.Mean <= 0 {
+		return fmt.Errorf("%w: %v", ErrBadDistMean, d.Mean)
+	}
+	return nil
+}
+
+// scale returns the distribution's scale parameter: the rate inverse for
+// exponential, lambda for Weibull (mean = lambda * Gamma(1 + 1/k)).
+func (d Distribution) scale() float64 {
+	m := float64(d.Mean)
+	if d.Kind == DistWeibull {
+		return m / math.Gamma(1+1/d.Shape)
+	}
+	return m
+}
+
+// Sample draws one lifetime by inverse-CDF transform of a uniform
+// variate from r. Draws always consume exactly one uniform, so streams
+// stay aligned across distribution families. Draws beyond the range of
+// time.Duration (means of centuries hit this) saturate at the maximum
+// rather than overflowing.
+func (d Distribution) Sample(r *rand.Rand) time.Duration {
+	u := r.Float64() // in [0, 1); 1-u in (0, 1] keeps Log finite
+	e := -math.Log(1 - u)
+	if d.Kind == DistWeibull {
+		e = math.Pow(e, 1/d.Shape)
+	}
+	v := d.scale() * e
+	if v >= float64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(v)
+}
+
+// Reliability is a device's failure/repair model. The zero value means
+// the device is not rate-modeled; a Monte Carlo driver falls back to
+// DefaultReliability for its kind.
+type Reliability struct {
+	// Failure is the time-to-failure distribution (MTTF mean).
+	Failure Distribution
+	// Repair is the time-to-repair distribution (MTTR mean).
+	Repair Distribution
+}
+
+// IsZero reports whether no rate model is configured.
+func (r Reliability) IsZero() bool { return r == Reliability{} }
+
+// Validate checks both distributions; they must be configured together
+// (a failure process without a repair process never returns to service,
+// and vice versa has nothing to repair).
+func (r Reliability) Validate() error {
+	if r.IsZero() {
+		return nil
+	}
+	if r.Failure.IsZero() || r.Repair.IsZero() {
+		return ErrHalfModeled
+	}
+	if err := r.Failure.Validate(); err != nil {
+		return fmt.Errorf("failure: %w", err)
+	}
+	if err := r.Repair.Validate(); err != nil {
+		return fmt.Errorf("repair: %w", err)
+	}
+	return nil
+}
+
+// DefaultReliability returns the fallback rate model for a device kind,
+// used when a spec carries no Reliability of its own. The numbers are
+// deliberately round planning figures, not vendor datasheet values:
+// storage enclosures fail about once a year (component MTTFs are far
+// higher, but the enclosure aggregates hundreds of them) and repair in
+// a working day; network paths flap more often and recover faster;
+// transport (courier runs) rarely "fails" and takes a day to redo.
+func DefaultReliability(k Kind) Reliability {
+	switch k {
+	case KindInterconnect:
+		return Reliability{
+			Failure: Distribution{Kind: DistExponential, Mean: 13 * 7 * 24 * time.Hour},
+			Repair:  Distribution{Kind: DistExponential, Mean: 4 * time.Hour},
+		}
+	case KindTransport:
+		return Reliability{
+			Failure: Distribution{Kind: DistExponential, Mean: 26 * 7 * 24 * time.Hour},
+			Repair:  Distribution{Kind: DistExponential, Mean: 24 * time.Hour},
+		}
+	default: // KindStorage
+		return Reliability{
+			Failure: Distribution{Kind: DistWeibull, Mean: 52 * 7 * 24 * time.Hour, Shape: 1.5},
+			Repair:  Distribution{Kind: DistExponential, Mean: 8 * time.Hour},
+		}
+	}
+}
+
+// Rates returns the spec's reliability model, falling back to the
+// kind's default when none is configured.
+func (s *Spec) Rates() Reliability {
+	if !s.Reliability.IsZero() {
+		return s.Reliability
+	}
+	return DefaultReliability(s.Kind)
+}

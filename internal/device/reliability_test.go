@@ -1,0 +1,157 @@
+package device
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDistributionValidate(t *testing.T) {
+	week := 7 * 24 * time.Hour
+	cases := []struct {
+		name string
+		d    Distribution
+		want error
+	}{
+		{"zero ok", Distribution{}, nil},
+		{"exp ok", Distribution{Kind: DistExponential, Mean: week}, nil},
+		{"exp shape 1 ok", Distribution{Kind: DistExponential, Mean: week, Shape: 1}, nil},
+		{"weibull ok", Distribution{Kind: DistWeibull, Mean: week, Shape: 0.7}, nil},
+		{"bad kind", Distribution{Kind: 9, Mean: week}, ErrBadDistKind},
+		{"exp with shape", Distribution{Kind: DistExponential, Mean: week, Shape: 2}, ErrBadDistShape},
+		{"weibull no shape", Distribution{Kind: DistWeibull, Mean: week}, ErrBadDistShape},
+		{"weibull neg shape", Distribution{Kind: DistWeibull, Mean: week, Shape: -1}, ErrBadDistShape},
+		{"zero mean", Distribution{Kind: DistExponential}, ErrBadDistMean},
+		{"neg mean", Distribution{Kind: DistWeibull, Mean: -week, Shape: 2}, ErrBadDistMean},
+	}
+	for _, tc := range cases {
+		err := tc.d.Validate()
+		if tc.want == nil && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if tc.want != nil && !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestReliabilityValidate(t *testing.T) {
+	exp := Distribution{Kind: DistExponential, Mean: time.Hour}
+	if err := (Reliability{}).Validate(); err != nil {
+		t.Errorf("zero reliability should validate: %v", err)
+	}
+	if err := (Reliability{Failure: exp, Repair: exp}).Validate(); err != nil {
+		t.Errorf("full reliability should validate: %v", err)
+	}
+	if err := (Reliability{Failure: exp}).Validate(); !errors.Is(err, ErrHalfModeled) {
+		t.Errorf("failure-only: got %v, want ErrHalfModeled", err)
+	}
+	if err := (Reliability{Repair: exp}).Validate(); !errors.Is(err, ErrHalfModeled) {
+		t.Errorf("repair-only: got %v, want ErrHalfModeled", err)
+	}
+	bad := Reliability{Failure: Distribution{Kind: 9, Mean: time.Hour}, Repair: exp}
+	if err := bad.Validate(); !errors.Is(err, ErrBadDistKind) {
+		t.Errorf("bad failure dist: got %v, want ErrBadDistKind", err)
+	}
+}
+
+func TestSpecValidateRejectsBadReliability(t *testing.T) {
+	s := Spec{Name: "x", Kind: KindStorage,
+		Reliability: Reliability{Failure: Distribution{Kind: DistExponential, Mean: time.Hour}}}
+	if err := s.Validate(); !errors.Is(err, ErrHalfModeled) {
+		t.Fatalf("got %v, want ErrHalfModeled", err)
+	}
+}
+
+// TestSampleMean checks the inverse-CDF sampler reproduces the
+// configured mean for both families (law of large numbers; 3% slack at
+// 200k draws keeps the test deterministic for the fixed seed).
+func TestSampleMean(t *testing.T) {
+	const n = 200000
+	for _, d := range []Distribution{
+		{Kind: DistExponential, Mean: 100 * time.Hour},
+		{Kind: DistWeibull, Mean: 100 * time.Hour, Shape: 0.7},
+		{Kind: DistWeibull, Mean: 100 * time.Hour, Shape: 1.5},
+		{Kind: DistWeibull, Mean: 100 * time.Hour, Shape: 3},
+	} {
+		r := rand.New(rand.NewSource(1))
+		var sum float64
+		for i := 0; i < n; i++ {
+			v := d.Sample(r)
+			if v < 0 {
+				t.Fatalf("%v: negative sample %v", d, v)
+			}
+			sum += float64(v)
+		}
+		got := sum / n / float64(d.Mean)
+		if math.Abs(got-1) > 0.03 {
+			t.Errorf("%v: sample mean %.3f of configured mean", d, got)
+		}
+	}
+}
+
+// TestWeibullShapeSkew pins the qualitative bathtub behaviour: infant
+// mortality (shape < 1) front-loads failures relative to exponential,
+// wear-out (shape > 1) back-loads them, at matched means.
+func TestWeibullShapeSkew(t *testing.T) {
+	const n = 50000
+	early := func(d Distribution) float64 {
+		r := rand.New(rand.NewSource(7))
+		count := 0
+		for i := 0; i < n; i++ {
+			if d.Sample(r) < d.Mean/10 {
+				count++
+			}
+		}
+		return float64(count) / n
+	}
+	mean := 100 * time.Hour
+	infant := early(Distribution{Kind: DistWeibull, Mean: mean, Shape: 0.5})
+	exp := early(Distribution{Kind: DistExponential, Mean: mean})
+	wearout := early(Distribution{Kind: DistWeibull, Mean: mean, Shape: 3})
+	if !(infant > exp && exp > wearout) {
+		t.Errorf("early-failure fractions not ordered: infant %.3f, exp %.3f, wearout %.3f",
+			infant, exp, wearout)
+	}
+}
+
+func TestDefaultReliability(t *testing.T) {
+	for _, k := range []Kind{KindStorage, KindInterconnect, KindTransport} {
+		r := DefaultReliability(k)
+		if err := r.Validate(); err != nil {
+			t.Errorf("%v default invalid: %v", k, err)
+		}
+		if r.IsZero() {
+			t.Errorf("%v default is zero", k)
+		}
+	}
+}
+
+func TestSpecRates(t *testing.T) {
+	s := Spec{Name: "x", Kind: KindStorage}
+	if got := s.Rates(); got != DefaultReliability(KindStorage) {
+		t.Error("unset spec should fall back to kind default")
+	}
+	own := Reliability{
+		Failure: Distribution{Kind: DistExponential, Mean: time.Hour},
+		Repair:  Distribution{Kind: DistExponential, Mean: time.Minute},
+	}
+	s.Reliability = own
+	if got := s.Rates(); got != own {
+		t.Error("configured spec should return its own model")
+	}
+}
+
+func TestDistKindRoundTrip(t *testing.T) {
+	for _, k := range []DistKind{DistExponential, DistWeibull} {
+		got, err := ParseDistKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("round trip %v: got %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseDistKind("nope"); !errors.Is(err, ErrBadDistKind) {
+		t.Errorf("ParseDistKind(nope) = %v, want ErrBadDistKind", err)
+	}
+}

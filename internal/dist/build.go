@@ -229,6 +229,9 @@ func BuildObjective(spec ObjectiveSpec) (opt.Objective, opt.ObjectiveFloor, erro
 // evaluation count (the slice size: streaming search scores every
 // candidate exactly once) still reaches the merged total.
 func ExecuteJob(job *Job, progress *atomic.Int64) (*Result, error) {
+	if job.MC != nil {
+		return executeMC(job, progress)
+	}
 	base, err := config.Unmarshal(job.Design)
 	if err != nil {
 		return nil, fmt.Errorf("%w: design: %v", ErrBadJob, err)

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"stordep/internal/mc"
 	"stordep/internal/opt"
 )
 
@@ -306,6 +307,9 @@ func (c *Coordinator) nonVoters(st *runState, s int) int {
 // job must be unsharded (the coordinator owns the partitioning) and is
 // not mutated; each dispatch carries a copy with its shard assignment.
 func (c *Coordinator) Run(ctx context.Context, job *Job) (*opt.Solution, error) {
+	if job.MC != nil {
+		return nil, fmt.Errorf("%w: Monte Carlo jobs run through RunMC", ErrBadJob)
+	}
 	if job.Shard != (ShardSpec{}) {
 		return nil, fmt.Errorf("%w: coordinator job must be unsharded, got shard %d/%d",
 			ErrBadJob, job.Shard.Index, job.Shard.Count)
@@ -323,6 +327,45 @@ func (c *Coordinator) Run(ctx context.Context, job *Job) (*opt.Solution, error) 
 	if job.Budget > 0 && space > job.Budget {
 		return nil, fmt.Errorf("%w: %d combinations > budget %d", opt.ErrSpaceTooLarge, space, job.Budget)
 	}
+	results, err := c.dispatch(ctx, job, space)
+	if err != nil {
+		return nil, err
+	}
+	return MergeResults(results)
+}
+
+// RunMC partitions a Monte Carlo job's trial range across the fleet and
+// merges the shards' observations back into the full campaign's
+// sequence, in trial order, with each payload digest-validated. The
+// whole retry/speculation/K-way-validation machinery applies unchanged —
+// the engine's determinism makes honest trial shards byte-identical, so
+// cross-validation catches lying workers here exactly as it does for
+// search shards. Feed the result to mc.(*Campaign).Estimate (with the
+// same seed, trials and mission) for a report byte-identical to the
+// single-process campaign.
+func (c *Coordinator) RunMC(ctx context.Context, job *Job) ([]mc.Obs, error) {
+	if job.MC == nil {
+		return nil, fmt.Errorf("%w: RunMC needs a Monte Carlo job", ErrBadJob)
+	}
+	if err := job.MC.Validate(); err != nil {
+		return nil, err
+	}
+	if job.Shard != (ShardSpec{}) {
+		return nil, fmt.Errorf("%w: coordinator job must be unsharded, got shard %d/%d",
+			ErrBadJob, job.Shard.Index, job.Shard.Count)
+	}
+	results, err := c.dispatch(ctx, job, job.MC.Trials)
+	if err != nil {
+		return nil, err
+	}
+	return MergeMC(results, job.MC.Trials)
+}
+
+// dispatch is the generic validated-dispatch core shared by Run and
+// RunMC: partition a space of the given size into shards, drive every
+// shard to a validated result through the live worker fleet, and return
+// the per-shard results for the caller's merge.
+func (c *Coordinator) dispatch(ctx context.Context, job *Job, space int) ([]*Result, error) {
 	members := c.reg.Members()
 	if len(members) == 0 {
 		return nil, ErrNoWorkers
@@ -426,7 +469,7 @@ func (c *Coordinator) Run(ctx context.Context, job *Job) (*opt.Solution, error) 
 	for st.remaining > 0 && st.err == nil {
 		st.cond.Wait()
 	}
-	err = st.err
+	err := st.err
 	var results []*Result
 	if err == nil {
 		results = append(results, st.validated...)
@@ -437,7 +480,7 @@ func (c *Coordinator) Run(ctx context.Context, job *Job) (*opt.Solution, error) 
 	if err != nil {
 		return nil, err
 	}
-	return MergeResults(results)
+	return results, nil
 }
 
 // speculate watches for stragglers: shards whose oldest running attempt

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"stordep/internal/config"
+	"stordep/internal/mc"
 	"stordep/internal/opt"
 	"stordep/internal/units"
 )
@@ -96,6 +97,38 @@ type ObjectiveSpec struct {
 	RPO  string `json:"rpo,omitempty"`
 }
 
+// MCSpec turns a job into a Monte Carlo trial-sharding assignment
+// instead of a candidate-space search: the worker samples the trial
+// range its Shard selects (opt.Shard bounds semantics over Trials) from
+// the campaign the spec describes. Per-trial sub-seeds derive from Seed
+// alone, so any sharding reproduces the single-process trial sequence
+// byte-identically — which also means K-way cross-validation works
+// unchanged: honest shard answers are byte-identical and a disagreeing
+// vote is a lie.
+type MCSpec struct {
+	// Seed is the campaign seed.
+	Seed int64 `json:"seed"`
+	// Trials is the full campaign's trial count; the job's Shard selects
+	// the contiguous range this worker samples.
+	Trials int `json:"trials"`
+	// Mission is the per-trial mission window in the units duration
+	// syntax; empty means the engine default (one year).
+	Mission string `json:"mission,omitempty"`
+}
+
+// Validate checks the spec's parameters.
+func (s *MCSpec) Validate() error {
+	if s.Trials <= 0 {
+		return fmt.Errorf("%w: Monte Carlo job needs a positive trial count, got %d", ErrBadJob, s.Trials)
+	}
+	if s.Mission != "" {
+		if _, err := units.ParseDuration(s.Mission); err != nil {
+			return fmt.Errorf("%w: Monte Carlo mission: %v", ErrBadJob, err)
+		}
+	}
+	return nil
+}
+
 // Job is one self-contained shard assignment: everything a worker needs
 // to evaluate its slice of the candidate space.
 type Job struct {
@@ -122,6 +155,10 @@ type Job struct {
 	// per shard (at first dispatch) because the shard's Result depends on
 	// it — K-way validation votes must see identical jobs.
 	Incumbent float64 `json:"incumbent,omitempty"`
+	// MC, when set, makes this a Monte Carlo trial-sharding job: Knobs,
+	// Scenarios and Objective are absent and the worker samples trials
+	// instead of evaluating candidates.
+	MC *MCSpec `json:"mc,omitempty"`
 }
 
 // Encode marshals the job, stamping the current wire version.
@@ -150,11 +187,20 @@ func DecodeJob(data []byte) (*Job, error) {
 	if len(j.Design) == 0 {
 		return nil, fmt.Errorf("%w: missing design", ErrBadJob)
 	}
-	if len(j.Knobs) == 0 {
-		return nil, fmt.Errorf("%w: no knobs", ErrBadJob)
-	}
-	if len(j.Scenarios) == 0 {
-		return nil, fmt.Errorf("%w: no scenarios", ErrBadJob)
+	if j.MC != nil {
+		if err := j.MC.Validate(); err != nil {
+			return nil, err
+		}
+		if len(j.Knobs) != 0 || len(j.Scenarios) != 0 {
+			return nil, fmt.Errorf("%w: Monte Carlo job carries search knobs or scenarios", ErrBadJob)
+		}
+	} else {
+		if len(j.Knobs) == 0 {
+			return nil, fmt.Errorf("%w: no knobs", ErrBadJob)
+		}
+		if len(j.Scenarios) == 0 {
+			return nil, fmt.Errorf("%w: no scenarios", ErrBadJob)
+		}
 	}
 	if err := j.Shard.Shard().Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadJob, err)
@@ -199,6 +245,38 @@ type Result struct {
 	Choices        []ChoiceSpec `json:"choices,omitempty"`
 	// Design is the winning design in the internal/config schema.
 	Design json.RawMessage `json:"design,omitempty"`
+	// MC carries a Monte Carlo shard's observations (Feasible is false
+	// and CandidateIndex -1 — a trial shard has no candidate to win).
+	MC *MCResult `json:"mc,omitempty"`
+}
+
+// MCResult is one Monte Carlo shard's sampled observations.
+type MCResult struct {
+	// Lo, Hi is the half-open trial range sampled, in global trial
+	// indices of the campaign.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Obs holds the per-trial observations, in trial order.
+	Obs []mc.Obs `json:"obs"`
+	// Digest is mc.Digest(Obs). Decoders and merges recompute it, so a
+	// payload corrupted in transit (or truncated by a buggy worker) can
+	// never fold into an estimate.
+	Digest uint64 `json:"digest"`
+}
+
+// Validate checks the range shape and recomputes the payload digest.
+func (m *MCResult) Validate() error {
+	if m.Lo < 0 || m.Hi < m.Lo {
+		return fmt.Errorf("%w: Monte Carlo trial range [%d, %d)", ErrBadResult, m.Lo, m.Hi)
+	}
+	if len(m.Obs) != m.Hi-m.Lo {
+		return fmt.Errorf("%w: Monte Carlo shard carries %d observations for trial range [%d, %d)",
+			ErrBadResult, len(m.Obs), m.Lo, m.Hi)
+	}
+	if d := mc.Digest(m.Obs); d != m.Digest {
+		return fmt.Errorf("%w: Monte Carlo payload digest %x, observations hash to %x", ErrBadResult, m.Digest, d)
+	}
+	return nil
 }
 
 // Encode marshals the result, stamping the current wire version.
@@ -236,6 +314,14 @@ func DecodeResult(data []byte) (*Result, error) {
 		}
 	} else if r.CandidateIndex != -1 {
 		return nil, fmt.Errorf("%w: infeasible result with candidate index %d", ErrBadResult, r.CandidateIndex)
+	}
+	if r.MC != nil {
+		if r.Feasible {
+			return nil, fmt.Errorf("%w: Monte Carlo result marked feasible", ErrBadResult)
+		}
+		if err := r.MC.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	return &r, nil
 }

@@ -1,0 +1,557 @@
+// Package mc is the Monte Carlo dependability engine: where the paper's
+// framework reports worst-case recovery time and data loss for one
+// *specified* fault scenario, mc samples fault schedules from per-device
+// failure/repair distributions (device.Reliability) and disaster
+// arrivals from per-scope annual rates, replays each trial through the
+// retrieval-point simulator (internal/sim), and aggregates trials into
+// availability, durability and performance-availability "nines" with
+// confidence intervals — the failure-rate-space view the related
+// reliability literature works in, reported next to the analytic bounds.
+//
+// Determinism contract: every trial draws its streams from sub-seeds
+// derived via internal/rng from (campaign seed, trial index) alone, and
+// estimation is a sequential fold over observations in trial order, so
+// a campaign is byte-identical for any worker count and for any
+// distributed sharding that returns trial ranges in order.
+//
+// Cross-model invariant: every sampled trial checks its simulated loss
+// against the analytic worst-case bound for the sampled scenario —
+// chaos.AnalyticBound, the exact function the chaos engine defends,
+// including its documented skip rules — and its simulated recovery time
+// against the analytic worst-case assessment. Violations are counted in
+// the observations and surfaced in the report; tests pin them to zero.
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"stordep/internal/chaos"
+	"stordep/internal/core"
+	"stordep/internal/cost"
+	"stordep/internal/device"
+	"stordep/internal/failure"
+	"stordep/internal/hierarchy"
+	"stordep/internal/parallel"
+	"stordep/internal/recovery"
+	"stordep/internal/rng"
+	"stordep/internal/sim"
+	"stordep/internal/units"
+	"stordep/internal/whatif"
+)
+
+// DefaultMission is the steady-state observation window per trial. One
+// year keeps trials cheap and makes penalty sums read directly as
+// annual figures.
+const DefaultMission = units.Year
+
+// Campaign configures one Monte Carlo dependability campaign over a
+// single design.
+type Campaign struct {
+	// Design is the evaluated design. It is not mutated.
+	Design *core.Design
+	// Seed selects the campaign's random streams.
+	Seed int64
+	// Trials is the number of independent trials.
+	Trials int
+	// Workers bounds trial concurrency (anything < 1 means NumCPU).
+	// The result is byte-identical for every worker count.
+	Workers int
+	// Mission is the steady-state observation window per trial
+	// (DefaultMission when zero). Each trial simulates warm-up plus one
+	// mission window and observes only the window.
+	Mission time.Duration
+	// Rates maps failure scopes to annual event rates
+	// (whatif.TypicalFrequencies when nil).
+	Rates whatif.Frequencies
+}
+
+// Obs is one trial's observations — the unit of exchange between
+// workers, shards and the estimator. All aggregation happens in
+// Estimate's sequential fold, so Obs must capture everything a trial
+// contributes.
+type Obs struct {
+	// Events counts processed failure events.
+	Events int `json:"events"`
+	// Downtime is service downtime inside the mission window: the sum
+	// of per-event recovery times (capped at the window).
+	Downtime time.Duration `json:"downtime"`
+	// DegTime is the time protection was degraded: the union of level
+	// outages intersected with the mission window.
+	DegTime time.Duration `json:"degTime"`
+	// LossTime is the summed data-loss durations across events. An
+	// unrecoverable event charges the entire history at the failure
+	// instant (the age of the oldest update) rather than Forever, so
+	// expected costs stay finite and comparable.
+	LossTime time.Duration `json:"lossTime"`
+	// Lost reports an unrecoverable event: the trial's data did not
+	// survive the mission (a durability failure).
+	Lost bool `json:"lost,omitempty"`
+	// Penalty is the trial's summed penalty cost in dollars over the
+	// mission window (unavailability plus loss penalties at the
+	// design's rates).
+	Penalty float64 `json:"penalty"`
+	// BoundChecks / BoundSkips / BoundViolations are the cross-model
+	// invariant ledger: per event and surviving level, the simulated
+	// loss is compared against chaos.AnalyticBound, and the simulated
+	// recovery time against the analytic worst-case assessment. Skips
+	// are the bound's documented gaps (target past retention, covered
+	// band under outage).
+	BoundChecks     int `json:"boundChecks"`
+	BoundSkips      int `json:"boundSkips,omitempty"`
+	BoundViolations int `json:"boundViolations,omitempty"`
+}
+
+// Campaign validation errors.
+var (
+	ErrNoDesign  = errors.New("mc: campaign needs a design")
+	ErrBadTrials = errors.New("mc: trials must be positive")
+	ErrBadRange  = errors.New("mc: invalid trial range")
+)
+
+// Run samples every trial and estimates the dependability report.
+func (c *Campaign) Run() (*Report, error) {
+	obs, err := c.Sample(0, c.Trials)
+	if err != nil {
+		return nil, err
+	}
+	return c.Estimate(obs)
+}
+
+// Sample runs trials [lo, hi) and returns their observations in trial
+// order. Distributed shards each sample a contiguous range; because a
+// trial's streams depend only on (seed, trial), the concatenation of
+// range results is byte-identical to a single-process run.
+func (c *Campaign) Sample(lo, hi int) ([]Obs, error) {
+	if c.Trials <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadTrials, c.Trials)
+	}
+	if lo < 0 || hi < lo || hi > c.Trials {
+		return nil, fmt.Errorf("%w: [%d, %d) of %d", ErrBadRange, lo, hi, c.Trials)
+	}
+	r, err := c.runner()
+	if err != nil {
+		return nil, err
+	}
+	return parallel.Map(c.Workers, hi-lo, func(i int) (Obs, error) {
+		return r.trial(lo + i)
+	})
+}
+
+// runner is the per-campaign immutable state shared by all trials: the
+// built system, the mission window, and the device/level wiring.
+type runner struct {
+	c       *Campaign
+	sys     *core.System
+	chain   hierarchy.Chain
+	start   time.Duration // mission window start (post warm-up)
+	end     time.Duration // mission window end = simulation horizon
+	mission time.Duration
+	rates   whatif.Frequencies
+	// levelDevs maps each chain level (0-based) to the indexes into
+	// Design.Devices of the devices whose failure takes the level out.
+	levelDevs [][]int
+	// rel holds each sampled device's effective reliability model.
+	rel []device.Reliability
+	// sampled marks devices referenced by at least one level.
+	sampled []bool
+}
+
+func (c *Campaign) runner() (*runner, error) {
+	if c.Design == nil {
+		return nil, ErrNoDesign
+	}
+	sys, err := core.Build(c.Design)
+	if err != nil {
+		return nil, fmt.Errorf("mc: %w", err)
+	}
+	chain := sys.Chain()
+	s, err := sim.New(chain)
+	if err != nil {
+		return nil, fmt.Errorf("mc: %w", err)
+	}
+	mission := c.Mission
+	if mission <= 0 {
+		mission = DefaultMission
+	}
+	rates := c.Rates
+	if rates == nil {
+		rates = whatif.TypicalFrequencies()
+	}
+	r := &runner{
+		c:       c,
+		sys:     sys,
+		chain:   chain,
+		start:   chaos.CeilMinute(s.WarmUp()),
+		mission: mission,
+		rates:   rates,
+		rel:     make([]device.Reliability, len(c.Design.Devices)),
+		sampled: make([]bool, len(c.Design.Devices)),
+	}
+	r.end = r.start + mission
+	index := make(map[string]int, len(c.Design.Devices))
+	for i, pd := range c.Design.Devices {
+		index[pd.Spec.Name] = i
+		r.rel[i] = pd.Spec.Rates()
+	}
+	for _, tech := range c.Design.Levels {
+		var devs []int
+		for _, name := range levelDeviceNames(tech) {
+			if i, ok := index[name]; ok {
+				devs = append(devs, i)
+				r.sampled[i] = true
+			}
+		}
+		r.levelDevs = append(r.levelDevs, devs)
+	}
+	return r, nil
+}
+
+// levelDeviceNames lists the devices whose failure takes a level's
+// protection out of service: the copy device(s) holding its RPs and the
+// interconnect/transport crossed to reach them. The read device only
+// matters at restore time, not for RP propagation.
+func levelDeviceNames(tech interface {
+	CopyDevice() string
+	TransportDevice() string
+}) []string {
+	var names []string
+	if ms, ok := tech.(interface{ CopyDevices() []string }); ok {
+		names = append(names, ms.CopyDevices()...)
+	} else if d := tech.CopyDevice(); d != "" {
+		names = append(names, d)
+	}
+	if d := tech.TransportDevice(); d != "" {
+		names = append(names, d)
+	}
+	return names
+}
+
+// interval is one closed-open down period.
+type interval struct{ from, to time.Duration }
+
+// trial runs one trial and returns its observations.
+func (r *runner) trial(trial int) (Obs, error) {
+	tseed := rng.SubSeed(r.c.Seed, trial)
+
+	// 1. Per-device down intervals. Each sampled device draws from its
+	// own sub-stream (seeded by device index), so adding or removing an
+	// unrelated device leaves other devices' schedules unchanged.
+	downs := make([][]interval, len(r.rel))
+	for di := range r.rel {
+		if !r.sampled[di] {
+			continue
+		}
+		downs[di] = sampleDevice(rng.Run(tseed, di), r.rel[di], r.end)
+	}
+
+	// 2. Level outages: the union of the level's devices' down periods.
+	// A failed device aborts in-flight transfers — RPs mid-propagation
+	// when the device dies are destroyed, and the analytic side charges
+	// the level's transfer lag on top (chaos.EffectiveOutages).
+	var outs []sim.Outage
+	for li, devs := range r.levelDevs {
+		var ivs []interval
+		for _, di := range devs {
+			ivs = append(ivs, downs[di]...)
+		}
+		for _, iv := range mergeIntervals(ivs) {
+			outs = append(outs, sim.Outage{Level: li + 1, From: iv.from, To: iv.to, AbortInFlight: true})
+		}
+	}
+
+	// 3. Disaster arrivals: a Poisson process per failure scope over the
+	// mission window, each scope on its own sub-stream (negative index
+	// space, disjoint from the device streams).
+	// Gaps are drawn in float64 year space — rare scopes have mean gaps
+	// of centuries, which overflow time.Duration — and only in-window
+	// arrivals are converted back to instants.
+	var evs []event
+	missionYears := float64(r.mission) / float64(units.Year)
+	for si, scope := range failure.Scopes() {
+		freq := r.rates[scope]
+		if freq <= 0 {
+			continue
+		}
+		er := rng.Run(tseed, -1-si)
+		for t := expGap(er, freq); t < missionYears; t += expGap(er, freq) {
+			at := chaos.CeilMinute(r.start + time.Duration(t*float64(units.Year)))
+			if at >= r.end {
+				break
+			}
+			evs = append(evs, event{at: at, scope: scope})
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+
+	// 4. Replay the trial's RP history under its outage schedule.
+	s, err := sim.New(r.chain)
+	if err != nil {
+		return Obs{}, fmt.Errorf("mc: trial %d: %w", trial, err)
+	}
+	for _, o := range outs {
+		if err := s.AddOutage(o); err != nil {
+			return Obs{}, fmt.Errorf("mc: trial %d: %w", trial, err)
+		}
+	}
+	if err := s.Run(r.end); err != nil {
+		return Obs{}, fmt.Errorf("mc: trial %d: %w", trial, err)
+	}
+
+	var o Obs
+	o.DegTime = unionWithin(outs, r.start, r.end)
+
+	// 5. Measure each failure event. Analytic context is cached per
+	// scope/age — it depends on the trial's schedule, not the event
+	// instant.
+	effOuts := chaos.EffectiveOutages(r.chain, outs)
+	req := r.c.Design.Requirements
+	actx := make(map[failure.Scope]*eventContext, 4)
+	bounds := make(map[boundKey]boundVal, 2*len(r.chain))
+	one := make([]int, 1)
+	for _, ev := range evs {
+		sc := scenarioFor(ev.scope)
+		ctx := r.context(sc, effOuts, actx)
+		o.Events++
+
+		// Cross-model invariant: per surviving level, simulated loss
+		// must respect the analytic bound (same function, same skip
+		// rules as the chaos engine).
+		for _, j := range ctx.surviving {
+			key := boundKey{level: j, age: sc.TargetAge}
+			b, seen := bounds[key]
+			if !seen {
+				b.bound, b.ok = chaos.AnalyticBound(r.chain, outs, j, sc.TargetAge)
+				bounds[key] = b
+			}
+			if !b.ok {
+				o.BoundSkips++
+				continue
+			}
+			one[0] = j
+			loss, _, lok := s.Loss(one, ev.at, sc.TargetAge)
+			if !lok {
+				continue
+			}
+			o.BoundChecks++
+			if loss > b.bound {
+				o.BoundViolations++
+			}
+		}
+
+		loss, _, ok := s.Loss(ctx.surviving, ev.at, sc.TargetAge)
+		if !ok {
+			// Unrecoverable: a durability failure. The service is down
+			// for the rest of the mission and the whole history at the
+			// failure instant is charged as loss (kept finite so
+			// expected costs stay comparable across candidates).
+			o.Lost = true
+			o.LossTime += ev.at
+			o.Downtime += r.end - ev.at
+			o.Penalty += float64(req.UnavailPenaltyRate.Over(r.end-ev.at) + req.LossPenaltyRate.Over(ev.at))
+			break
+		}
+		o.LossTime += loss
+		rt := r.eventRT(s, ctx, sc, ev.at)
+		if rt > ctx.rtBound {
+			// By construction (data-bearing steps are scaled to at most
+			// the simulated restore volume) this cannot fire while the
+			// analytic assessment is finite; the ledger records it
+			// anyway so the invariant is observable, not assumed.
+			o.BoundViolations++
+		} else if ctx.rtBound < units.Forever {
+			o.BoundChecks++
+		}
+		if rt > r.end-ev.at {
+			rt = r.end - ev.at // recovery runs past the mission window
+		}
+		o.Downtime += rt
+		o.Penalty += float64(cost.Assess(req, rt, loss).Total())
+	}
+	if o.Downtime > r.mission {
+		o.Downtime = r.mission
+	}
+	return o, nil
+}
+
+type event struct {
+	at    time.Duration
+	scope failure.Scope
+}
+
+// expGap draws one exponential inter-arrival gap in years for a process
+// with the given annual rate.
+func expGap(r *rand.Rand, ratePerYear float64) float64 {
+	return -math.Log(1-r.Float64()) / ratePerYear
+}
+
+type boundKey struct {
+	level int
+	age   time.Duration
+}
+
+type boundVal struct {
+	bound time.Duration
+	ok    bool
+}
+
+// eventContext caches the analytic context for one scope under one
+// trial's schedule: surviving levels, the worst-case recovery plan, and
+// the analytic recovery-time bound.
+type eventContext struct {
+	surviving []int
+	// steps is the analytic recovery path (nil when the analytic model
+	// deems the scenario unrecoverable even healthy).
+	steps []recovery.Step
+	// analyticSize is the worst-case restore volume the analytic plan
+	// charges on data-bearing steps.
+	rtBound time.Duration
+}
+
+// scenarioFor maps a sampled scope to the measured scenario, using the
+// paper's case-study recovery goals: object corruption rolls back 24
+// hours and restores 1 MB; hardware scopes restore everything to "now".
+func scenarioFor(scope failure.Scope) failure.Scenario {
+	sc := failure.Scenario{Name: scope.String(), Scope: scope}
+	if scope == failure.ScopeObject {
+		sc.TargetAge = 24 * time.Hour
+		sc.RecoverSize = units.MB
+	}
+	return sc
+}
+
+// context resolves (and caches) the analytic context for a scope. The
+// recovery-time bound is the degraded analytic assessment under the
+// trial's effective outages; when that is unrecoverable the healthy
+// assessment stands in (the degraded model's inflated outage totals can
+// push every level past conservative retention even though RPs exist —
+// the same optimism gap the chaos engine documents), and when even the
+// healthy model cannot recover, recovery time is unbounded.
+func (r *runner) context(sc failure.Scenario, effOuts []hierarchy.LevelOutage, cache map[failure.Scope]*eventContext) *eventContext {
+	if ctx, ok := cache[sc.Scope]; ok {
+		return ctx
+	}
+	ctx := &eventContext{surviving: r.sys.SurvivingLevels(sc), rtBound: units.Forever}
+	a, err := r.sys.AssessDegradedCompound(sc, effOuts)
+	if err != nil || a.WholeObjectLost || a.RecoveryTime == units.Forever {
+		a, err = r.sys.Assess(sc)
+		if err != nil || a.WholeObjectLost || a.RecoveryTime == units.Forever {
+			a = nil
+		}
+	}
+	if a != nil {
+		ctx.steps = a.Plan.Steps
+		ctx.rtBound = a.RecoveryTime
+	}
+	cache[sc.Scope] = ctx
+	return ctx
+}
+
+// eventRT estimates the event's recovery time: the analytic worst-case
+// recovery path with its data-bearing steps scaled down to the restore
+// volume the simulator actually needs (full base plus unique bytes
+// since the serving RP's base full). The scaling is min(), so the
+// estimate never exceeds the analytic worst case; when the analytic
+// model is unrecoverable the event charges the rest of the window.
+func (r *runner) eventRT(s *sim.Simulator, ctx *eventContext, sc failure.Scenario, at time.Duration) time.Duration {
+	if ctx.steps == nil {
+		return units.Forever
+	}
+	vol := units.ByteSize(-1)
+	if plan, ok := s.Plan(ctx.surviving, at, sc.TargetAge); ok {
+		vol = plan.Volume(r.c.Design.Workload)
+	}
+	var rt time.Duration
+	for _, st := range ctx.steps {
+		if vol >= 0 && st.Size > vol {
+			st.Size = vol
+		}
+		if st.ParFix > rt {
+			rt = st.ParFix
+		}
+		d := st.Duration()
+		if d == units.Forever {
+			return units.Forever
+		}
+		rt += d
+	}
+	return rt
+}
+
+// sampleDevice draws one device's down intervals over [0, horizon) as
+// an alternating renewal process: up times from the failure
+// distribution, down times from the repair distribution, quantized to
+// whole minutes (the resolution every schedule generator in this repo
+// emits). The stream consumes two draws per cycle regardless of
+// parameters, so device streams stay aligned across candidate designs
+// sharing a fleet (common random numbers).
+func sampleDevice(r *rand.Rand, rel device.Reliability, horizon time.Duration) []interval {
+	var out []interval
+	var t time.Duration
+	for {
+		t += rel.Failure.Sample(r)
+		if t >= horizon {
+			return out
+		}
+		from := chaos.CeilMinute(t)
+		down := chaos.Quantize(rel.Repair.Sample(r))
+		t += down
+		to := from + down
+		if from >= horizon {
+			return out
+		}
+		if to > horizon {
+			to = horizon
+		}
+		if to > from {
+			out = append(out, interval{from: from, to: to})
+		}
+	}
+}
+
+// mergeIntervals sorts and merges overlapping or touching intervals.
+func mergeIntervals(ivs []interval) []interval {
+	if len(ivs) <= 1 {
+		return ivs
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].from < ivs[j].from })
+	merged := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &merged[len(merged)-1]
+		if iv.from <= last.to {
+			if iv.to > last.to {
+				last.to = iv.to
+			}
+			continue
+		}
+		merged = append(merged, iv)
+	}
+	return merged
+}
+
+// unionWithin returns the total time any outage is active within
+// [from, to).
+func unionWithin(outs []sim.Outage, from, to time.Duration) time.Duration {
+	ivs := make([]interval, 0, len(outs))
+	for _, o := range outs {
+		f, t := o.From, o.To
+		if f < from {
+			f = from
+		}
+		if t > to {
+			t = to
+		}
+		if t > f {
+			ivs = append(ivs, interval{from: f, to: t})
+		}
+	}
+	var sum time.Duration
+	for _, iv := range mergeIntervals(ivs) {
+		sum += iv.to - iv.from
+	}
+	return sum
+}

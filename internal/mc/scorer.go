@@ -1,0 +1,29 @@
+package mc
+
+import (
+	"stordep/internal/core"
+	"stordep/internal/units"
+)
+
+// Scorer returns an expected-cost scoring function over candidate
+// designs, assignable to opt.Scorer: each candidate is scored by a
+// campaign with this campaign's seed, trial budget, mission and worker
+// pool, and the score is the expected annual cost (outlay plus expected
+// annualized penalties). Sharing the seed across candidates is common
+// random numbers: every candidate faces the identical sampled fault
+// schedules (per-trial sub-seeds depend only on seed and trial index,
+// and device streams are indexed, not order-of-draw), so the sampling
+// noise is strongly correlated across candidates and mostly cancels out
+// of the comparison — a far smaller trial budget separates close
+// designs than independent sampling would need.
+func (c *Campaign) Scorer() func(*core.Design) (units.Money, error) {
+	return func(d *core.Design) (units.Money, error) {
+		cand := *c
+		cand.Design = d
+		rep, err := cand.Run()
+		if err != nil {
+			return 0, err
+		}
+		return rep.ExpectedCost(), nil
+	}
+}

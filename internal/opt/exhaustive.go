@@ -53,6 +53,12 @@ func (s Shard) Validate() error {
 	return nil
 }
 
+// Bounds returns the half-open global-index range [lo, hi) this shard
+// covers over a space of the given size. Exported so other sharded
+// fan-outs (internal/dist's Monte Carlo trial ranges) partition exactly
+// like the candidate search does.
+func (s Shard) Bounds(space int) (lo, hi int) { return s.bounds(space) }
+
 // bounds returns the half-open global-index range [lo, hi) this shard
 // covers. Shards are contiguous and balanced: the first space%Count
 // shards get one extra candidate. Computed additively so no intermediate

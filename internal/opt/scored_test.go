@@ -1,0 +1,93 @@
+package opt
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"stordep/internal/casestudy"
+	"stordep/internal/core"
+	"stordep/internal/units"
+	"stordep/internal/whatif"
+)
+
+// analyticScorer wraps the analytic expected-cost evaluation as a
+// Scorer, so TuneScored can be checked against TuneWorkers on the same
+// objective: both descents must land on the identical solution.
+func analyticScorer(count *int) Scorer {
+	freqs := whatif.TypicalFrequencies()
+	scs := scenarios()
+	return func(d *core.Design) (units.Money, error) {
+		*count++
+		return whatif.ExpectedAnnualCost(whatif.EvaluateOne(d, scs), freqs), nil
+	}
+}
+
+func TestTuneScoredMatchesTuneWorkers(t *testing.T) {
+	var calls int
+	scored, err := TuneScored(casestudy.Baseline(), table7Knobs(), analyticScorer(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Tune(casestudy.Baseline(), table7Knobs(), scenarios(),
+		ExpectedObjective(whatif.TypicalFrequencies()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scored.Score != want.Score {
+		t.Errorf("score %v, objective descent found %v", scored.Score, want.Score)
+	}
+	if !reflect.DeepEqual(scored.Choices, want.Choices) {
+		t.Errorf("choices %v, want %v", scored.Choices, want.Choices)
+	}
+	if scored.CandidateIndex != -1 {
+		t.Errorf("coordinate descent has no candidate index, got %d", scored.CandidateIndex)
+	}
+	// The memo means every distinct choice vector is scored exactly once.
+	if calls != scored.Evaluations {
+		t.Errorf("scorer called %d times, solution reports %d evaluations", calls, scored.Evaluations)
+	}
+	if scored.MemoHits == 0 {
+		t.Error("descent revisited no incumbent (memo never hit)")
+	}
+}
+
+func TestTuneScoredDeterministic(t *testing.T) {
+	run := func() *Solution {
+		var calls int
+		sol, err := TuneScored(casestudy.Baseline(), table7Knobs(), analyticScorer(&calls))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol.Design = nil // compare the decision record, not the pointer graph
+		return sol
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Errorf("two identical descents disagree: %+v vs %+v", a, b)
+	}
+}
+
+func TestTuneScoredErrors(t *testing.T) {
+	base := casestudy.Baseline()
+	if _, err := TuneScored(base, table7Knobs(), nil); !errors.Is(err, ErrBadKnob) {
+		t.Errorf("nil scorer: %v", err)
+	}
+	if _, err := TuneScored(base, nil, analyticScorer(new(int))); !errors.Is(err, ErrNoKnobs) {
+		t.Errorf("no knobs: %v", err)
+	}
+	if _, err := TuneScored(base, []Knob{{Name: "broken"}}, analyticScorer(new(int))); !errors.Is(err, ErrBadKnob) {
+		t.Errorf("malformed knob: %v", err)
+	}
+	boom := errors.New("scorer boom")
+	if _, err := TuneScored(base, table7Knobs(), func(*core.Design) (units.Money, error) {
+		return 0, boom
+	}); !errors.Is(err, boom) {
+		t.Errorf("scorer error swallowed: %v", err)
+	}
+	if _, err := TuneScored(base, table7Knobs(), func(*core.Design) (units.Money, error) {
+		return units.Money(math.Inf(1)), nil
+	}); !errors.Is(err, ErrNoFeasible) {
+		t.Errorf("all-infeasible: %v", err)
+	}
+}

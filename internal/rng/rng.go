@@ -1,0 +1,30 @@
+// Package rng holds the seed-splitting scheme shared by the campaign
+// engines (internal/chaos, internal/mc). Both derive an independent
+// deterministic stream per run/trial from one campaign seed; keeping
+// the derivation in a single place guarantees the two engines can never
+// drift apart, and that committed digests stay replayable.
+package rng
+
+import "math/rand"
+
+// SplitMix64 is the SplitMix64 finalizing mixer (Steele, Lea & Flood).
+// It decorrelates adjacent inputs, so consecutive run indices hash to
+// unrelated seeds.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SubSeed derives the sub-seed for one run of a campaign. The mixing of
+// run before the xor keeps low run indices (0, 1, 2, ...) from carving
+// predictable low-bit patterns into the campaign seed.
+func SubSeed(seed int64, run int) int64 {
+	return int64(SplitMix64(uint64(seed) ^ SplitMix64(uint64(run))))
+}
+
+// Run returns the deterministic random stream for one campaign run.
+func Run(seed int64, run int) *rand.Rand {
+	return rand.New(rand.NewSource(SubSeed(seed, run)))
+}

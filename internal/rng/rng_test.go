@@ -1,0 +1,58 @@
+package rng
+
+import "testing"
+
+// TestSplitMix64Reference pins the mixer against published SplitMix64
+// reference outputs (the first three outputs of the generator seeded
+// with 0 are the mixer applied to 1x, 2x, 3x the golden gamma).
+func TestSplitMix64Reference(t *testing.T) {
+	const gamma = 0x9e3779b97f4a7c15
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+	}
+	for i, w := range want {
+		// The reference generator advances state by gamma then mixes;
+		// SplitMix64 here adds gamma itself, so feed (i)*gamma.
+		if got := SplitMix64(uint64(i) * gamma); got != w {
+			t.Errorf("SplitMix64(%d*gamma) = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestSubSeedDeterministic(t *testing.T) {
+	if SubSeed(3, 7) != SubSeed(3, 7) {
+		t.Fatal("SubSeed not deterministic")
+	}
+	if SubSeed(3, 7) == SubSeed(3, 8) {
+		t.Error("adjacent runs share a sub-seed")
+	}
+	if SubSeed(3, 7) == SubSeed(4, 7) {
+		t.Error("adjacent seeds share a sub-seed")
+	}
+}
+
+func TestRunStreamsIndependent(t *testing.T) {
+	a, b := Run(3, 7), Run(3, 7)
+	for i := 0; i < 16; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("Run not deterministic")
+		}
+	}
+	if Run(3, 7).Int63() == Run(3, 8).Int63() && Run(3, 7).Int63() == Run(4, 7).Int63() {
+		t.Error("streams for different (seed, run) pairs should differ")
+	}
+}
+
+// TestSubSeedSpread checks the derivation doesn't collapse many runs of
+// one campaign onto few distinct seeds.
+func TestSubSeedSpread(t *testing.T) {
+	seen := make(map[int64]bool)
+	for run := 0; run < 10000; run++ {
+		seen[SubSeed(42, run)] = true
+	}
+	if len(seen) != 10000 {
+		t.Fatalf("collisions: %d distinct sub-seeds for 10000 runs", len(seen))
+	}
+}
