@@ -7,6 +7,7 @@
 //
 //	chaos -seed 1 -runs 100 -repro-dir out/
 //	chaos -multi -seed 1 -runs 100 -repro-dir out/
+//	chaos -multi -correlated -seed 1 -runs 100 -repro-dir out/
 //	chaos -replay out/repro-seed1-run42.json
 package main
 
@@ -27,9 +28,10 @@ func main() {
 	replay := flag.String("replay", "", "replay a repro JSON file (single or multi) instead of running a campaign")
 	workers := flag.Int("workers", 0, "concurrent campaign runs (0 = all CPUs); any worker count replays the same digest")
 	multi := flag.Bool("multi", false, "generate multi-object designs with recovery dependencies over a shared fleet")
+	correlated := flag.Bool("correlated", false, "draw correlated failure events and operator faults (implies -multi)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *seed, *runs, *reproDir, *replay, *workers, *multi); err != nil {
+	if err := run(os.Stdout, *seed, *runs, *reproDir, *replay, *workers, *multi, *correlated); err != nil {
 		// Package errors already carry the "chaos:" prefix; flag errors
 		// name their flag.
 		fmt.Fprintln(os.Stderr, err)
@@ -41,7 +43,7 @@ func main() {
 // summary has been printed.
 var errViolations = errors.New("invariant violations found")
 
-func run(w io.Writer, seed int64, runs int, reproDir, replay string, workers int, multi bool) error {
+func run(w io.Writer, seed int64, runs int, reproDir, replay string, workers int, multi, correlated bool) error {
 	if replay != "" {
 		return replayFile(w, replay)
 	}
@@ -51,7 +53,7 @@ func run(w io.Writer, seed int64, runs int, reproDir, replay string, workers int
 	if workers < 0 {
 		return fmt.Errorf("-workers must be non-negative, got %d", workers)
 	}
-	c := &chaos.Campaign{Seed: seed, Runs: runs, ReproDir: reproDir, Workers: workers, Multi: multi}
+	c := &chaos.Campaign{Seed: seed, Runs: runs, ReproDir: reproDir, Workers: workers, Multi: multi, Correlated: correlated}
 	sum, err := c.Run()
 	if err != nil {
 		return err

@@ -19,7 +19,7 @@ import (
 
 func TestRunCampaign(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, 1, 10, "", "", 0, false); err != nil {
+	if err := run(&buf, 1, 10, "", "", 0, false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -32,10 +32,10 @@ func TestRunCampaign(t *testing.T) {
 
 func TestRunDeterministicOutput(t *testing.T) {
 	var a, b strings.Builder
-	if err := run(&a, 4, 6, "", "", 1, false); err != nil {
+	if err := run(&a, 4, 6, "", "", 1, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, 4, 6, "", "", 8, false); err != nil {
+	if err := run(&b, 4, 6, "", "", 8, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {
@@ -45,17 +45,17 @@ func TestRunDeterministicOutput(t *testing.T) {
 
 func TestRunRejectsBadRuns(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, 1, 0, "", "", 0, false); err == nil {
+	if err := run(&buf, 1, 0, "", "", 0, false, false); err == nil {
 		t.Error("zero runs accepted")
 	}
-	if err := run(&buf, 1, -5, "", "", 0, false); err == nil {
+	if err := run(&buf, 1, -5, "", "", 0, false, false); err == nil {
 		t.Error("negative runs accepted")
 	}
 }
 
 func TestRunRejectsNegativeWorkers(t *testing.T) {
 	var buf strings.Builder
-	err := run(&buf, 1, 10, "", "", -2, false)
+	err := run(&buf, 1, 10, "", "", -2, false, false)
 	if err == nil || !strings.Contains(err.Error(), "-workers") {
 		t.Errorf("negative workers: err = %v", err)
 	}
@@ -75,7 +75,7 @@ func TestReplayCleanRepro(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf strings.Builder
-	if err := run(&buf, 0, 0, "", path, 0, false); err != nil {
+	if err := run(&buf, 0, 0, "", path, 0, false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -86,7 +86,7 @@ func TestReplayCleanRepro(t *testing.T) {
 
 func TestRunMultiCampaign(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, 1, 8, "", "", 0, true); err != nil {
+	if err := run(&buf, 1, 8, "", "", 0, true, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -99,10 +99,10 @@ func TestRunMultiCampaign(t *testing.T) {
 
 func TestRunMultiDeterministicOutput(t *testing.T) {
 	var a, b strings.Builder
-	if err := run(&a, 4, 6, "", "", 1, true); err != nil {
+	if err := run(&a, 4, 6, "", "", 1, true, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, 4, 6, "", "", 8, true); err != nil {
+	if err := run(&b, 4, 6, "", "", 8, true, false); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {
@@ -164,7 +164,7 @@ func TestReplayMultiRepro(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf strings.Builder
-	if err := run(&buf, 0, 0, "", path, 0, false); err != nil {
+	if err := run(&buf, 0, 0, "", path, 0, false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -176,7 +176,7 @@ func TestReplayMultiRepro(t *testing.T) {
 
 func TestReplayMissingFile(t *testing.T) {
 	var buf strings.Builder
-	if err := run(&buf, 0, 0, "", filepath.Join(t.TempDir(), "nope.json"), 0, false); err == nil {
+	if err := run(&buf, 0, 0, "", filepath.Join(t.TempDir(), "nope.json"), 0, false, false); err == nil {
 		t.Error("missing replay file accepted")
 	}
 }

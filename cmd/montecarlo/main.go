@@ -12,6 +12,9 @@
 //	montecarlo -trials 10000        # tighter confidence intervals
 //	montecarlo -seed 7 -workers 4   # any worker count: identical output
 //	montecarlo -mission 2yr         # longer mission window per trial
+//	montecarlo -wrong-recovery 2 -silent-nonwrite 2 -common-outage 1
+//	                                # sample operator faults / correlated
+//	                                # outages at annual rates
 //
 // Every campaign is deterministic in (seed, trials, mission): per-trial
 // sub-seeds derive from the seed alone, so worker counts and trial
@@ -42,6 +45,7 @@ type options struct {
 	seed    int64
 	workers int
 	mission string
+	op      mc.OpRates
 }
 
 func main() {
@@ -54,6 +58,9 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "campaign seed; output is a pure function of (seed, trials, mission)")
 	flag.IntVar(&o.workers, "workers", 0, "trial workers (0 = all CPUs); any count gives identical output")
 	flag.StringVar(&o.mission, "mission", "", "mission window per trial (e.g. 26wk, 2yr; default 1yr)")
+	flag.Float64Var(&o.op.WrongRecovery, "wrong-recovery", 0, "annual rate of wrong-recovery operator faults (0 = off)")
+	flag.Float64Var(&o.op.SilentNonWrite, "silent-nonwrite", 0, "annual rate of silent non-write windows (0 = off)")
+	flag.Float64Var(&o.op.CommonOutage, "common-outage", 0, "annual rate of correlated all-level outages (0 = off)")
 	flag.Parse()
 
 	if err := run(os.Stdout, o); err != nil {
@@ -102,6 +109,7 @@ func run(w io.Writer, o options) error {
 			Trials:  o.trials,
 			Workers: o.workers,
 			Mission: mission,
+			Op:      o.op,
 		}
 		rep, err := camp.Run()
 		if err != nil {

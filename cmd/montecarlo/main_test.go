@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"stordep/internal/mc"
 )
 
 func TestRunSingleDesign(t *testing.T) {
@@ -56,6 +58,23 @@ func TestRunAllDesigns(t *testing.T) {
 	}
 	if n := strings.Count(out, "analytic worst case"); n < 4 {
 		t.Errorf("expected the full case-study family, saw %d designs", n)
+	}
+}
+
+// TestRunOpRates: the operator-fault flags reach the campaign and the
+// report grows the op lines.
+func TestRunOpRates(t *testing.T) {
+	var buf strings.Builder
+	o := options{design: "Baseline", trials: 30, seed: 9,
+		op: mc.OpRates{WrongRecovery: 2, SilentNonWrite: 2, CommonOutage: 1}}
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"operator faults", "correlated outages", "availability-ex-op", "violations 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -84,6 +84,11 @@ type Campaign struct {
 	// per-object battery plus the service-level invariants, and
 	// multi-design repro files.
 	Multi bool
+	// Correlated (implies Multi) additionally draws correlated failure
+	// events — shared-device, region-scope, common-trigger corruption —
+	// and operator faults, and runs the correlation-consistency and
+	// detection-coverage invariants.
+	Correlated bool
 }
 
 // Summary aggregates a campaign's results.
@@ -100,6 +105,12 @@ type Summary struct {
 	SkippedBounds int
 	// Violations lists every failed check, in run order.
 	Violations []Violation
+	// OpDetected and OpEscapes count operator faults whose effect
+	// surfaced through the detection-coverage machinery vs faults that
+	// stayed inside the worst-case envelope (model-soundness escapes,
+	// flagged but not violations). Zero outside correlated campaigns.
+	OpDetected int
+	OpEscapes  int
 	// Digest fingerprints the whole campaign (designs, schedules and
 	// per-run observations); identical seeds must reproduce it exactly.
 	Digest uint64
@@ -121,6 +132,9 @@ func (s *Summary) String() string {
 	}
 	fmt.Fprintf(&b, "  invariant checks:  %s\n", strings.Join(parts, " "))
 	fmt.Fprintf(&b, "  bounds skipped:    %d\n", s.SkippedBounds)
+	if s.OpDetected+s.OpEscapes > 0 {
+		fmt.Fprintf(&b, "  op faults:         %d detected, %d escapes\n", s.OpDetected, s.OpEscapes)
+	}
 	fmt.Fprintf(&b, "  violations:        %d\n", len(s.Violations))
 	for _, v := range s.Violations {
 		fmt.Fprintf(&b, "    run %d [%s]: %s", v.Run, v.Invariant, v.Detail)
@@ -164,8 +178,8 @@ func (c *Campaign) Run() (*Summary, error) {
 		resamples int
 	}
 	outcomes, err := parallel.Map(c.Workers, c.Runs, func(run int) (runOutcome, error) {
-		if c.Multi {
-			mcs, resamples := genMultiCase(runRNG(c.Seed, run), run, attempts)
+		if c.Multi || c.Correlated {
+			mcs, resamples := genMultiCase(runRNG(c.Seed, run), run, attempts, c.Correlated)
 			res, err := checkMultiCase(mcs)
 			if err != nil {
 				return runOutcome{}, fmt.Errorf("chaos: run %d (%s): %w", run, mcs.Design.Name, err)
@@ -191,6 +205,8 @@ func (c *Campaign) Run() (*Summary, error) {
 			sum.Checks[name] += n
 		}
 		sum.SkippedBounds += res.skipped
+		sum.OpDetected += res.opDetected
+		sum.OpEscapes += res.opEscapes
 		fmt.Fprintf(digest, "run %d %s\n", run, res.digest)
 		if len(res.violations) == 0 {
 			continue
@@ -205,7 +221,7 @@ func (c *Campaign) Run() (*Summary, error) {
 			}
 			reproPath = filepath.Join(c.ReproDir, fmt.Sprintf("repro-seed%d-run%d.json", c.Seed, run))
 			var saveErr error
-			if c.Multi {
+			if out.mcs != nil {
 				shrunk := shrinkMultiCase(out.mcs, meta.Invariant, maxShrink)
 				saveErr = SaveMultiRepro(reproPath, shrunk, meta)
 			} else {

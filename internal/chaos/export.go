@@ -22,6 +22,14 @@ func AnalyticBound(chain hierarchy.Chain, outs []sim.Outage, j int, age time.Dur
 	return analyticBound(chain, outs, j, age)
 }
 
+// AnalyticBoundReason is AnalyticBound with the skip reason named
+// instead of folded into a boolean, so callers (and regression tests)
+// can pin exactly which documented model-soundness gap scoped a
+// comparison out.
+func AnalyticBoundReason(chain hierarchy.Chain, outs []sim.Outage, j int, age time.Duration) (time.Duration, SkipReason) {
+	return analyticBoundReason(chain, outs, j, age)
+}
+
 // EffectiveOutages converts a simulated fault schedule into analytic
 // per-level outage totals, inflated by one cycle period per outage (and
 // one transfer lag when in-flight transfers abort) — the conversion the

@@ -41,6 +41,11 @@ type MultiCase struct {
 	Horizon time.Duration
 	// Outages is the compound fault schedule, tagged per object.
 	Outages []ObjectOutage
+	// Events are correlated failure events (shared device, region,
+	// common-trigger corruption) materialized across all objects at once.
+	Events []failure.CorrEvent
+	// OpFaults are operator faults injected on top of the schedule.
+	OpFaults []failure.OpFault
 }
 
 // outagesFor returns the schedule entries for one object.
@@ -58,17 +63,17 @@ func (mcs *MultiCase) outagesFor(name string) []sim.Outage {
 // designs that fail to build (the shared array two objects fit on
 // individually can overload under both) or whose horizon exceeds the cap.
 // If every attempt fails it falls back to a fixed two-object design.
-func genMultiCase(r *rand.Rand, run, attempts int) (*MultiCase, int) {
+func genMultiCase(r *rand.Rand, run, attempts int, correlated bool) (*MultiCase, int) {
 	rejects := 0
 	for a := 0; a < attempts; a++ {
 		if md := genMultiDesign(r, run); md.Validate() == nil {
-			if mcs := multiScheduleFor(r, md); mcs != nil {
+			if mcs := multiScheduleFor(r, md, correlated); mcs != nil {
 				return mcs, rejects
 			}
 		}
 		rejects++
 	}
-	mcs := multiScheduleFor(r, fallbackMultiDesign(run))
+	mcs := multiScheduleFor(r, fallbackMultiDesign(run), correlated)
 	if mcs == nil {
 		// The fallback's fixed policies cannot overload the fleet or
 		// exceed the horizon cap.
@@ -79,14 +84,16 @@ func genMultiCase(r *rand.Rand, run, attempts int) (*MultiCase, int) {
 
 // multiScheduleFor builds the per-object fault schedules and the shared
 // scenario for a design; nil means the design does not build or the
-// horizon exceeds the cap.
-func multiScheduleFor(r *rand.Rand, md *core.MultiDesign) *MultiCase {
+// horizon exceeds the cap. When correlated, it additionally draws
+// correlated events and operator faults and extends the horizon past
+// their windows.
+func multiScheduleFor(r *rand.Rand, md *core.MultiDesign, correlated bool) *MultiCase {
 	ms, err := core.BuildMulti(md)
 	if err != nil {
 		return nil
 	}
 	mcs := &MultiCase{Design: md}
-	var horizon time.Duration
+	var horizon, warmMax, cycleMax time.Duration
 	for _, obj := range md.Objects {
 		chain := ms.Object(obj.Name).Chain()
 		sm, err := sim.New(chain)
@@ -100,6 +107,36 @@ func multiScheduleFor(r *rand.Rand, md *core.MultiDesign) *MultiCase {
 		if h > horizon {
 			horizon = h
 		}
+		if w := sm.WarmUp(); w > warmMax {
+			warmMax = w
+		}
+		if c := chainMaxCycle(chain); c > cycleMax {
+			cycleMax = c
+		}
+	}
+	if correlated {
+		base := ceilMinute(warmMax) + time.Minute
+		mcs.Events = genCorrEvents(r, md, base, cycleMax)
+		mcs.OpFaults = genOpFaults(r, md, base, cycleMax)
+		var evEnd time.Duration
+		for _, e := range mcs.Events {
+			if e.To > evEnd {
+				evEnd = e.To
+			}
+		}
+		for _, f := range mcs.OpFaults {
+			if f.To > evEnd {
+				evEnd = f.To
+			}
+			if end := f.At + time.Minute; end > evEnd {
+				evEnd = end
+			}
+		}
+		if evEnd > 0 {
+			if h := evEnd + 3*cycleMax + time.Hour; h > horizon {
+				horizon = h
+			}
+		}
 	}
 	if horizon > horizonCap {
 		return nil
@@ -111,6 +148,181 @@ func multiScheduleFor(r *rand.Rand, md *core.MultiDesign) *MultiCase {
 	pick := md.Objects[r.Intn(len(md.Objects))]
 	mcs.Scenario = genScenario(r, ms.Object(pick.Name).Chain())
 	return mcs
+}
+
+// referencedDevices lists the device names any object's protection
+// levels actually use, deduplicated in first-use order — the candidate
+// pool for shared-device events (an event on an unused device would
+// affect nothing and be rejected by deriveEvents).
+func referencedDevices(md *core.MultiDesign) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, obj := range md.Objects {
+		for _, tech := range obj.Levels {
+			for _, name := range core.LevelDeviceNames(tech) {
+				if !seen[name] {
+					seen[name] = true
+					out = append(out, name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// referencedRegions lists the regions hosting referenced devices,
+// deduplicated in first-use order.
+func referencedRegions(md *core.MultiDesign) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, dev := range referencedDevices(md) {
+		if p, ok := md.DevicePlacement(dev); ok && p.Region != "" && !seen[p.Region] {
+			seen[p.Region] = true
+			out = append(out, p.Region)
+		}
+	}
+	return out
+}
+
+// genCorrEvents draws zero to two correlated failure events against the
+// shared fleet: a shared-device outage, a region-scope outage, or a
+// common-trigger corruption. Windows are whole-minute so events
+// round-trip through the repro codec.
+func genCorrEvents(r *rand.Rand, md *core.MultiDesign, base, cycleMax time.Duration) []failure.CorrEvent {
+	n := 0
+	switch p := r.Float64(); {
+	case p < 0.2:
+	case p < 0.7:
+		n = 1
+	default:
+		n = 2
+	}
+	protected := 0
+	for _, obj := range md.Objects {
+		if len(obj.Levels) > 0 {
+			protected++
+		}
+	}
+	var events []failure.CorrEvent
+	for i := 0; i < n; i++ {
+		from := base + quantize(time.Duration(r.Float64()*2*float64(cycleMax)))
+		dur := quantize(time.Duration((0.3 + 2.2*r.Float64()) * float64(cycleMax)))
+		e := failure.CorrEvent{From: from, To: from + dur}
+		switch r.Intn(3) {
+		case 0:
+			devs := referencedDevices(md)
+			if len(devs) == 0 {
+				continue
+			}
+			e.Kind = failure.CorrSharedDevice
+			e.Device = devs[r.Intn(len(devs))]
+			e.AbortInFlight = r.Intn(3) == 0
+		case 1:
+			regions := referencedRegions(md)
+			if len(regions) == 0 {
+				continue
+			}
+			e.Kind = failure.CorrRegion
+			e.Region = regions[r.Intn(len(regions))]
+			e.AbortInFlight = r.Intn(3) == 0
+		default:
+			want := protected
+			if want > 2 {
+				want = 2
+			}
+			if want == 0 {
+				continue
+			}
+			e.Kind = failure.CorrCorruption
+			found := false
+			// The trigger hash splits objects roughly in half, so a few
+			// redraws almost always find one that corrupts enough objects
+			// to be an interesting correlated event.
+			for try := 0; try < 8 && !found; try++ {
+				probe := failure.CorrEvent{Kind: failure.CorrCorruption, Trigger: r.Int63()}
+				hits := 0
+				for _, obj := range md.Objects {
+					if len(obj.Levels) > 0 && probe.Corrupts(obj.Name) {
+						hits++
+					}
+				}
+				if hits >= want {
+					e.Trigger = probe.Trigger
+					found = true
+				}
+			}
+			if !found {
+				continue
+			}
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+// genOpFaults draws zero to two operator faults over objects that have
+// at least one protection level. Misdirected restores need a second
+// object to land on, so they are only drawn from multi-object designs.
+func genOpFaults(r *rand.Rand, md *core.MultiDesign, base, cycleMax time.Duration) []failure.OpFault {
+	n := 0
+	switch p := r.Float64(); {
+	case p < 0.3:
+	case p < 0.75:
+		n = 1
+	default:
+		n = 2
+	}
+	var candidates []core.ObjectSpec
+	for _, obj := range md.Objects {
+		if len(obj.Levels) > 0 {
+			candidates = append(candidates, obj)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	kinds := 2
+	if len(md.Objects) >= 2 {
+		kinds = 3
+	}
+	var faults []failure.OpFault
+	for i := 0; i < n; i++ {
+		obj := candidates[r.Intn(len(candidates))]
+		at := base + quantize(time.Duration(r.Float64()*2*float64(cycleMax)))
+		switch r.Intn(kinds) {
+		case 0:
+			faults = append(faults, failure.OpFault{
+				Kind:    failure.OpWrongRecovery,
+				Object:  obj.Name,
+				At:      at,
+				StaleBy: quantize(time.Duration((0.5 + 2.5*r.Float64()) * float64(cycleMax))),
+			})
+		case 1:
+			from := base + quantize(time.Duration(r.Float64()*2*float64(cycleMax)))
+			dur := quantize(time.Duration((0.3 + 2.2*r.Float64()) * float64(cycleMax)))
+			faults = append(faults, failure.OpFault{
+				Kind:   failure.OpSilentNonWrite,
+				Object: obj.Name,
+				Level:  1 + r.Intn(len(obj.Levels)),
+				From:   from,
+				To:     from + dur,
+			})
+		default:
+			var others []string
+			for _, o := range md.Objects {
+				if o.Name != obj.Name {
+					others = append(others, o.Name)
+				}
+			}
+			faults = append(faults, failure.OpFault{
+				Kind:        failure.OpMisdirectedRestore,
+				Object:      obj.Name,
+				WrongObject: others[r.Intn(len(others))],
+				At:          at,
+			})
+		}
+	}
+	return faults
 }
 
 // genMultiDesign draws a random multi-object design: two to five objects

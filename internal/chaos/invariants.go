@@ -44,6 +44,11 @@ type runResult struct {
 	skipped    int
 	violations []Violation
 	digest     string
+	// Operator-fault detection ledger (correlated campaigns only):
+	// faults whose effect surfaced through the loss-bound machinery vs
+	// model-soundness escapes that stayed inside the worst-case envelope.
+	opDetected int
+	opEscapes  int
 }
 
 func (r *runResult) check(name string) { r.counts[name]++ }
@@ -197,30 +202,87 @@ func levelTotals(chain hierarchy.Chain, outs []sim.Outage, inflate bool) []hiera
 	return list
 }
 
-// analyticBound returns the worst-case loss bound the model is prepared
-// to defend for level j at the given target age under the fault schedule.
-// ok=false means the comparison is skipped (target past retention, empty
-// guaranteed range, or the covered band under an outage, where the
-// degraded model's retention accounting is optimistic — see ROADMAP).
-func analyticBound(chain hierarchy.Chain, outs []sim.Outage, j int, age time.Duration) (time.Duration, bool) {
+// SkipReason names why an analytic bound comparison is skipped rather
+// than checked. SkipNone means the bound holds and the comparison runs.
+type SkipReason string
+
+const (
+	// SkipNone: the bound is defensible; compare against it.
+	SkipNone SkipReason = ""
+	// SkipPastRetention: the target age is beyond what the (possibly
+	// degraded) chain retains, so there is no bound to defend.
+	SkipPastRetention SkipReason = "past-retention"
+	// SkipDegradedBuild: the degraded compound chain could not be built
+	// for this outage schedule.
+	SkipDegradedBuild SkipReason = "degraded-build"
+	// SkipDegradedEmptyRange: the degraded guaranteed range collapsed to
+	// empty — the outage swallowed the level's whole retention window.
+	SkipDegradedEmptyRange SkipReason = "degraded-empty-range"
+	// SkipDegradedRetentionGap: the target age sits inside the degraded
+	// retention band but at or past the conservative lag, where the
+	// degraded model's retention accounting is known-optimistic (see
+	// ROADMAP) — scoped out rather than defended.
+	SkipDegradedRetentionGap SkipReason = "degraded-retention-gap"
+	// SkipDegradedStarvedBelow: a level below j lost its entire guaranteed
+	// range to an outage, so every RP there can expire mid-outage and j's
+	// captures run dry — the model only delays j's lag by the outage
+	// duration and is known-optimistic by up to one of j's cycles (see
+	// ROADMAP). Scoped out rather than defended.
+	SkipDegradedStarvedBelow SkipReason = "degraded-starved-below"
+)
+
+// analyticBoundReason returns the worst-case loss bound the model is
+// prepared to defend for level j at the given target age under the fault
+// schedule, or the named reason the comparison is skipped.
+func analyticBoundReason(chain hierarchy.Chain, outs []sim.Outage, j int, age time.Duration) (time.Duration, SkipReason) {
 	if len(outs) == 0 {
+		var loss time.Duration
+		var ok bool
 		if chain.Aligned() {
-			return chain.WorstCaseLoss(j, age)
+			loss, ok = chain.WorstCaseLoss(j, age)
+		} else {
+			loss, ok = chain.ConservativeWorstCaseLoss(j, age)
 		}
-		return chain.ConservativeWorstCaseLoss(j, age)
+		if !ok {
+			return 0, SkipPastRetention
+		}
+		return loss, SkipNone
 	}
-	deg, err := chain.DegradedCompound(effectiveOutages(chain, outs))
+	eff := effectiveOutages(chain, outs)
+	deg, err := chain.DegradedCompound(eff)
 	if err != nil {
-		return 0, false
+		return 0, SkipDegradedBuild
 	}
-	if deg.GuaranteedRange(j).Empty() {
-		return 0, false
+	rg := deg.GuaranteedRange(j)
+	if rg.Empty() {
+		return 0, SkipDegradedEmptyRange
+	}
+	for _, lo := range eff {
+		if lo.Level >= j {
+			continue
+		}
+		// An outage that outlives every guaranteed RP at a level below j
+		// starves j's captures dry: the model only delays j's lag by the
+		// outage duration, not by the capture cycles j loses on top.
+		if sub := chain.GuaranteedRange(lo.Level); sub.Empty() || lo.Outage >= sub.Oldest {
+			return 0, SkipDegradedStarvedBelow
+		}
 	}
 	lag := deg.ConservativeMaxLag(j)
 	if age >= lag {
-		return 0, false
+		if age <= rg.Oldest {
+			return 0, SkipDegradedRetentionGap
+		}
+		return 0, SkipPastRetention
 	}
-	return lag, true
+	return lag, SkipNone
+}
+
+// analyticBound is the boolean view of analyticBoundReason: ok=false
+// means the comparison is skipped for one of the named reasons.
+func analyticBound(chain hierarchy.Chain, outs []sim.Outage, j int, age time.Duration) (time.Duration, bool) {
+	bound, reason := analyticBoundReason(chain, outs, j, age)
+	return bound, reason == SkipNone
 }
 
 // checkLossBounds verifies simulated loss against the analytic worst case

@@ -7,7 +7,9 @@ import (
 
 	"stordep/internal/core"
 	"stordep/internal/cost"
+	"stordep/internal/failure"
 	"stordep/internal/hierarchy"
+	"stordep/internal/sim"
 	"stordep/internal/units"
 )
 
@@ -40,14 +42,42 @@ func multiInvariantNames() []string {
 // single-object battery per object (each object's hierarchy must hold
 // its own invariants under its own outage schedule), then the
 // service-level invariants over the shared fleet and dependency DAG.
+// Correlated cases additionally materialize shared-device, region and
+// corruption events into per-object faults, run the correlation-
+// consistency check against an independent re-derivation, and classify
+// every operator fault through the detection-coverage invariants.
 func checkMultiCase(mcs *MultiCase) (*runResult, error) {
+	correlated := len(mcs.Events) > 0 || len(mcs.OpFaults) > 0
 	res := &runResult{counts: make(map[string]int)}
-	for _, name := range multiInvariantNames() {
+	names := multiInvariantNames()
+	if correlated {
+		names = correlatedInvariantNames()
+	}
+	for _, name := range names {
 		res.counts[name] = 0
 	}
 	ms, err := core.BuildMulti(mcs.Design)
 	if err != nil {
 		return nil, err
+	}
+
+	// Materialize correlated events into per-object hardware outages and
+	// silent corruption windows, merged with the independent per-object
+	// schedule. Operator silent-non-writes join the silent set: sim-wise
+	// they are the same primitive, classified separately below.
+	derived, err := deriveEvents(mcs.Design, mcs.Events)
+	if err != nil {
+		return nil, err
+	}
+	merged := append(append([]ObjectOutage(nil), mcs.Outages...), derivedOutages(derived)...)
+	allSilents := derivedSilents(derived)
+	for _, f := range mcs.OpFaults {
+		if f.Kind == failure.OpSilentNonWrite {
+			allSilents = append(allSilents, ObjectSilent{
+				Object:      f.Object,
+				SilentFault: sim.SilentFault{Level: f.Level, From: f.From, To: f.To},
+			})
+		}
 	}
 
 	// Per-object batteries. ObjectDesign carries the shared fleet, so the
@@ -60,7 +90,7 @@ func checkMultiCase(mcs *MultiCase) (*runResult, error) {
 			Design:   mcs.Design.ObjectDesign(obj),
 			Scenario: mcs.Scenario,
 			Horizon:  mcs.Horizon,
-			Outages:  mcs.outagesFor(obj.Name),
+			Outages:  outagesIn(merged, obj.Name),
 		}
 		sub, err := checkCase(cs)
 		if err != nil {
@@ -79,10 +109,17 @@ func checkMultiCase(mcs *MultiCase) (*runResult, error) {
 
 	checkMultiUtilSum(res, mcs, ms)
 
-	sas := serviceAssessments(res, mcs, ms)
+	sas := serviceAssessments(res, mcs, ms, merged)
 	for _, la := range sas {
 		checkMultiSchedule(res, mcs, la.label, la.sa)
 		checkMultiCostSum(res, mcs, ms, la.label, la.sa)
+	}
+
+	if correlated {
+		checkCorrConsistency(res, mcs, derived)
+		if err := checkOpFaults(res, mcs, ms, merged, allSilents); err != nil {
+			return nil, err
+		}
 	}
 
 	var rt, dl time.Duration = -1, -1
@@ -93,6 +130,10 @@ func checkMultiCase(mcs *MultiCase) (*runResult, error) {
 		mcs.Design.Name, len(mcs.Design.Objects), dependencyEdges(mcs.Design), len(mcs.Outages),
 		mcs.Scenario.Scope, mcs.Scenario.TargetAge, mcs.Horizon, rt, dl,
 		strings.Join(digests, " | "))
+	if correlated {
+		res.digest += fmt.Sprintf(" events=%d opfaults=%d detected=%d escapes=%d",
+			len(mcs.Events), len(mcs.OpFaults), res.opDetected, res.opEscapes)
+	}
 	return res, nil
 }
 
@@ -110,9 +151,10 @@ type labeledAssessment struct {
 }
 
 // serviceAssessments evaluates the scenario healthy and — when outages
-// were injected — degraded, with each object's hierarchy weakened by its
-// own raw outage totals.
-func serviceAssessments(res *runResult, mcs *MultiCase, ms *core.MultiSystem) []labeledAssessment {
+// were injected (independent or materialized from correlated events) —
+// degraded, with each object's hierarchy weakened by its own raw outage
+// totals.
+func serviceAssessments(res *runResult, mcs *MultiCase, ms *core.MultiSystem, merged []ObjectOutage) []labeledAssessment {
 	var out []labeledAssessment
 	sa, err := ms.Assess(mcs.Scenario)
 	if err != nil {
@@ -120,12 +162,12 @@ func serviceAssessments(res *runResult, mcs *MultiCase, ms *core.MultiSystem) []
 		return nil
 	}
 	out = append(out, labeledAssessment{"healthy", sa})
-	if len(mcs.Outages) == 0 {
+	if len(merged) == 0 {
 		return out
 	}
 	byObject := make(map[string][]hierarchy.LevelOutage)
 	for _, obj := range mcs.Design.Objects {
-		if outs := mcs.outagesFor(obj.Name); len(outs) > 0 {
+		if outs := outagesIn(merged, obj.Name); len(outs) > 0 {
 			chain := ms.Object(obj.Name).Chain()
 			if lo := rawOutages(chain, outs); len(lo) > 0 {
 				byObject[obj.Name] = lo

@@ -48,7 +48,7 @@ func TestMultiCampaignWorkersDeterminism(t *testing.T) {
 
 func TestGenMultiCaseAlwaysViable(t *testing.T) {
 	for run := 0; run < 25; run++ {
-		mcs, _ := genMultiCase(runRNG(5, run), run, 40)
+		mcs, _ := genMultiCase(runRNG(5, run), run, 40, false)
 		md := mcs.Design
 		if err := md.Validate(); err != nil {
 			t.Fatalf("run %d: generated multi design invalid: %v", run, err)
@@ -93,13 +93,13 @@ func TestFallbackMultiDesignViable(t *testing.T) {
 	if err := md.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if mcs := multiScheduleFor(runRNG(1, 0), md); mcs == nil {
+	if mcs := multiScheduleFor(runRNG(1, 0), md, false); mcs == nil {
 		t.Fatal("fallback multi design did not schedule")
 	}
 }
 
 func TestCheckMultiCaseDigestStable(t *testing.T) {
-	mcs, _ := genMultiCase(runRNG(9, 3), 3, 40)
+	mcs, _ := genMultiCase(runRNG(9, 3), 3, 40, false)
 	a, err := checkMultiCase(mcs)
 	if err != nil {
 		t.Fatal(err)
@@ -119,7 +119,7 @@ func TestCheckMultiCaseDigestStable(t *testing.T) {
 func TestMultiReproRoundTrip(t *testing.T) {
 	var mcs *MultiCase
 	for run := 0; run < 40; run++ {
-		c, _ := genMultiCase(runRNG(17, run), run, 40)
+		c, _ := genMultiCase(runRNG(17, run), run, 40, false)
 		if len(c.Outages) >= 1 && len(c.Design.Objects) >= 3 {
 			mcs = c
 			break
@@ -174,7 +174,7 @@ func TestMultiReproRoundTrip(t *testing.T) {
 }
 
 func TestMultiReproSaveLoadAndSniffing(t *testing.T) {
-	mcs, _ := genMultiCase(runRNG(19, 0), 0, 40)
+	mcs, _ := genMultiCase(runRNG(19, 0), 0, 40, false)
 	path := filepath.Join(t.TempDir(), "repro.json")
 	meta := ReproMeta{Invariant: invMultiUtilSum, Detail: "synthetic", Seed: 19}
 	if err := SaveMultiRepro(path, mcs, meta); err != nil {
@@ -206,7 +206,7 @@ func TestMultiReproSaveLoadAndSniffing(t *testing.T) {
 func genEdgeCase(t *testing.T) *MultiCase {
 	t.Helper()
 	for run := 0; run < 60; run++ {
-		mcs, _ := genMultiCase(runRNG(29, run), run, 40)
+		mcs, _ := genMultiCase(runRNG(29, run), run, 40, false)
 		if len(mcs.Design.Objects) >= 3 && dependencyEdges(mcs.Design) >= 1 && len(mcs.Outages) >= 1 {
 			return mcs
 		}
@@ -325,7 +325,7 @@ func TestShrunkMultiReproReplays(t *testing.T) {
 }
 
 func TestShrinkMultiKeepsOriginalWhenNothingReproduces(t *testing.T) {
-	mcs, _ := genMultiCase(runRNG(13, 0), 0, 40)
+	mcs, _ := genMultiCase(runRNG(13, 0), 0, 40, false)
 	shrunk := shrinkMultiWith(mcs, 50, func(*MultiCase) bool { return false })
 	if shrunk != mcs {
 		t.Error("shrinker replaced the case although no mutation failed")

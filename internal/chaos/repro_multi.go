@@ -34,7 +34,10 @@ type multiReproFile struct {
 	RecoverSize int64              `json:"recoverSizeBytes,omitempty"`
 	Horizon     string             `json:"horizon"`
 	Outages     []multiReproOutage `json:"outages,omitempty"`
-	MultiDesign json.RawMessage    `json:"multiDesign"`
+	// FaultScenario embeds the internal/config scenario JSON (correlated
+	// events plus operator faults) verbatim, like MultiDesign.
+	FaultScenario json.RawMessage `json:"faultScenario,omitempty"`
+	MultiDesign   json.RawMessage `json:"multiDesign"`
 }
 
 // IsMultiRepro reports whether repro JSON holds a multi-object case.
@@ -72,6 +75,13 @@ func EncodeMultiRepro(mcs *MultiCase, meta ReproMeta) ([]byte, error) {
 			To:            units.FormatDuration(o.To),
 			AbortInFlight: o.AbortInFlight,
 		})
+	}
+	if len(mcs.Events)+len(mcs.OpFaults) > 0 {
+		scenario, err := config.MarshalScenario(mcs.Events, mcs.OpFaults)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: marshaling fault scenario: %w", err)
+		}
+		rf.FaultScenario = scenario
 	}
 	return json.MarshalIndent(rf, "", "  ")
 }
@@ -121,6 +131,13 @@ func DecodeMultiRepro(data []byte) (*MultiCase, ReproMeta, error) {
 			Object: o.Object,
 			Outage: sim.Outage{Level: o.Level, From: from, To: to, AbortInFlight: o.AbortInFlight},
 		})
+	}
+	if len(bytes.TrimSpace(rf.FaultScenario)) > 0 {
+		events, faults, err := config.UnmarshalScenario(rf.FaultScenario)
+		if err != nil {
+			return nil, ReproMeta{}, fmt.Errorf("chaos: multi repro fault scenario: %w", err)
+		}
+		mcs.Events, mcs.OpFaults = events, faults
 	}
 	return mcs, rf.ReproMeta, nil
 }

@@ -1,9 +1,11 @@
 package chaos
 
 import (
-	"stordep/internal/core"
-	"stordep/internal/sim"
 	"time"
+
+	"stordep/internal/core"
+	"stordep/internal/failure"
+	"stordep/internal/sim"
 )
 
 // The multi-object shrinker extends the greedy reduction with the two
@@ -57,10 +59,20 @@ func shrinkMultiWith(mcs *MultiCase, maxSteps int, fails func(*MultiCase) bool) 
 }
 
 // multiViable reports whether a mutated multi case is still well-formed:
-// the design validates and builds, and the horizon leaves a sampling
-// window past every object's warm-up and every outage.
+// the design validates and builds, the horizon leaves a sampling window
+// past every object's warm-up, outage and correlated-event window, every
+// correlated event still affects at least one object, and every operator
+// fault still targets a real object and level.
 func multiViable(mcs *MultiCase) bool {
 	if mcs.Design.Validate() != nil {
+		return false
+	}
+	if len(mcs.Events) > 0 {
+		if _, err := deriveEvents(mcs.Design, mcs.Events); err != nil {
+			return false
+		}
+	}
+	if !opFaultsViable(mcs) {
 		return false
 	}
 	floor, err := multiHorizonFloor(mcs)
@@ -70,11 +82,54 @@ func multiViable(mcs *MultiCase) bool {
 	return mcs.Horizon > floor
 }
 
-// multiHorizonFloor is the largest per-object horizon floor.
+// opFaultsViable checks every operator fault against the (possibly
+// mutated) design: the target object exists, silent non-writes name a
+// surviving level, and misdirected restores land on a surviving object.
+func opFaultsViable(mcs *MultiCase) bool {
+	levels := make(map[string]int, len(mcs.Design.Objects))
+	for _, obj := range mcs.Design.Objects {
+		levels[obj.Name] = len(obj.Levels)
+	}
+	for _, f := range mcs.OpFaults {
+		n, ok := levels[f.Object]
+		if !ok || n == 0 {
+			return false
+		}
+		switch f.Kind {
+		case failure.OpSilentNonWrite:
+			if f.Level > n {
+				return false
+			}
+		case failure.OpMisdirectedRestore:
+			if _, ok := levels[f.WrongObject]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// multiHorizonFloor is the largest per-object horizon floor. Correlated
+// events and operator faults apply fleet-wide, so their window ends
+// raise every object's floor.
 func multiHorizonFloor(mcs *MultiCase) (time.Duration, error) {
 	ms, err := core.BuildMulti(mcs.Design)
 	if err != nil {
 		return 0, err
+	}
+	var evEnd time.Duration
+	for _, e := range mcs.Events {
+		if e.To > evEnd {
+			evEnd = e.To
+		}
+	}
+	for _, f := range mcs.OpFaults {
+		if f.To > evEnd {
+			evEnd = f.To
+		}
+		if end := f.At + time.Minute; end > evEnd {
+			evEnd = end
+		}
 	}
 	var floor time.Duration
 	for _, obj := range mcs.Design.Objects {
@@ -88,6 +143,9 @@ func multiHorizonFloor(mcs *MultiCase) (time.Duration, error) {
 			if o.To > f {
 				f = o.To
 			}
+		}
+		if evEnd > f {
+			f = evEnd
 		}
 		if f += 2 * chainMaxCycle(chain); f > floor {
 			floor = f
@@ -124,6 +182,20 @@ func multiMutations(mcs *MultiCase) []*MultiCase {
 			out = append(out, c)
 		}
 	}
+	// Drop each correlated event in turn.
+	for i := range mcs.Events {
+		if c, err := copyMultiCase(mcs); err == nil {
+			c.Events = append(c.Events[:i:i], c.Events[i+1:]...)
+			out = append(out, c)
+		}
+	}
+	// Drop each operator fault in turn.
+	for i := range mcs.OpFaults {
+		if c, err := copyMultiCase(mcs); err == nil {
+			c.OpFaults = append(c.OpFaults[:i:i], c.OpFaults[i+1:]...)
+			out = append(out, c)
+		}
+	}
 	// Drop each outage in turn.
 	for i := range mcs.Outages {
 		if c, err := copyMultiCase(mcs); err == nil {
@@ -149,6 +221,14 @@ func multiMutations(mcs *MultiCase) []*MultiCase {
 			}
 		}
 		c.Outages = kept
+		faults := c.OpFaults[:0:0]
+		for _, f := range c.OpFaults {
+			if f.Kind == failure.OpSilentNonWrite && f.Object == o.Name && f.Level > len(o.Levels) {
+				continue
+			}
+			faults = append(faults, f)
+		}
+		c.OpFaults = faults
 		dropUnusedMultiDevices(c)
 		out = append(out, c)
 	}
@@ -212,6 +292,14 @@ func dropObject(c *MultiCase, name string, i int) {
 		}
 	}
 	c.Outages = outs
+	faults := c.OpFaults[:0:0]
+	for _, f := range c.OpFaults {
+		if f.Object == name || f.WrongObject == name {
+			continue
+		}
+		faults = append(faults, f)
+	}
+	c.OpFaults = faults
 	dropUnusedMultiDevices(c)
 }
 

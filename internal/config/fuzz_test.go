@@ -8,6 +8,7 @@ import (
 	"stordep/internal/casestudy"
 	"stordep/internal/core"
 	"stordep/internal/device"
+	"stordep/internal/failure"
 )
 
 // FuzzUnmarshal checks the decoder never panics on arbitrary input and
@@ -99,6 +100,56 @@ func FuzzDistributionRoundTrip(f *testing.F) {
 		}
 		if got != want {
 			t.Fatalf("reliability did not round-trip:\n got %+v\nwant %+v", got, want)
+		}
+	})
+}
+
+// FuzzScenarioRoundTrip checks the correlated-event / operator-fault
+// decoder never panics on arbitrary input and that its encoding is
+// lossless: anything that decodes must re-encode to a JSON fixed point
+// (encode∘decode is the identity on encoded forms — what correlated
+// chaos repro replay relies on).
+func FuzzScenarioRoundTrip(f *testing.F) {
+	sample, err := MarshalScenario(
+		[]failure.CorrEvent{
+			{Kind: failure.CorrSharedDevice, Device: "lib-1", From: time.Hour, To: 3 * time.Hour, AbortInFlight: true},
+			{Kind: failure.CorrRegion, Region: "west", From: 2 * time.Hour, To: 4 * time.Hour},
+			{Kind: failure.CorrCorruption, Trigger: 42, From: time.Hour, To: 2 * time.Hour},
+		},
+		[]failure.OpFault{
+			{Kind: failure.OpWrongRecovery, Object: "obj1", At: 48 * time.Hour, StaleBy: 12 * time.Hour},
+			{Kind: failure.OpSilentNonWrite, Object: "obj2", Level: 2, From: 10 * time.Hour, To: 20 * time.Hour},
+			{Kind: failure.OpMisdirectedRestore, Object: "obj1", WrongObject: "obj2", At: 72 * time.Hour},
+		})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sample)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"events":[{"kind":"shared-device","from":"1h","to":"2h"}]}`))
+	f.Add([]byte(`{"events":[{"kind":"corruption","trigger":7,"from":"1h","to":"2h"}]}`))
+	f.Add([]byte(`{"opFaults":[{"kind":"wrong-recovery","object":"a","at":"1d","staleBy":"-1h"}]}`))
+	f.Add([]byte(`{"opFaults":[{"kind":"misdirected-restore","object":"a","wrongObject":"a","at":"0s"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, faults, err := UnmarshalScenario(data)
+		if err != nil {
+			return
+		}
+		enc, err := MarshalScenario(events, faults)
+		if err != nil {
+			t.Fatalf("re-encoding decoded scenario failed: %v", err)
+		}
+		events2, faults2, err := UnmarshalScenario(enc)
+		if err != nil {
+			t.Fatalf("re-decoding our own encoding failed: %v", err)
+		}
+		enc2, err := MarshalScenario(events2, faults2)
+		if err != nil {
+			t.Fatalf("re-encoding round-tripped scenario failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not a fixed point:\n%s\nvs\n%s", enc, enc2)
 		}
 	})
 }

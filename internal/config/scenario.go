@@ -1,0 +1,156 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"stordep/internal/failure"
+	"stordep/internal/units"
+)
+
+// Fault-scenario codec: the correlated-event and operator-fault
+// vocabulary (internal/failure) as JSON, embedded by chaos repro files.
+// Like every codec in this package the encoding is lossless and a fixed
+// point under encode∘decode, so repro files replay bit-identically.
+// Durations are rendered with units.FormatDuration, exact for whole
+// seconds (every generator emits whole minutes).
+
+type corrEventJSON struct {
+	Kind          string `json:"kind"`
+	Device        string `json:"device,omitempty"`
+	Region        string `json:"region,omitempty"`
+	Trigger       int64  `json:"trigger,omitempty"`
+	From          string `json:"from"`
+	To            string `json:"to"`
+	AbortInFlight bool   `json:"abortInFlight,omitempty"`
+}
+
+type opFaultJSON struct {
+	Kind        string `json:"kind"`
+	Object      string `json:"object"`
+	Level       int    `json:"level,omitempty"`
+	From        string `json:"from,omitempty"`
+	To          string `json:"to,omitempty"`
+	At          string `json:"at,omitempty"`
+	StaleBy     string `json:"staleBy,omitempty"`
+	WrongObject string `json:"wrongObject,omitempty"`
+}
+
+type faultScenarioJSON struct {
+	Events   []corrEventJSON `json:"events,omitempty"`
+	OpFaults []opFaultJSON   `json:"opFaults,omitempty"`
+}
+
+// MarshalScenario serializes correlated events and operator faults.
+// Fields irrelevant to a kind are omitted, so the encoding is canonical:
+// decoding and re-encoding reproduces the bytes exactly.
+func MarshalScenario(events []failure.CorrEvent, faults []failure.OpFault) ([]byte, error) {
+	var sj faultScenarioJSON
+	for i, e := range events {
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("config: event %d: %w", i, err)
+		}
+		ej := corrEventJSON{
+			Kind: e.Kind.String(),
+			From: units.FormatDuration(e.From),
+			To:   units.FormatDuration(e.To),
+		}
+		switch e.Kind {
+		case failure.CorrSharedDevice:
+			ej.Device = e.Device
+			ej.AbortInFlight = e.AbortInFlight
+		case failure.CorrRegion:
+			ej.Region = e.Region
+			ej.AbortInFlight = e.AbortInFlight
+		case failure.CorrCorruption:
+			ej.Trigger = e.Trigger
+		}
+		sj.Events = append(sj.Events, ej)
+	}
+	for i, f := range faults {
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("config: operator fault %d: %w", i, err)
+		}
+		fj := opFaultJSON{Kind: f.Kind.String(), Object: f.Object}
+		switch f.Kind {
+		case failure.OpWrongRecovery:
+			fj.At = units.FormatDuration(f.At)
+			fj.StaleBy = units.FormatDuration(f.StaleBy)
+		case failure.OpSilentNonWrite:
+			fj.Level = f.Level
+			fj.From = units.FormatDuration(f.From)
+			fj.To = units.FormatDuration(f.To)
+		case failure.OpMisdirectedRestore:
+			fj.At = units.FormatDuration(f.At)
+			fj.WrongObject = f.WrongObject
+		}
+		sj.OpFaults = append(sj.OpFaults, fj)
+	}
+	return json.MarshalIndent(sj, "", "  ")
+}
+
+// UnmarshalScenario reconstructs correlated events and operator faults
+// from JSON produced by MarshalScenario. Every decoded entry validates.
+func UnmarshalScenario(data []byte) ([]failure.CorrEvent, []failure.OpFault, error) {
+	var sj faultScenarioJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		return nil, nil, fmt.Errorf("config: parsing fault scenario: %w", err)
+	}
+	var events []failure.CorrEvent
+	for i, ej := range sj.Events {
+		kind, err := failure.ParseCorrKind(ej.Kind)
+		if err != nil {
+			return nil, nil, fmt.Errorf("config: event %d: %w", i, err)
+		}
+		from, err := units.ParseDuration(ej.From)
+		if err != nil {
+			return nil, nil, fmt.Errorf("config: event %d from: %w", i, err)
+		}
+		to, err := units.ParseDuration(ej.To)
+		if err != nil {
+			return nil, nil, fmt.Errorf("config: event %d to: %w", i, err)
+		}
+		e := failure.CorrEvent{
+			Kind: kind, From: from, To: to,
+			Device: ej.Device, Region: ej.Region, Trigger: ej.Trigger,
+			AbortInFlight: ej.AbortInFlight,
+		}
+		if err := e.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("config: event %d: %w", i, err)
+		}
+		events = append(events, e)
+	}
+	var faults []failure.OpFault
+	for i, fj := range sj.OpFaults {
+		kind, err := failure.ParseOpFaultKind(fj.Kind)
+		if err != nil {
+			return nil, nil, fmt.Errorf("config: operator fault %d: %w", i, err)
+		}
+		f := failure.OpFault{Kind: kind, Object: fj.Object, Level: fj.Level, WrongObject: fj.WrongObject}
+		if fj.From != "" {
+			if f.From, err = units.ParseDuration(fj.From); err != nil {
+				return nil, nil, fmt.Errorf("config: operator fault %d from: %w", i, err)
+			}
+		}
+		if fj.To != "" {
+			if f.To, err = units.ParseDuration(fj.To); err != nil {
+				return nil, nil, fmt.Errorf("config: operator fault %d to: %w", i, err)
+			}
+		}
+		if fj.At != "" {
+			if f.At, err = units.ParseDuration(fj.At); err != nil {
+				return nil, nil, fmt.Errorf("config: operator fault %d at: %w", i, err)
+			}
+		}
+		if fj.StaleBy != "" {
+			if f.StaleBy, err = units.ParseDuration(fj.StaleBy); err != nil {
+				return nil, nil, fmt.Errorf("config: operator fault %d staleBy: %w", i, err)
+			}
+		}
+		if err := f.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("config: operator fault %d: %w", i, err)
+		}
+		faults = append(faults, f)
+	}
+	return events, faults, nil
+}

@@ -1,0 +1,124 @@
+package config
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"stordep/internal/failure"
+)
+
+func sampleScenario() ([]failure.CorrEvent, []failure.OpFault) {
+	events := []failure.CorrEvent{
+		{Kind: failure.CorrSharedDevice, Device: "lib-1", From: time.Hour, To: 3 * time.Hour, AbortInFlight: true},
+		{Kind: failure.CorrRegion, Region: "west", From: 2 * time.Hour, To: 4 * time.Hour},
+		{Kind: failure.CorrCorruption, Trigger: 42, From: time.Hour, To: 2 * time.Hour},
+	}
+	faults := []failure.OpFault{
+		{Kind: failure.OpWrongRecovery, Object: "obj1", At: 48 * time.Hour, StaleBy: 12 * time.Hour},
+		{Kind: failure.OpSilentNonWrite, Object: "obj2", Level: 2, From: 10 * time.Hour, To: 20 * time.Hour},
+		{Kind: failure.OpMisdirectedRestore, Object: "obj1", WrongObject: "obj2", At: 72 * time.Hour},
+	}
+	return events, faults
+}
+
+// TestScenarioRoundTrip checks the codec is lossless in both directions:
+// values deep-equal after decode, and encoded bytes are a fixed point.
+func TestScenarioRoundTrip(t *testing.T) {
+	events, faults := sampleScenario()
+	data, err := MarshalScenario(events, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, f2, err := UnmarshalScenario(data)
+	if err != nil {
+		t.Fatalf("decoding our own encoding: %v", err)
+	}
+	if !reflect.DeepEqual(events, e2) {
+		t.Fatalf("events did not round-trip:\n got %+v\nwant %+v", e2, events)
+	}
+	if !reflect.DeepEqual(faults, f2) {
+		t.Fatalf("faults did not round-trip:\n got %+v\nwant %+v", f2, faults)
+	}
+	data2, err := MarshalScenario(e2, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("encoding is not a fixed point:\n%s\nvs\n%s", data, data2)
+	}
+}
+
+// TestScenarioCanonicalFields checks per-kind field scoping: irrelevant
+// fields are omitted so the encoding stays canonical.
+func TestScenarioCanonicalFields(t *testing.T) {
+	events, faults := sampleScenario()
+	data, err := MarshalScenario(events, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		`"kind": "shared-device"`, `"device": "lib-1"`,
+		`"kind": "region"`, `"region": "west"`,
+		`"kind": "corruption"`, `"trigger": 42`,
+		`"kind": "wrong-recovery"`, `"staleBy": "12h"`,
+		`"kind": "silent-non-write"`, `"level": 2`,
+		`"kind": "misdirected-restore"`, `"wrongObject": "obj2"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("encoding missing %s:\n%s", want, s)
+		}
+	}
+	// A corruption event must not carry a device, and a wrong-recovery
+	// fault must not carry a level or window.
+	if strings.Count(s, `"device"`) != 1 {
+		t.Fatalf("device leaked outside the shared-device event:\n%s", s)
+	}
+	if strings.Count(s, `"level"`) != 1 {
+		t.Fatalf("level leaked outside the silent-non-write fault:\n%s", s)
+	}
+}
+
+func TestScenarioRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"events":[{"kind":"meteor","from":"1h","to":"2h"}]}`,
+		`{"events":[{"kind":"shared-device","from":"1h","to":"2h"}]}`,
+		`{"events":[{"kind":"region","region":"west","from":"2h","to":"1h"}]}`,
+		`{"events":[{"kind":"corruption","from":"bogus","to":"2h"}]}`,
+		`{"opFaults":[{"kind":"wrong-recovery","object":"a","at":"1h"}]}`,
+		`{"opFaults":[{"kind":"silent-non-write","object":"a","from":"1h","to":"2h"}]}`,
+		`{"opFaults":[{"kind":"misdirected-restore","object":"a","wrongObject":"a","at":"1h"}]}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		if _, _, err := UnmarshalScenario([]byte(c)); err == nil {
+			t.Fatalf("accepted invalid scenario %s", c)
+		}
+	}
+	// Marshal must also refuse invalid values rather than encode them.
+	if _, err := MarshalScenario([]failure.CorrEvent{{Kind: failure.CorrRegion, From: 0, To: time.Hour}}, nil); err == nil {
+		t.Fatal("MarshalScenario accepted a region event without a region")
+	}
+	if _, err := MarshalScenario(nil, []failure.OpFault{{Kind: failure.OpWrongRecovery, Object: "a"}}); err == nil {
+		t.Fatal("MarshalScenario accepted a wrong-recovery fault without staleness")
+	}
+}
+
+// TestScenarioEmpty checks the degenerate encoding: no events, no
+// faults — still decodes to nil slices and a fixed point.
+func TestScenarioEmpty(t *testing.T) {
+	data, err := MarshalScenario(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, faults, err := UnmarshalScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != nil || faults != nil {
+		t.Fatalf("empty scenario decoded to %v / %v", events, faults)
+	}
+}

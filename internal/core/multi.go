@@ -141,6 +141,35 @@ func (md *MultiDesign) ObjectDesign(obj ObjectSpec) *Design {
 	}
 }
 
+// LevelDeviceNames lists the devices whose failure takes a level's
+// protection out of service: the copy device(s) holding its RPs and the
+// interconnect/transport crossed to reach them. The read device only
+// matters at restore time, not for RP propagation. Shared by the Monte
+// Carlo sampler (device down intervals → level outages) and the chaos
+// correlation engine (shared-device events → dependent-object outages).
+func LevelDeviceNames(tech protect.Technique) []string {
+	var names []string
+	if ms, ok := tech.(interface{ CopyDevices() []string }); ok {
+		names = append(names, ms.CopyDevices()...)
+	} else if d := tech.CopyDevice(); d != "" {
+		names = append(names, d)
+	}
+	if d := tech.TransportDevice(); d != "" {
+		names = append(names, d)
+	}
+	return names
+}
+
+// DevicePlacement returns the placement of the named fleet device.
+func (md *MultiDesign) DevicePlacement(name string) (failure.Placement, bool) {
+	for _, pd := range md.Devices {
+		if pd.Spec.Name == name {
+			return pd.Placement, true
+		}
+	}
+	return failure.Placement{}, false
+}
+
 // MultiSystem is a built multi-object design: one shared device fleet
 // carrying every object's demands, with a per-object System view for
 // assessment.

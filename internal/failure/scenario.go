@@ -1,0 +1,234 @@
+package failure
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"time"
+)
+
+// This file widens the scenario vocabulary beyond the paper's independent
+// device failures and site disasters: correlated events that strike
+// several objects of a multi-object design from one trigger, and the
+// operator faults that the human-error literature (Kishani & Asadi) and
+// classic fault taxonomies (wrong data, wrong address, silent non-write)
+// name as dominant contributors to data unavailability. The types here
+// are pure vocabulary — internal/config round-trips them as JSON and
+// internal/chaos / internal/mc give them semantics.
+
+// CorrKind classifies a correlated service-level event.
+type CorrKind int
+
+const (
+	// CorrSharedDevice takes one shared fleet device down: every object
+	// level whose propagation depends on that device suffers an outage
+	// over the same window.
+	CorrSharedDevice CorrKind = iota + 1
+	// CorrRegion takes a geographic region down: every object level whose
+	// copy or transport device is placed in the region suffers an outage
+	// over the same window.
+	CorrRegion
+	// CorrCorruption is correlated multi-object corruption from a common
+	// seeded trigger: the affected objects' first protection level
+	// silently captures corrupt data for the window (RPs that report
+	// success but retain nothing a restore can use).
+	CorrCorruption
+)
+
+// String returns the kind name used in reports and repro JSON.
+func (k CorrKind) String() string {
+	switch k {
+	case CorrSharedDevice:
+		return "shared-device"
+	case CorrRegion:
+		return "region"
+	case CorrCorruption:
+		return "corruption"
+	default:
+		return "CorrKind(?)"
+	}
+}
+
+// Valid reports whether the kind is one of the defined constants.
+func (k CorrKind) Valid() bool { return k >= CorrSharedDevice && k <= CorrCorruption }
+
+// ParseCorrKind converts a kind name back into its constant.
+func ParseCorrKind(s string) (CorrKind, error) {
+	switch s {
+	case "shared-device":
+		return CorrSharedDevice, nil
+	case "region":
+		return CorrRegion, nil
+	case "corruption":
+		return CorrCorruption, nil
+	default:
+		return 0, errBad("correlated event kind", s)
+	}
+}
+
+// CorrEvent is one correlated event: a single trigger whose per-object
+// effects are derived deterministically from the design, so every
+// affected object observes the same window and the same cause.
+type CorrEvent struct {
+	// Kind selects the correlation mechanism.
+	Kind CorrKind
+	// Device names the shared fleet device (CorrSharedDevice).
+	Device string
+	// Region names the failed region (CorrRegion).
+	Region string
+	// Trigger seeds the affected-object draw (CorrCorruption): the event
+	// corrupts exactly the objects Corrupts reports, so a repro file
+	// replays the same blast set without listing it.
+	Trigger int64
+	// From and To bound the event window.
+	From, To time.Duration
+	// AbortInFlight destroys RPs mid-propagation when the event strikes
+	// (hardware kinds only).
+	AbortInFlight bool
+}
+
+// Corrupts reports whether a corruption event's seeded trigger hits the
+// named object. The draw is a pure function of (Trigger, object) so the
+// blast set survives the repro round trip byte-identically.
+func (e CorrEvent) Corrupts(object string) bool {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(e.Trigger))
+	h.Write(b[:])
+	h.Write([]byte(object))
+	return h.Sum64()&1 == 0
+}
+
+// Validate checks the event.
+func (e CorrEvent) Validate() error {
+	if !e.Kind.Valid() {
+		return errBad("correlated event kind", e.Kind.String())
+	}
+	if e.To <= e.From || e.From < 0 {
+		return errBad("correlated event window", e.From.String()+".."+e.To.String())
+	}
+	switch e.Kind {
+	case CorrSharedDevice:
+		if e.Device == "" {
+			return errBad("correlated event", "shared-device event needs a device")
+		}
+	case CorrRegion:
+		if e.Region == "" {
+			return errBad("correlated event", "region event needs a region")
+		}
+	case CorrCorruption:
+		if e.AbortInFlight {
+			return errBad("correlated event", "corruption does not abort transfers")
+		}
+	}
+	return nil
+}
+
+// OpFaultKind classifies an operator fault.
+type OpFaultKind int
+
+const (
+	// OpWrongRecovery restores a stale recovery point that passes every
+	// existing check: the RP is valid and covers the restore instant, but
+	// its cut is StaleBy older than the intended target.
+	OpWrongRecovery OpFaultKind = iota + 1
+	// OpSilentNonWrite is a protection level that reports success but
+	// retains nothing: windows closing inside the fault window produce
+	// RPs that occupy the schedule yet cannot serve a restore.
+	OpSilentNonWrite
+	// OpMisdirectedRestore lands a recovery on the wrong object: the
+	// intended object stays unrecovered while believing itself restored.
+	OpMisdirectedRestore
+)
+
+// String returns the kind name used in reports and repro JSON.
+func (k OpFaultKind) String() string {
+	switch k {
+	case OpWrongRecovery:
+		return "wrong-recovery"
+	case OpSilentNonWrite:
+		return "silent-non-write"
+	case OpMisdirectedRestore:
+		return "misdirected-restore"
+	default:
+		return "OpFaultKind(?)"
+	}
+}
+
+// Valid reports whether the kind is one of the defined constants.
+func (k OpFaultKind) Valid() bool { return k >= OpWrongRecovery && k <= OpMisdirectedRestore }
+
+// ParseOpFaultKind converts a kind name back into its constant.
+func ParseOpFaultKind(s string) (OpFaultKind, error) {
+	switch s {
+	case "wrong-recovery":
+		return OpWrongRecovery, nil
+	case "silent-non-write":
+		return OpSilentNonWrite, nil
+	case "misdirected-restore":
+		return OpMisdirectedRestore, nil
+	default:
+		return 0, errBad("operator fault kind", s)
+	}
+}
+
+// OpFault is one injected operator fault. Fields beyond Kind and Object
+// are per-kind: wrong recovery uses At and StaleBy, silent non-write
+// uses Level and the From/To window, misdirected restore uses At and
+// WrongObject.
+type OpFault struct {
+	Kind   OpFaultKind
+	Object string
+	// Level is the 1-based protection level whose writes silently fail.
+	Level int
+	// From and To bound the silent non-write window.
+	From, To time.Duration
+	// At is the instant of the faulty restore.
+	At time.Duration
+	// StaleBy is how much older than the intended target the restored
+	// recovery point is.
+	StaleBy time.Duration
+	// WrongObject names the object whose data the misdirected restore
+	// actually delivers.
+	WrongObject string
+}
+
+// Validate checks the fault.
+func (f OpFault) Validate() error {
+	if !f.Kind.Valid() {
+		return errBad("operator fault kind", f.Kind.String())
+	}
+	if f.Object == "" {
+		return errBad("operator fault", "needs a target object")
+	}
+	switch f.Kind {
+	case OpWrongRecovery:
+		if f.At < 0 || f.StaleBy <= 0 {
+			return errBad("operator fault", "wrong recovery needs at >= 0 and staleBy > 0")
+		}
+	case OpSilentNonWrite:
+		if f.Level < 1 {
+			return errBad("operator fault", "silent non-write needs a level")
+		}
+		if f.To <= f.From || f.From < 0 {
+			return errBad("operator fault window", f.From.String()+".."+f.To.String())
+		}
+	case OpMisdirectedRestore:
+		if f.WrongObject == "" || f.WrongObject == f.Object {
+			return errBad("operator fault", "misdirected restore needs a distinct wrong object")
+		}
+		if f.At < 0 {
+			return errBad("operator fault", "misdirected restore needs at >= 0")
+		}
+	}
+	return nil
+}
+
+func errBad(what, got string) error {
+	return &scenarioError{what: what, got: got}
+}
+
+type scenarioError struct{ what, got string }
+
+func (e *scenarioError) Error() string {
+	return "failure: invalid " + e.what + ": " + e.got
+}

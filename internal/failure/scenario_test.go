@@ -1,0 +1,145 @@
+package failure
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCorrKindRoundTrip(t *testing.T) {
+	for _, k := range []CorrKind{CorrSharedDevice, CorrRegion, CorrCorruption} {
+		if !k.Valid() {
+			t.Fatalf("%v not valid", k)
+		}
+		got, err := ParseCorrKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseCorrKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("ParseCorrKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseCorrKind("meteor"); err == nil {
+		t.Fatal("ParseCorrKind accepted an unknown kind")
+	}
+	if CorrKind(0).Valid() || CorrKind(99).Valid() {
+		t.Fatal("out-of-range CorrKind reported valid")
+	}
+}
+
+func TestOpFaultKindRoundTrip(t *testing.T) {
+	for _, k := range []OpFaultKind{OpWrongRecovery, OpSilentNonWrite, OpMisdirectedRestore} {
+		got, err := ParseOpFaultKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseOpFaultKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("ParseOpFaultKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseOpFaultKind("fat-finger"); err == nil {
+		t.Fatal("ParseOpFaultKind accepted an unknown kind")
+	}
+}
+
+func TestCorrEventValidate(t *testing.T) {
+	ok := []CorrEvent{
+		{Kind: CorrSharedDevice, Device: "lib-1", From: 0, To: time.Hour, AbortInFlight: true},
+		{Kind: CorrRegion, Region: "west", From: time.Hour, To: 2 * time.Hour},
+		{Kind: CorrCorruption, Trigger: 9, From: time.Minute, To: time.Hour},
+	}
+	for i, e := range ok {
+		if err := e.Validate(); err != nil {
+			t.Fatalf("event %d should validate: %v", i, err)
+		}
+	}
+	bad := []struct {
+		name string
+		e    CorrEvent
+	}{
+		{"zero kind", CorrEvent{From: 0, To: time.Hour}},
+		{"empty window", CorrEvent{Kind: CorrRegion, Region: "west", From: time.Hour, To: time.Hour}},
+		{"negative from", CorrEvent{Kind: CorrRegion, Region: "west", From: -time.Hour, To: time.Hour}},
+		{"shared-device without device", CorrEvent{Kind: CorrSharedDevice, From: 0, To: time.Hour}},
+		{"region without region", CorrEvent{Kind: CorrRegion, From: 0, To: time.Hour}},
+		{"corruption aborting transfers", CorrEvent{Kind: CorrCorruption, AbortInFlight: true, From: 0, To: time.Hour}},
+	}
+	for _, tc := range bad {
+		err := tc.e.Validate()
+		if err == nil {
+			t.Fatalf("%s: expected a validation error", tc.name)
+		}
+		if !strings.Contains(err.Error(), "failure: invalid") {
+			t.Fatalf("%s: unexpected error text %q", tc.name, err)
+		}
+	}
+}
+
+func TestOpFaultValidate(t *testing.T) {
+	ok := []OpFault{
+		{Kind: OpWrongRecovery, Object: "a", At: 0, StaleBy: time.Hour},
+		{Kind: OpSilentNonWrite, Object: "a", Level: 1, From: 0, To: time.Hour},
+		{Kind: OpMisdirectedRestore, Object: "a", WrongObject: "b", At: time.Hour},
+	}
+	for i, f := range ok {
+		if err := f.Validate(); err != nil {
+			t.Fatalf("fault %d should validate: %v", i, err)
+		}
+	}
+	bad := []struct {
+		name string
+		f    OpFault
+	}{
+		{"zero kind", OpFault{Object: "a"}},
+		{"missing object", OpFault{Kind: OpWrongRecovery, StaleBy: time.Hour}},
+		{"zero staleBy", OpFault{Kind: OpWrongRecovery, Object: "a", At: time.Hour}},
+		{"negative at", OpFault{Kind: OpWrongRecovery, Object: "a", At: -time.Hour, StaleBy: time.Hour}},
+		{"silent without level", OpFault{Kind: OpSilentNonWrite, Object: "a", From: 0, To: time.Hour}},
+		{"silent empty window", OpFault{Kind: OpSilentNonWrite, Object: "a", Level: 1, From: time.Hour, To: time.Hour}},
+		{"misdirected onto itself", OpFault{Kind: OpMisdirectedRestore, Object: "a", WrongObject: "a", At: 0}},
+		{"misdirected without wrong object", OpFault{Kind: OpMisdirectedRestore, Object: "a", At: 0}},
+	}
+	for _, tc := range bad {
+		if tc.f.Validate() == nil {
+			t.Fatalf("%s: expected a validation error", tc.name)
+		}
+	}
+}
+
+// TestCorruptsDeterministic pins the seeded blast-set draw: a pure
+// function of (trigger, object), stable across processes, and actually
+// splitting objects (not all-in or all-out) for a realistic trigger.
+func TestCorruptsDeterministic(t *testing.T) {
+	e := CorrEvent{Kind: CorrCorruption, Trigger: 42, From: 0, To: time.Hour}
+	objects := []string{"obj1", "obj2", "obj3", "obj4", "obj5", "obj6", "obj7", "obj8"}
+	first := make(map[string]bool)
+	hit := 0
+	for _, o := range objects {
+		first[o] = e.Corrupts(o)
+		if first[o] {
+			hit++
+		}
+	}
+	if hit == 0 || hit == len(objects) {
+		t.Fatalf("trigger 42 hit %d/%d objects — draw is degenerate", hit, len(objects))
+	}
+	for i := 0; i < 3; i++ {
+		for _, o := range objects {
+			if e.Corrupts(o) != first[o] {
+				t.Fatalf("Corrupts(%q) changed between calls", o)
+			}
+		}
+	}
+	// Distinct triggers must be able to produce distinct blast sets.
+	other := CorrEvent{Kind: CorrCorruption, Trigger: 43, From: 0, To: time.Hour}
+	same := true
+	for _, o := range objects {
+		if other.Corrupts(o) != first[o] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("triggers 42 and 43 produced identical blast sets over 8 objects")
+	}
+}

@@ -71,6 +71,20 @@ type Report struct {
 	BoundChecks     int `json:"boundChecks"`
 	BoundSkips      int `json:"boundSkips"`
 	BoundViolations int `json:"boundViolations"`
+	// Operator-fault and correlated-event ledger summed over trials
+	// (all zero when Campaign.Op is disabled).
+	CorrEvents int `json:"corrEvents"`
+	OpEvents   int `json:"opEvents"`
+	OpDetected int `json:"opDetected"`
+	OpEscapes  int `json:"opEscapes"`
+	// AvailabilityExOp is availability with operator-attributed downtime
+	// excluded: the operator-fault contribution to the nines is the gap
+	// between Availability and this estimate.
+	AvailabilityExOp Estimate `json:"availabilityExOp"`
+	// MeanOpDowntime and MeanOpLoss are the per-trial means of the
+	// operator-attributed downtime and loss shares.
+	MeanOpDowntime time.Duration `json:"meanOpDowntime"`
+	MeanOpLoss     time.Duration `json:"meanOpLoss"`
 	// Digest fingerprints the full observation sequence in trial order;
 	// equal digests mean byte-identical campaigns.
 	Digest uint64 `json:"digest"`
@@ -108,8 +122,17 @@ func (c *Campaign) Estimate(obs []Obs) (*Report, error) {
 	// overflows at ~292 trial-years (a 1000-trial campaign where every
 	// trial is down for the whole mission exceeds that), and the mean is
 	// what the report carries anyway.
-	var availSum, perfSum, penaltySum float64
-	var downSum, lossSum float64
+	var availSum, availExSum, perfSum, penaltySum float64
+	var downSum, lossSum, opDownSum, opLossSum float64
+	// exOpDown is the trial's downtime with the operator-attributed
+	// share removed (clamped: the mission cap applies to the total).
+	exOpDown := func(o Obs) time.Duration {
+		d := o.Downtime - o.OpDowntime
+		if d < 0 {
+			d = 0
+		}
+		return d
+	}
 	for _, o := range obs {
 		rep.Events += o.Events
 		if o.Lost {
@@ -118,7 +141,12 @@ func (c *Campaign) Estimate(obs []Obs) (*Report, error) {
 		rep.BoundChecks += o.BoundChecks
 		rep.BoundSkips += o.BoundSkips
 		rep.BoundViolations += o.BoundViolations
+		rep.CorrEvents += o.CorrEvents
+		rep.OpEvents += o.OpEvents
+		rep.OpDetected += o.OpDetected
+		rep.OpEscapes += o.OpEscapes
 		availSum += 1 - float64(o.Downtime)/mission
+		availExSum += 1 - float64(exOpDown(o))/mission
 		perfDown := o.Downtime + o.DegTime
 		if perfDown > r.mission {
 			perfDown = r.mission
@@ -127,19 +155,26 @@ func (c *Campaign) Estimate(obs []Obs) (*Report, error) {
 		penaltySum += o.Penalty * annual
 		downSum += float64(o.Downtime)
 		lossSum += float64(o.LossTime)
+		opDownSum += float64(o.OpDowntime)
+		opLossSum += float64(o.OpLossTime)
 	}
 	rep.MeanDowntime = time.Duration(downSum / float64(n))
 	rep.MeanLoss = time.Duration(lossSum / float64(n))
+	rep.MeanOpDowntime = time.Duration(opDownSum / float64(n))
+	rep.MeanOpLoss = time.Duration(opLossSum / float64(n))
 	rep.PenaltyMean = penaltySum / float64(n)
 
 	// Second pass: spread around the means (two-pass keeps the sums
 	// well-conditioned and strictly order-determined).
 	availMean := availSum / float64(n)
+	availExMean := availExSum / float64(n)
 	perfMean := perfSum / float64(n)
-	var availSq, perfSq, penaltySq float64
+	var availSq, availExSq, perfSq, penaltySq float64
 	for _, o := range obs {
 		a := 1 - float64(o.Downtime)/mission - availMean
 		availSq += a * a
+		x := 1 - float64(exOpDown(o))/mission - availExMean
+		availExSq += x * x
 		perfDown := o.Downtime + o.DegTime
 		if perfDown > r.mission {
 			perfDown = r.mission
@@ -150,6 +185,7 @@ func (c *Campaign) Estimate(obs []Obs) (*Report, error) {
 		penaltySq += c * c
 	}
 	rep.Availability = normalEstimate(availMean, availSq, n)
+	rep.AvailabilityExOp = normalEstimate(availExMean, availExSq, n)
 	rep.PerfAvailability = normalEstimate(perfMean, perfSq, n)
 	rep.Durability = wilsonEstimate(n-rep.Lost, n)
 	if n > 1 {
@@ -215,6 +251,12 @@ func Digest(obs []Obs) uint64 {
 		wr(uint64(o.BoundChecks))
 		wr(uint64(o.BoundSkips))
 		wr(uint64(o.BoundViolations))
+		wr(uint64(o.CorrEvents))
+		wr(uint64(o.OpEvents))
+		wr(uint64(o.OpDetected))
+		wr(uint64(o.OpEscapes))
+		wr(uint64(o.OpDowntime))
+		wr(uint64(o.OpLossTime))
 	}
 	return h.Sum64()
 }
@@ -241,6 +283,9 @@ func (r *Report) String() string {
 			name, e.Value, e.Lo, e.Hi, ninesStr(e.Value), ninesStr(e.Lo), ninesStr(e.Hi))
 	}
 	row("availability", r.Availability)
+	if r.CorrEvents+r.OpEvents > 0 {
+		row("availability-ex-op", r.AvailabilityExOp)
+	}
 	row("durability", r.Durability)
 	row("perf-availability", r.PerfAvailability)
 	fmt.Fprintf(&b, "  mean downtime %s, mean loss %s per trial\n",
@@ -250,5 +295,12 @@ func (r *Report) String() string {
 		float64(r.ExpectedCost()), float64(r.Outlay), r.PenaltyMean, r.PenaltyStdErr)
 	fmt.Fprintf(&b, "  bound checks %d, skips %d, violations %d\n",
 		r.BoundChecks, r.BoundSkips, r.BoundViolations)
+	if r.CorrEvents+r.OpEvents > 0 {
+		fmt.Fprintf(&b, "  %d correlated outages, %d operator faults (%d detected, %d escaped)\n",
+			r.CorrEvents, r.OpEvents, r.OpDetected, r.OpEscapes)
+		fmt.Fprintf(&b, "  mean op downtime %s, mean op loss %s per trial\n",
+			units.FormatDuration(r.MeanOpDowntime.Truncate(time.Second)),
+			units.FormatDuration(r.MeanOpLoss.Truncate(time.Second)))
+	}
 	return b.String()
 }

@@ -68,6 +68,11 @@ type Campaign struct {
 	// Rates maps failure scopes to annual event rates
 	// (whatif.TypicalFrequencies when nil).
 	Rates whatif.Frequencies
+	// Op holds annual arrival rates for operator faults and correlated
+	// common-mode outages (all zero — disabled — by default). Enabling a
+	// rate never perturbs the device or disaster schedules: each process
+	// draws from its own stream.
+	Op OpRates
 }
 
 // Obs is one trial's observations — the unit of exchange between
@@ -104,6 +109,20 @@ type Obs struct {
 	BoundChecks     int `json:"boundChecks"`
 	BoundSkips      int `json:"boundSkips,omitempty"`
 	BoundViolations int `json:"boundViolations,omitempty"`
+	// CorrEvents counts sampled correlated common-mode outages; OpEvents
+	// counts sampled operator faults (wrong recovery, silent non-write).
+	CorrEvents int `json:"corrEvents,omitempty"`
+	OpEvents   int `json:"opEvents,omitempty"`
+	// OpDetected / OpEscapes split the operator faults by whether the
+	// detection-coverage model catches them (see internal/chaos's
+	// op-detection invariant — the same classification rules).
+	OpDetected int `json:"opDetected,omitempty"`
+	OpEscapes  int `json:"opEscapes,omitempty"`
+	// OpDowntime / OpLossTime are the shares of Downtime and LossTime
+	// attributed to operator faults, so reports can show dependability
+	// with and without the operator-fault contribution.
+	OpDowntime time.Duration `json:"opDowntime,omitempty"`
+	OpLossTime time.Duration `json:"opLossTime,omitempty"`
 }
 
 // Campaign validation errors.
@@ -200,7 +219,7 @@ func (c *Campaign) runner() (*runner, error) {
 	}
 	for _, tech := range c.Design.Levels {
 		var devs []int
-		for _, name := range levelDeviceNames(tech) {
+		for _, name := range core.LevelDeviceNames(tech) {
 			if i, ok := index[name]; ok {
 				devs = append(devs, i)
 				r.sampled[i] = true
@@ -209,26 +228,6 @@ func (c *Campaign) runner() (*runner, error) {
 		r.levelDevs = append(r.levelDevs, devs)
 	}
 	return r, nil
-}
-
-// levelDeviceNames lists the devices whose failure takes a level's
-// protection out of service: the copy device(s) holding its RPs and the
-// interconnect/transport crossed to reach them. The read device only
-// matters at restore time, not for RP propagation.
-func levelDeviceNames(tech interface {
-	CopyDevice() string
-	TransportDevice() string
-}) []string {
-	var names []string
-	if ms, ok := tech.(interface{ CopyDevices() []string }); ok {
-		names = append(names, ms.CopyDevices()...)
-	} else if d := tech.CopyDevice(); d != "" {
-		names = append(names, d)
-	}
-	if d := tech.TransportDevice(); d != "" {
-		names = append(names, d)
-	}
-	return names
 }
 
 // interval is one closed-open down period.
@@ -249,16 +248,24 @@ func (r *runner) trial(trial int) (Obs, error) {
 		downs[di] = sampleDevice(rng.Run(tseed, di), r.rel[di], r.end)
 	}
 
-	// 2. Level outages: the union of the level's devices' down periods.
-	// A failed device aborts in-flight transfers — RPs mid-propagation
-	// when the device dies are destroyed, and the analytic side charges
-	// the level's transfer lag on top (chaos.EffectiveOutages).
+	// 1b. Correlated common-mode outages: each sampled event takes every
+	// protection level down at once (shared infrastructure, regional
+	// scope) — the correlation the per-device renewal processes cannot
+	// express.
+	commons := r.sampleCommonOutages(tseed)
+
+	// 2. Level outages: the union of the level's devices' down periods
+	// plus every common-mode window. A failed device aborts in-flight
+	// transfers — RPs mid-propagation when the device dies are
+	// destroyed, and the analytic side charges the level's transfer lag
+	// on top (chaos.EffectiveOutages).
 	var outs []sim.Outage
 	for li, devs := range r.levelDevs {
 		var ivs []interval
 		for _, di := range devs {
 			ivs = append(ivs, downs[di]...)
 		}
+		ivs = append(ivs, commons...)
 		for _, iv := range mergeIntervals(ivs) {
 			outs = append(outs, sim.Outage{Level: li + 1, From: iv.from, To: iv.to, AbortInFlight: true})
 		}
@@ -288,7 +295,18 @@ func (r *runner) trial(trial int) (Obs, error) {
 	}
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
 
-	// 4. Replay the trial's RP history under its outage schedule.
+	// 3b. Operator faults: silent non-write windows corrupt the RP
+	// history itself, wrong recoveries are classified and charged after
+	// the event loop.
+	silents := r.sampleSilentFaults(tseed)
+	wrongs := r.sampleWrongRecoveries(tseed)
+
+	// 4. Replay the trial's RP history under its outage schedule and
+	// silent faults. When silent faults are present a clean shadow
+	// history (same outages, no silents) anchors the cross-model bound
+	// ledger and detection baselines: the analytic bound is fault-unaware
+	// by design, so comparing it against the faulted history would
+	// conflate model violations with the detection channel.
 	s, err := sim.New(r.chain)
 	if err != nil {
 		return Obs{}, fmt.Errorf("mc: trial %d: %w", trial, err)
@@ -298,11 +316,32 @@ func (r *runner) trial(trial int) (Obs, error) {
 			return Obs{}, fmt.Errorf("mc: trial %d: %w", trial, err)
 		}
 	}
+	for _, f := range silents {
+		if err := s.AddSilentFault(f); err != nil {
+			return Obs{}, fmt.Errorf("mc: trial %d: %w", trial, err)
+		}
+	}
 	if err := s.Run(r.end); err != nil {
 		return Obs{}, fmt.Errorf("mc: trial %d: %w", trial, err)
 	}
+	clean := s
+	if len(silents) > 0 {
+		clean, err = sim.New(r.chain)
+		if err != nil {
+			return Obs{}, fmt.Errorf("mc: trial %d: %w", trial, err)
+		}
+		for _, o := range outs {
+			if err := clean.AddOutage(o); err != nil {
+				return Obs{}, fmt.Errorf("mc: trial %d: %w", trial, err)
+			}
+		}
+		if err := clean.Run(r.end); err != nil {
+			return Obs{}, fmt.Errorf("mc: trial %d: %w", trial, err)
+		}
+	}
 
 	var o Obs
+	o.CorrEvents = len(commons)
 	o.DegTime = unionWithin(outs, r.start, r.end)
 
 	// 5. Measure each failure event. Analytic context is cached per
@@ -313,6 +352,7 @@ func (r *runner) trial(trial int) (Obs, error) {
 	actx := make(map[failure.Scope]*eventContext, 4)
 	bounds := make(map[boundKey]boundVal, 2*len(r.chain))
 	one := make([]int, 1)
+	lostAt := r.end
 	for _, ev := range evs {
 		sc := scenarioFor(ev.scope)
 		ctx := r.context(sc, effOuts, actx)
@@ -333,7 +373,7 @@ func (r *runner) trial(trial int) (Obs, error) {
 				continue
 			}
 			one[0] = j
-			loss, _, lok := s.Loss(one, ev.at, sc.TargetAge)
+			loss, _, lok := clean.Loss(one, ev.at, sc.TargetAge)
 			if !lok {
 				continue
 			}
@@ -353,6 +393,7 @@ func (r *runner) trial(trial int) (Obs, error) {
 			o.LossTime += ev.at
 			o.Downtime += r.end - ev.at
 			o.Penalty += float64(req.UnavailPenaltyRate.Over(r.end-ev.at) + req.LossPenaltyRate.Over(ev.at))
+			lostAt = ev.at
 			break
 		}
 		o.LossTime += loss
@@ -371,6 +412,20 @@ func (r *runner) trial(trial int) (Obs, error) {
 		}
 		o.Downtime += rt
 		o.Penalty += float64(cost.Assess(req, rt, loss).Total())
+	}
+
+	// 6. Classify and charge the trial's operator faults. Silent windows
+	// are always classified (detection coverage is observed even when
+	// the trial later loses its data); wrong recoveries after an
+	// unrecoverable event have nothing left to restore.
+	for _, f := range silents {
+		r.classifySilentFault(&o, clean, s, outs, f)
+	}
+	for _, wr := range wrongs {
+		if wr.at >= lostAt {
+			break
+		}
+		r.applyWrongRecovery(&o, clean, outs, effOuts, actx, wr)
 	}
 	if o.Downtime > r.mission {
 		o.Downtime = r.mission

@@ -1,0 +1,256 @@
+package mc
+
+import (
+	"math/rand"
+	"time"
+
+	"stordep/internal/chaos"
+	"stordep/internal/cost"
+	"stordep/internal/failure"
+	"stordep/internal/hierarchy"
+	"stordep/internal/rng"
+	"stordep/internal/sim"
+	"stordep/internal/units"
+)
+
+// OpRates are annual arrival rates for the operator-fault and
+// correlated-failure vocabulary (see internal/failure): each process is
+// Poisson over the mission window on its own random stream, so enabling
+// one class never perturbs the others' schedules (common random
+// numbers across candidate designs and across rate settings).
+type OpRates struct {
+	// WrongRecovery is the annual rate of restores that land on a stale
+	// retrieval point which passes the operator's existing checks.
+	WrongRecovery float64 `json:"wrongRecovery,omitempty"`
+	// SilentNonWrite is the annual rate of windows in which one
+	// protection level reports success but retains nothing.
+	SilentNonWrite float64 `json:"silentNonWrite,omitempty"`
+	// CommonOutage is the annual rate of correlated events (shared
+	// infrastructure, regional) that take every protection level out at
+	// once.
+	CommonOutage float64 `json:"commonOutage,omitempty"`
+}
+
+// enabled reports whether any operator-fault process is switched on.
+func (r OpRates) enabled() bool {
+	return r.WrongRecovery > 0 || r.SilentNonWrite > 0 || r.CommonOutage > 0
+}
+
+// Operator-fault streams live below the disaster-scope streams (which
+// occupy -1 .. -len(failure.Scopes())), so adding rates never shifts
+// the device or disaster schedules.
+const (
+	streamCommonOutage   = -6
+	streamSilentNonWrite = -7
+	streamWrongRecovery  = -8
+)
+
+// maxCycle returns the longest cycle period in the chain — the natural
+// scale for operator-fault windows, mirroring the chaos generators.
+func (r *runner) maxCycle() time.Duration {
+	var max time.Duration
+	for _, lvl := range r.chain {
+		if c := lvl.Policy.CyclePeriod(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// opArrivals draws Poisson arrival instants over the mission window
+// (whole minutes) from one dedicated stream, returning the instants and
+// the stream for follow-on shape draws. The stream consumes one
+// uniform per arrival attempt plus the shape draws made by the caller
+// in arrival order, so schedules are reproducible from (seed, trial)
+// alone.
+func (r *runner) opArrivals(tseed int64, stream int, ratePerYear float64) ([]time.Duration, *rand.Rand) {
+	er := rng.Run(tseed, stream)
+	if ratePerYear <= 0 {
+		return nil, er
+	}
+	missionYears := float64(r.mission) / float64(units.Year)
+	var ats []time.Duration
+	for t := expGap(er, ratePerYear); t < missionYears; t += expGap(er, ratePerYear) {
+		at := chaos.CeilMinute(r.start + time.Duration(t*float64(units.Year)))
+		if at >= r.end {
+			break
+		}
+		ats = append(ats, at)
+	}
+	return ats, er
+}
+
+// sampleCommonOutages draws correlated common-mode outage windows: each
+// arrival takes every protection level down for a duration on the
+// chain's cycle scale (0.3–2.5 cycles, whole minutes), the same window
+// law the chaos generator uses for correlated events.
+func (r *runner) sampleCommonOutages(tseed int64) []interval {
+	ats, shape := r.opArrivals(tseed, streamCommonOutage, r.c.Op.CommonOutage)
+	cycle := r.maxCycle()
+	var out []interval
+	for _, at := range ats {
+		down := chaos.Quantize(time.Duration((0.3 + 2.2*shape.Float64()) * float64(cycle)))
+		to := at + down
+		if to > r.end {
+			to = r.end
+		}
+		if to > at {
+			out = append(out, interval{from: at, to: to})
+		}
+	}
+	return out
+}
+
+// sampleSilentFaults draws silent non-write windows: each arrival
+// silences one uniformly chosen level for 0.5–2.5 of its own cycle
+// periods — long enough to skip at least one capture.
+func (r *runner) sampleSilentFaults(tseed int64) []sim.SilentFault {
+	ats, shape := r.opArrivals(tseed, streamSilentNonWrite, r.c.Op.SilentNonWrite)
+	var out []sim.SilentFault
+	for _, at := range ats {
+		level := 1 + int(shape.Float64()*float64(len(r.chain)))
+		if level > len(r.chain) {
+			level = len(r.chain)
+		}
+		cycle := r.chain[level-1].Policy.CyclePeriod()
+		win := chaos.Quantize(time.Duration((0.5 + 2.0*shape.Float64()) * float64(cycle)))
+		to := at + win
+		if to > r.end {
+			to = r.end
+		}
+		if to > at {
+			out = append(out, sim.SilentFault{Level: level, From: at, To: to})
+		}
+	}
+	return out
+}
+
+// wrongRecovery is one sampled wrong-recovery fault: at instant at, an
+// operator restores a retrieval point staleBy older than the one the
+// plan calls for, and the stale point passes the existing checks.
+type wrongRecovery struct {
+	at      time.Duration
+	staleBy time.Duration
+}
+
+// sampleWrongRecoveries draws wrong-recovery arrivals with staleness on
+// the chain's cycle scale (0.5–3 cycles, whole minutes).
+func (r *runner) sampleWrongRecoveries(tseed int64) []wrongRecovery {
+	ats, shape := r.opArrivals(tseed, streamWrongRecovery, r.c.Op.WrongRecovery)
+	cycle := r.maxCycle()
+	var out []wrongRecovery
+	for _, at := range ats {
+		staleBy := chaos.Quantize(time.Duration((0.5 + 2.5*shape.Float64()) * float64(cycle)))
+		out = append(out, wrongRecovery{at: at, staleBy: staleBy})
+	}
+	return out
+}
+
+// classifySilentFault decides whether one silent non-write window is
+// detectable — the faulted history's loss at some probe instant exceeds
+// the fault-unaware analytic bound, or recovery fails where the clean
+// history recovers — and charges its consequences: a detected window is
+// caught and re-synced (protection was degraded for the window), an
+// escaped window is latent exposure the estimator surfaces only through
+// events that happen to land in it.
+func (r *runner) classifySilentFault(o *Obs, clean, faulted *sim.Simulator, outs []sim.Outage, f sim.SilentFault) {
+	all := make([]int, len(r.chain))
+	for i := range all {
+		all[i] = i + 1
+	}
+	cycle := r.chain[f.Level-1].Policy.CyclePeriod()
+	detected := false
+	for _, at := range probeGrid(f.From, f.To+2*cycle, r.end) {
+		floss, _, fok := faulted.Loss(all, at, 0)
+		closs, _, cok := clean.Loss(all, at, 0)
+		if cok && !fok {
+			detected = true // fails where the fault-free history recovers
+			break
+		}
+		if !fok {
+			continue
+		}
+		if bound, ok := chaos.AnalyticBound(r.chain, outs, f.Level, 0); ok && floss > bound {
+			detected = true // loss-bound violation surfaces the fault
+			break
+		}
+		if cok && floss > closs {
+			detected = true // drill against the fault-free baseline
+			break
+		}
+	}
+	o.OpEvents++
+	if detected {
+		o.OpDetected++
+		// Caught and re-synced: protection was degraded for the window.
+		win := f.To - f.From
+		o.DegTime += win
+	} else {
+		o.OpEscapes++
+	}
+}
+
+// probeGrid returns up to eight whole-minute probe instants spanning
+// [from, to], clipped to the mission window.
+func probeGrid(from, to, end time.Duration) []time.Duration {
+	if to > end {
+		to = end
+	}
+	if to <= from {
+		return nil
+	}
+	step := (to - from) / 7
+	if step < time.Minute {
+		step = time.Minute
+	}
+	var out []time.Duration
+	for at := from; at <= to; at += step {
+		out = append(out, chaos.CeilMinute(at))
+	}
+	return out
+}
+
+// applyWrongRecovery classifies and charges one wrong-recovery fault.
+// Detection mirrors the chaos invariant: the restore is caught when the
+// stale point no longer exists (past retention — the existing checks
+// cannot complete) or when the resulting staleness exceeds the analytic
+// loss bound the serving level defends for a fresh restore. A detected
+// fault is redone — the service is down for one more recovery pass. An
+// escaped fault silently rolls the object back: the staleness stands as
+// real data loss.
+func (r *runner) applyWrongRecovery(o *Obs, clean *sim.Simulator, outs []sim.Outage, effOuts []hierarchy.LevelOutage, actx map[failure.Scope]*eventContext, wr wrongRecovery) {
+	o.OpEvents++
+	req := r.c.Design.Requirements
+	all := make([]int, len(r.chain))
+	for i := range all {
+		all[i] = i + 1
+	}
+	staleLoss, level, ok := clean.Loss(all, wr.at, wr.staleBy)
+	detected := !ok
+	if ok {
+		actual := staleLoss + wr.staleBy
+		if bound, bok := chaos.AnalyticBound(r.chain, outs, level, 0); bok && actual > bound {
+			detected = true
+		}
+	}
+	if detected {
+		o.OpDetected++
+		// Redo the restore correctly: one recovery pass of downtime at
+		// the analytic estimate for a full restore from protection.
+		sc := scenarioFor(failure.ScopeArray)
+		ctx := r.context(sc, effOuts, actx)
+		rt := ctx.rtBound
+		if rt > r.end-wr.at {
+			rt = r.end - wr.at
+		}
+		o.OpDowntime += rt
+		o.Downtime += rt
+		o.Penalty += float64(cost.Assess(req, rt, 0).Total())
+		return
+	}
+	o.OpEscapes++
+	loss := staleLoss + wr.staleBy
+	o.OpLossTime += loss
+	o.LossTime += loss
+	o.Penalty += float64(cost.Assess(req, 0, loss).Total())
+}

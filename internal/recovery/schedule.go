@@ -41,6 +41,21 @@ var (
 	ErrDependencyCycle   = errors.New("recovery: object dependencies form a cycle")
 )
 
+// Poison returns a copy of the per-object recovery times with the named
+// object's recovery voided (units.Forever) — the service-level model of a
+// misdirected restore: the object believes itself restored but holds
+// another object's data, so everything gated on it is stalled until the
+// mistake is noticed and the recovery redone.
+func Poison(objects []ObjectRT, name string) []ObjectRT {
+	out := append([]ObjectRT(nil), objects...)
+	for i := range out {
+		if out[i].Name == name {
+			out[i].RT = units.Forever
+		}
+	}
+	return out
+}
+
 // Schedule computes the dependency-ordered recovery schedule: for every
 // object, when its recovery may start (after every dependency finished)
 // and when it finishes, plus the service-level recovery time — the

@@ -32,6 +32,11 @@ type RP struct {
 	// Secondary marks an incremental (partial) RP from a cyclic policy's
 	// secondary window; a restore from it also needs its base full.
 	Secondary bool
+	// Phantom marks an RP whose capture silently failed (a silent
+	// non-write fault, or corrupt source data): the level reported
+	// success, the RP occupies the schedule and still propagates its
+	// phantomness upward, but no restore can use it.
+	Phantom bool
 }
 
 // Covers reports whether the RP is usable at observation time `at`.
@@ -91,11 +96,28 @@ func (o Outage) contains(at time.Duration) bool {
 	return at >= o.From && at < o.To
 }
 
+// SilentFault makes one level's captures lie for a time span: windows
+// that close inside [From, To) report success and schedule normally, but
+// the RPs they produce are phantoms — present in the schedule, useless
+// at restore. Unlike an Outage the failure is invisible to the level
+// itself, which is what makes the silent non-write and correlated
+// corruption operator faults undetectable by status checks alone.
+type SilentFault struct {
+	Level    int // 1-based
+	From, To time.Duration
+}
+
+// contains reports whether the instant falls inside the fault window.
+func (f SilentFault) contains(at time.Duration) bool {
+	return at >= f.From && at < f.To
+}
+
 // Simulator replays RP propagation for a hierarchy chain.
 type Simulator struct {
 	chain   hierarchy.Chain
 	levels  [][]RP // retained and expired RPs per level, in cut order
 	outages []Outage
+	silents []SilentFault
 	ran     time.Duration
 }
 
@@ -128,6 +150,33 @@ func (s *Simulator) AddOutage(o Outage) error {
 	}
 	s.outages = append(s.outages, o)
 	return nil
+}
+
+// AddSilentFault registers a silent capture fault; it must be called
+// before Run.
+func (s *Simulator) AddSilentFault(f SilentFault) error {
+	if s.ran > 0 {
+		return errors.New("sim: silent faults must be added before Run")
+	}
+	if f.Level < 1 || f.Level > len(s.chain) {
+		return fmt.Errorf("sim: silent fault level %d out of range", f.Level)
+	}
+	if f.To <= f.From || f.From < 0 {
+		return fmt.Errorf("sim: silent fault window [%v, %v) invalid", f.From, f.To)
+	}
+	s.silents = append(s.silents, f)
+	return nil
+}
+
+// inSilent reports whether a window closing at `at` on the level falls
+// inside a registered silent fault.
+func (s *Simulator) inSilent(level int, at time.Duration) bool {
+	for _, f := range s.silents {
+		if f.Level == level && f.contains(at) {
+			return true
+		}
+	}
+	return false
 }
 
 // Run simulates RP propagation from time zero (cold start: no RPs exist)
@@ -205,19 +254,24 @@ func (s *Simulator) fire(e event) {
 	// What does this RP reflect? Level 1 draws from the always-current
 	// primary copy: the RP covers updates through the window close (now).
 	// Deeper levels forward the newest RP available below at this instant.
+	// A silent fault poisons the capture without changing the schedule,
+	// and a phantom source poisons every copy taken from it.
 	cut := e.at
+	phantom := s.inSilent(e.level, e.at)
 	if e.level > 1 {
 		below, ok := s.newest(e.level-1, e.at)
 		if !ok {
 			return // nothing to propagate yet (cold start)
 		}
 		cut = below.Cut
+		phantom = phantom || below.Phantom
 	}
 	s.levels[e.level-1] = append(s.levels[e.level-1], RP{
 		Cut:         cut,
 		AvailableAt: avail,
 		ExpiresAt:   avail + pol.RetW,
 		Secondary:   e.secondary,
+		Phantom:     phantom,
 	})
 }
 
@@ -269,18 +323,20 @@ func (s *Simulator) baseFull(level int, incr RP) (RP, bool) {
 }
 
 // usableAt reports whether the RP can actually serve a restore at failAt:
-// it must cover the instant itself and, for incrementals, so must its
-// base full (an incremental that lands while its full is still
-// propagating is useless until the full arrives).
+// it must cover the instant itself, hold real data (phantoms from silent
+// faults still occupy the schedule — and still propagate, because the
+// level believes them good — but cannot serve), and, for incrementals,
+// so must its base full (an incremental that lands while its full is
+// still propagating is useless until the full arrives).
 func (s *Simulator) usableAt(level int, rp RP, failAt time.Duration) bool {
-	if !rp.Covers(failAt) {
+	if rp.Phantom || !rp.Covers(failAt) {
 		return false
 	}
 	if !rp.Secondary {
 		return true
 	}
 	base, ok := s.baseFull(level, rp)
-	return ok && base.Covers(failAt)
+	return ok && !base.Phantom && base.Covers(failAt)
 }
 
 // Loss measures the data loss a recovery would incur if a failure struck
@@ -376,6 +432,11 @@ func (s *Simulator) Chain() hierarchy.Chain { return s.chain }
 // Outages returns a copy of the registered outages.
 func (s *Simulator) Outages() []Outage {
 	return append([]Outage(nil), s.outages...)
+}
+
+// SilentFaults returns a copy of the registered silent faults.
+func (s *Simulator) SilentFaults() []SilentFault {
+	return append([]SilentFault(nil), s.silents...)
 }
 
 // RPs returns a copy of every RP the level produced during Run, retained
